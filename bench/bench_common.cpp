@@ -1,0 +1,117 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace corral::bench {
+
+ClusterConfig testbed() {
+  ClusterConfig config;
+  config.racks = 7;
+  config.machines_per_rack = 30;
+  config.slots_per_machine = 8;
+  config.nic_bandwidth = 2.5 * kGbps;
+  config.oversubscription = 5.0;
+  return config;
+}
+
+SimConfig default_sim(const ClusterConfig& cluster) {
+  SimConfig config;
+  config.cluster = cluster;
+  config.cluster.background_core_fraction = 0.5;  // §6.1
+  config.write_output_replicas = true;
+  config.seed = 2015;
+  return config;
+}
+
+std::vector<JobSpec> w1(Rng& rng, int jobs) {
+  W1Config config;
+  config.num_jobs = jobs;
+  return make_w1(config, rng);
+}
+
+std::vector<JobSpec> w2(Rng& rng) { return make_w2(W2Config{}, rng); }
+
+std::vector<JobSpec> w3(Rng& rng, int jobs) {
+  W3Config config;
+  config.num_jobs = jobs;
+  return make_w3(config, rng);
+}
+
+PlannedWorkload plan_workload(const std::vector<JobSpec>& jobs,
+                              const ClusterConfig& cluster,
+                              Objective objective) {
+  PlannerConfig config;
+  config.objective = objective;
+  std::vector<JobSpec> recurring;
+  for (const JobSpec& job : jobs) {
+    if (job.recurring) recurring.push_back(job);
+  }
+  Plan plan = plan_offline(recurring, cluster, config);
+  PlanLookup lookup(recurring, plan);
+  return PlannedWorkload{std::move(plan), std::move(lookup)};
+}
+
+PolicyComparison run_all_policies(const std::vector<JobSpec>& jobs,
+                                  Objective objective, const SimConfig& sim,
+                                  bool include_shufflewatcher) {
+  const PlannedWorkload planned =
+      plan_workload(jobs, sim.cluster, objective);
+
+  PolicyComparison results;
+  {
+    YarnCapacityPolicy policy;
+    results.yarn = run_simulation(jobs, policy, sim);
+  }
+  {
+    CorralPolicy policy(&planned.lookup);
+    results.corral = run_simulation(jobs, policy, sim);
+  }
+  {
+    LocalShufflePolicy policy(&planned.lookup);
+    results.localshuffle = run_simulation(jobs, policy, sim);
+  }
+  if (include_shufflewatcher) {
+    ShuffleWatcherPolicy policy(sim.cluster.slots_per_rack());
+    results.shufflewatcher = run_simulation(jobs, policy, sim);
+  }
+  return results;
+}
+
+TwoPolicyComparison run_yarn_and_corral(const std::vector<JobSpec>& jobs,
+                                        Objective objective,
+                                        const SimConfig& sim) {
+  const PlannedWorkload planned =
+      plan_workload(jobs, sim.cluster, objective);
+  TwoPolicyComparison results;
+  {
+    YarnCapacityPolicy policy;
+    results.yarn = run_simulation(jobs, policy, sim);
+  }
+  {
+    CorralPolicy policy(&planned.lookup);
+    results.corral = run_simulation(jobs, policy, sim);
+  }
+  return results;
+}
+
+std::string pct(double fraction) { return TextTable::pct(fraction, 1); }
+
+void print_cdf(const std::string& title, const std::vector<double>& samples,
+               int points) {
+  Cdf cdf(samples);
+  std::printf("  %s (n=%zu):\n", title.c_str(), cdf.size());
+  for (const auto& [value, fraction] : cdf.sample_points(points)) {
+    std::printf("    p%-5.1f %12.1f\n", fraction * 100, value);
+  }
+}
+
+void banner(const std::string& figure, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("Paper: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace corral::bench

@@ -1,0 +1,42 @@
+// Figure 5: running time of the offline planner heuristic for a 4000
+// machine cluster (100 racks x 40 machines) with a varying number of jobs.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace corral;
+
+int main() {
+  bench::banner(
+      "Figure 5 - offline planner running time, 4000-machine cluster",
+      "~55 seconds for 500 jobs on 100 racks (single desktop machine)");
+
+  ClusterConfig cluster;
+  cluster.racks = 100;
+  cluster.machines_per_rack = 40;
+  cluster.slots_per_machine = 8;
+  cluster.nic_bandwidth = 2.5 * kGbps;
+  cluster.oversubscription = 5.0;
+
+  Rng rng(5);
+  const auto all_jobs = bench::w3(rng, 500);
+
+  std::printf("\n%-12s %16s\n", "jobs", "plan time (s)");
+  for (int count : {50, 100, 200, 300, 400, 500}) {
+    const std::vector<JobSpec> jobs(all_jobs.begin(),
+                                    all_jobs.begin() + count);
+    PlannerConfig config;
+    const auto start = std::chrono::steady_clock::now();
+    const Plan plan = plan_offline(jobs, cluster, config);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    std::printf("%-12d %16.2f   (predicted makespan %.0fs)\n", count, seconds,
+                plan.predicted_makespan);
+  }
+  std::printf(
+      "\nThe paper reports ~55s at 500 jobs on a 6-core/24GB desktop; the\n"
+      "O(J^2 R^2) scaling shape is the comparison target, not the constant.\n");
+  return 0;
+}

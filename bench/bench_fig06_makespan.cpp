@@ -1,0 +1,42 @@
+// Figure 6: reduction in makespan for W1/W2/W3 relative to Yarn-CS when
+// each workload runs as a batch.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace corral;
+
+int main() {
+  bench::banner(
+      "Figure 6 - batch makespan reduction relative to Yarn-CS",
+      "Corral 10-33% across W1/W2/W3; LocalShuffle mixed (negative for "
+      "W2/W3); ShuffleWatcher significantly negative");
+
+  Rng rng(6);
+  struct Entry {
+    const char* name;
+    std::vector<JobSpec> jobs;
+  };
+  std::vector<Entry> workloads;
+  workloads.push_back({"W1", bench::w1(rng)});
+  workloads.push_back({"W2", bench::w2(rng)});
+  workloads.push_back({"W3", bench::w3(rng)});
+
+  const SimConfig sim = bench::default_sim(bench::testbed());
+
+  std::printf("\n%-6s %12s %14s %16s\n", "", "Corral", "LocalShuffle",
+              "ShuffleWatcher");
+  for (const Entry& entry : workloads) {
+    const auto r = bench::run_all_policies(entry.jobs, Objective::kMakespan,
+                                           sim);
+    const double base = r.yarn.makespan;
+    std::printf("%-6s %11.1f%% %13.1f%% %15.1f%%   (yarn-cs makespan %.0fs)\n",
+                entry.name, 100 * reduction(base, r.corral.makespan),
+                100 * reduction(base, r.localshuffle.makespan),
+                100 * reduction(base, r.shufflewatcher.makespan), base);
+  }
+  std::printf(
+      "\nPositive = better than Yarn-CS. Paper reports Corral at 10-33%%,\n"
+      "with W2's reduction lowest (its makespan is set by two giant jobs).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 8: CDFs of job completion time for W1/W2/W3 when jobs arrive
+// online, uniformly at random over a one-hour window.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+using namespace corral;
+
+int main() {
+  bench::banner(
+      "Figure 8 - online job completion times (arrivals U[0, 60min])",
+      "Corral improves the median by 30-56% and the average by 26-36% "
+      "over Yarn-CS; ShuffleWatcher degrades the tail");
+
+  Rng rng(8);
+  struct Entry {
+    const char* name;
+    std::vector<JobSpec> jobs;
+  };
+  std::vector<Entry> workloads;
+  workloads.push_back({"W1", bench::w1(rng)});
+  workloads.push_back({"W2", bench::w2(rng)});
+  workloads.push_back({"W3", bench::w3(rng)});
+
+  const SimConfig sim = bench::default_sim(bench::testbed());
+
+  for (Entry& entry : workloads) {
+    assign_uniform_arrivals(entry.jobs, 60 * kMinute, rng);
+    const auto r = bench::run_all_policies(
+        entry.jobs, Objective::kAverageCompletionTime, sim);
+    std::printf("\n--- %s ---\n", entry.name);
+    bench::print_cdf("yarn-cs JCT (s)", r.yarn.completion_times(), 9);
+    bench::print_cdf("corral JCT (s)", r.corral.completion_times(), 9);
+    std::printf("  median reduction: corral %s, local-shuffle %s, "
+                "shufflewatcher %s\n",
+                bench::pct(reduction(r.yarn.median_completion(),
+                                     r.corral.median_completion()))
+                    .c_str(),
+                bench::pct(reduction(r.yarn.median_completion(),
+                                     r.localshuffle.median_completion()))
+                    .c_str(),
+                bench::pct(reduction(r.yarn.median_completion(),
+                                     r.shufflewatcher.median_completion()))
+                    .c_str());
+    std::printf("  average reduction: corral %s   (paper: 26-36%%)\n",
+                bench::pct(reduction(r.yarn.avg_completion(),
+                                     r.corral.avg_completion()))
+                    .c_str());
+    std::printf("  p90 reduction: corral %s, shufflewatcher %s\n",
+                bench::pct(reduction(
+                    percentile(r.yarn.completion_times(), 90),
+                    percentile(r.corral.completion_times(), 90)))
+                    .c_str(),
+                bench::pct(reduction(
+                    percentile(r.yarn.completion_times(), 90),
+                    percentile(r.shufflewatcher.completion_times(), 90)))
+                    .c_str());
+  }
+  return 0;
+}

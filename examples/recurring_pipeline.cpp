@@ -1,0 +1,120 @@
+// Recurring-pipeline example: the end-to-end workflow the paper motivates.
+//
+// A nightly analytics pipeline of recurring jobs has been running for a
+// month. Tonight's plan must be built *before* tonight's data exists, so:
+//   1. synthesize a month of per-job input-size history (§2),
+//   2. predict tonight's input sizes with the same-day-kind averaging
+//      predictor (the paper reports ~6.5% error),
+//   3. build JobSpecs from the *predicted* sizes and plan offline,
+//   4. execute tonight's *actual* sizes under that plan,
+//   5. compare against an oracle plan built from the actual sizes, and
+//      against Yarn-CS — showing prediction error costs almost nothing.
+#include <cstdio>
+
+#include "corral/planner.h"
+#include "sim/simulator.h"
+#include "workload/recurring.h"
+
+using namespace corral;
+
+namespace {
+
+// Tonight's pipeline: each recurring job's data sizes scale with its input.
+JobSpec job_from_input(int id, const std::string& name, Bytes input,
+                       Seconds arrival) {
+  MapReduceSpec stage;
+  stage.input_bytes = input;
+  stage.shuffle_bytes = input * 1.2;
+  stage.output_bytes = input * 0.4;
+  stage.num_maps =
+      std::max(1, static_cast<int>(input / (256 * kMB)));
+  stage.num_reduces = std::max(1, stage.num_maps / 2);
+  stage.map_rate = 40 * kMB;
+  stage.reduce_rate = 30 * kMB;
+  return JobSpec::map_reduce(id, name, stage, arrival);
+}
+
+}  // namespace
+
+int main() {
+  ClusterConfig cluster;
+  cluster.racks = 6;
+  cluster.machines_per_rack = 12;
+  cluster.slots_per_machine = 8;
+  cluster.nic_bandwidth = 2.5 * kGbps;
+  cluster.oversubscription = 5.0;
+
+  // 1-2. History and prediction for ten recurring jobs.
+  Rng rng(99);
+  std::vector<RecurringJobTemplate> pipeline;
+  for (int i = 0; i < 10; ++i) {
+    RecurringJobTemplate tmpl;
+    tmpl.name = "etl-step-" + std::to_string(i);
+    tmpl.base_input = rng.uniform(60, 250) * kGB;
+    tmpl.weekend_factor = rng.uniform(0.4, 0.9);
+    tmpl.noise = 0.065;
+    tmpl.hourly_amplitude = 0;
+    pipeline.push_back(tmpl);
+  }
+
+  const int tonight = 29;  // predict day 29 from days 0..28
+  std::vector<JobSpec> predicted_jobs, actual_jobs;
+  double total_error = 0;
+  for (std::size_t i = 0; i < pipeline.size(); ++i) {
+    const auto history = generate_history(pipeline[i], tonight + 1, rng);
+    const Bytes predicted = predict_input(history, tonight, 0);
+    Bytes actual = 0;
+    for (const JobInstance& inst : history) {
+      if (inst.day == tonight) actual = inst.input_bytes;
+    }
+    total_error += std::abs(predicted - actual) / actual;
+    // The whole pipeline triggers when the nightly data lands.
+    const Seconds arrival = static_cast<double>(i) * 10.0;
+    predicted_jobs.push_back(job_from_input(
+        static_cast<int>(i), pipeline[i].name, predicted, arrival));
+    actual_jobs.push_back(job_from_input(
+        static_cast<int>(i), pipeline[i].name, actual, arrival));
+  }
+  std::printf("Prediction error tonight: %.1f%% on average (paper: ~6.5%%)\n",
+              total_error / pipeline.size() * 100);
+
+  // 3. Plan from predictions; the lookup is keyed by job id, so the plan
+  //    transfers to the actual jobs.
+  PlannerConfig config;
+  config.objective = Objective::kAverageCompletionTime;
+  const Plan predicted_plan = plan_offline(predicted_jobs, cluster, config);
+  const PlanLookup predicted_lookup(predicted_jobs, predicted_plan);
+
+  // Oracle: what the plan would have been with perfect knowledge.
+  const Plan oracle_plan = plan_offline(actual_jobs, cluster, config);
+  const PlanLookup oracle_lookup(actual_jobs, oracle_plan);
+
+  SimConfig sim;
+  sim.cluster = cluster;
+  sim.cluster.background_core_fraction = 0.5;
+  sim.write_output_replicas = true;
+
+  // 4-5. Execute the actual workload three ways.
+  CorralPolicy from_prediction(&predicted_lookup);
+  const SimResult predicted_run =
+      run_simulation(actual_jobs, from_prediction, sim);
+  CorralPolicy from_oracle(&oracle_lookup);
+  const SimResult oracle_run = run_simulation(actual_jobs, from_oracle, sim);
+  YarnCapacityPolicy yarn;
+  const SimResult yarn_run = run_simulation(actual_jobs, yarn, sim);
+
+  std::printf("\n%-26s %14s %12s\n", "configuration", "avg completion",
+              "makespan");
+  std::printf("%-26s %13.0fs %11.0fs\n", "yarn-cs (no planning)",
+              yarn_run.avg_completion(), yarn_run.makespan);
+  std::printf("%-26s %13.0fs %11.0fs\n", "corral (predicted sizes)",
+              predicted_run.avg_completion(), predicted_run.makespan);
+  std::printf("%-26s %13.0fs %11.0fs\n", "corral (oracle sizes)",
+              oracle_run.avg_completion(), oracle_run.makespan);
+  std::printf("\nPlanning from predictions captures %.0f%% of the oracle's "
+              "improvement over Yarn-CS.\n",
+              100 * (yarn_run.avg_completion() -
+                     predicted_run.avg_completion()) /
+                  (yarn_run.avg_completion() - oracle_run.avg_completion()));
+  return 0;
+}

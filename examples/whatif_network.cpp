@@ -1,0 +1,65 @@
+// What-if example: how much does Corral buy on *your* network?
+//
+// Sweeps rack-to-core oversubscription and background core load on a fixed
+// workload, simulating Corral and Yarn-CS at each point. The output shows
+// the regimes where joint data/compute placement matters (heavily
+// oversubscribed, busy cores) and where it does not (full bisection).
+#include <cstdio>
+
+#include "corral/planner.h"
+#include "sim/simulator.h"
+#include "workload/workloads.h"
+
+using namespace corral;
+
+int main() {
+  Rng rng(5);
+  W1Config wconfig;
+  wconfig.num_jobs = 40;
+  wconfig.task_scale = 0.5;
+  const auto jobs = make_w1(wconfig, rng);
+
+  std::printf("Corral's makespan reduction vs Yarn-CS (W1 batch, 120 "
+              "machines):\n\n");
+  std::printf("%-18s", "oversubscription");
+  for (double background : {0.0, 0.3, 0.5, 0.65}) {
+    std::printf(" %11s", (std::to_string(static_cast<int>(background * 100)) +
+                          "% bg")
+                             .c_str());
+  }
+  std::printf("\n");
+
+  for (double oversubscription : {1.0, 2.0, 5.0, 10.0}) {
+    std::printf("%-18.0f", oversubscription);
+    for (double background : {0.0, 0.3, 0.5, 0.65}) {
+      ClusterConfig cluster;
+      cluster.racks = 4;
+      cluster.machines_per_rack = 30;
+      cluster.slots_per_machine = 8;
+      cluster.nic_bandwidth = 2.5 * kGbps;
+      cluster.oversubscription = oversubscription;
+
+      PlannerConfig planner_config;
+      const Plan plan = plan_offline(jobs, cluster, planner_config);
+      const PlanLookup lookup(jobs, plan);
+
+      SimConfig sim;
+      sim.cluster = cluster;
+      sim.cluster.background_core_fraction = background;
+      sim.write_output_replicas = true;
+
+      CorralPolicy corral(&lookup);
+      const SimResult corral_run = run_simulation(jobs, corral, sim);
+      YarnCapacityPolicy yarn;
+      const SimResult yarn_run = run_simulation(jobs, yarn, sim);
+
+      std::printf(" %10.1f%%",
+                  100 * reduction(yarn_run.makespan, corral_run.makespan));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nReading the table: gains grow down (more oversubscription)\n"
+              "and right (busier core) - 'plan when you can' pays exactly\n"
+              "when the core is the contended resource.\n");
+  return 0;
+}

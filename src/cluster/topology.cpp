@@ -1,0 +1,102 @@
+#include "cluster/topology.h"
+
+#include "util/check.h"
+
+namespace corral {
+
+ClusterConfig ClusterConfig::paper_testbed() {
+  ClusterConfig config;
+  config.racks = 7;
+  config.machines_per_rack = 30;
+  config.slots_per_machine = 8;
+  config.nic_bandwidth = 10 * kGbps;
+  config.oversubscription = 5.0;
+  return config;
+}
+
+ClusterConfig ClusterConfig::paper_simulation() {
+  ClusterConfig config;
+  config.racks = 50;
+  config.machines_per_rack = 40;
+  config.slots_per_machine = 20;
+  config.nic_bandwidth = 1 * kGbps;
+  config.oversubscription = 5.0;
+  return config;
+}
+
+ClusterTopology::ClusterTopology(ClusterConfig config) : config_(config) {
+  require(config_.racks > 0, "ClusterTopology: racks must be positive");
+  require(config_.machines_per_rack > 0,
+          "ClusterTopology: machines_per_rack must be positive");
+  require(config_.slots_per_machine > 0,
+          "ClusterTopology: slots_per_machine must be positive");
+  require(config_.nic_bandwidth > 0,
+          "ClusterTopology: nic_bandwidth must be positive");
+  require(config_.oversubscription >= 1.0,
+          "ClusterTopology: oversubscription must be >= 1");
+  require(config_.background_core_fraction >= 0.0 &&
+              config_.background_core_fraction < 1.0,
+          "ClusterTopology: background fraction must be in [0, 1)");
+  up_.assign(static_cast<std::size_t>(machines()), true);
+  healthy_per_rack_.assign(static_cast<std::size_t>(racks()),
+                           config_.machines_per_rack);
+}
+
+int ClusterTopology::rack_of(int machine) const {
+  require(machine >= 0 && machine < machines(),
+          "rack_of: machine id out of range");
+  return machine / config_.machines_per_rack;
+}
+
+std::vector<int> ClusterTopology::machines_in_rack(int rack) const {
+  require(rack >= 0 && rack < racks(), "machines_in_rack: rack out of range");
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(config_.machines_per_rack));
+  const int first = first_machine_of_rack(rack);
+  for (int m = first; m < first + config_.machines_per_rack; ++m) {
+    ids.push_back(m);
+  }
+  return ids;
+}
+
+int ClusterTopology::first_machine_of_rack(int rack) const {
+  require(rack >= 0 && rack < racks(),
+          "first_machine_of_rack: rack out of range");
+  return rack * config_.machines_per_rack;
+}
+
+void ClusterTopology::fail_machine(int machine) {
+  require(machine >= 0 && machine < machines(),
+          "fail_machine: machine id out of range");
+  if (up_[static_cast<std::size_t>(machine)]) {
+    up_[static_cast<std::size_t>(machine)] = false;
+    --healthy_per_rack_[static_cast<std::size_t>(rack_of(machine))];
+  }
+}
+
+void ClusterTopology::restore_machine(int machine) {
+  require(machine >= 0 && machine < machines(),
+          "restore_machine: machine id out of range");
+  if (!up_[static_cast<std::size_t>(machine)]) {
+    up_[static_cast<std::size_t>(machine)] = true;
+    ++healthy_per_rack_[static_cast<std::size_t>(rack_of(machine))];
+  }
+}
+
+bool ClusterTopology::is_up(int machine) const {
+  require(machine >= 0 && machine < machines(),
+          "is_up: machine id out of range");
+  return up_[static_cast<std::size_t>(machine)];
+}
+
+int ClusterTopology::healthy_in_rack(int rack) const {
+  require(rack >= 0 && rack < racks(), "healthy_in_rack: rack out of range");
+  return healthy_per_rack_[static_cast<std::size_t>(rack)];
+}
+
+bool ClusterTopology::rack_usable(int rack, double min_fraction) const {
+  return healthy_in_rack(rack) >=
+         min_fraction * static_cast<double>(config_.machines_per_rack);
+}
+
+}  // namespace corral

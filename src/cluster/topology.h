@@ -1,0 +1,90 @@
+// Cluster topology model.
+//
+// The paper's clusters (§6.1) are folded-CLOS: full bisection bandwidth
+// inside a rack, and a single oversubscribed uplink from each rack to a
+// non-blocking core. A topology is therefore fully described by the rack
+// count, machines per rack, slots per machine, per-machine NIC bandwidth and
+// the rack-to-core oversubscription ratio V.
+//
+// Machines are identified by dense integer ids in [0, total_machines());
+// racks by ids in [0, racks). Machine m lives in rack m / machines_per_rack.
+#ifndef CORRAL_CLUSTER_TOPOLOGY_H_
+#define CORRAL_CLUSTER_TOPOLOGY_H_
+
+#include <vector>
+
+#include "util/units.h"
+
+namespace corral {
+
+struct ClusterConfig {
+  int racks = 7;
+  int machines_per_rack = 30;
+  int slots_per_machine = 8;
+  BytesPerSec nic_bandwidth = 10 * kGbps;
+  // V in the paper: the ratio of intra-rack aggregate bandwidth to the
+  // rack's uplink to the core. V = 5 with 30 machines and 10 Gbps NICs
+  // yields the paper's 60 Gbps per-rack core connection.
+  double oversubscription = 5.0;
+
+  // Fraction of a rack uplink consumed by background transfers (§6.1 emulates
+  // "up to 50% of the core bandwidth usage"). Modelled as a capacity
+  // reduction on rack up/down links; see DESIGN.md.
+  double background_core_fraction = 0.0;
+
+  int total_machines() const { return racks * machines_per_rack; }
+  int total_slots() const { return total_machines() * slots_per_machine; }
+  int slots_per_rack() const { return machines_per_rack * slots_per_machine; }
+
+  // Raw uplink capacity of one rack to the core (before background traffic).
+  BytesPerSec rack_uplink_bandwidth() const {
+    return machines_per_rack * nic_bandwidth / oversubscription;
+  }
+
+  // Uplink capacity left for foreground jobs.
+  BytesPerSec effective_rack_uplink() const {
+    return rack_uplink_bandwidth() * (1.0 - background_core_fraction);
+  }
+
+  // The paper's 210-machine evaluation testbed (§6.1): 7 racks x 30
+  // machines, 10 Gbps NICs, 5:1 oversubscription.
+  static ClusterConfig paper_testbed();
+
+  // The 2000-machine simulation topology used for Fig 14 (§6.6): 50 racks x
+  // 40 machines, 1 Gbps NICs, 20 slots per machine, 5:1 oversubscription.
+  static ClusterConfig paper_simulation();
+};
+
+// A concrete cluster: the static configuration plus dynamic machine health.
+// Corral's scheduler falls back to unconstrained placement when too many
+// machines of an assigned rack have failed (§3.1, §7).
+class ClusterTopology {
+ public:
+  explicit ClusterTopology(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+
+  int racks() const { return config_.racks; }
+  int machines() const { return config_.machines_per_rack * config_.racks; }
+  int rack_of(int machine) const;
+  // Machine ids of rack r, in increasing order.
+  std::vector<int> machines_in_rack(int rack) const;
+  int first_machine_of_rack(int rack) const;
+
+  void fail_machine(int machine);
+  void restore_machine(int machine);
+  bool is_up(int machine) const;
+  // Number of healthy machines in `rack`.
+  int healthy_in_rack(int rack) const;
+  // True when at least `min_fraction` of the rack's machines are healthy.
+  bool rack_usable(int rack, double min_fraction) const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<bool> up_;
+  std::vector<int> healthy_per_rack_;
+};
+
+}  // namespace corral
+
+#endif  // CORRAL_CLUSTER_TOPOLOGY_H_

@@ -1,0 +1,92 @@
+#include "corral/dataset_lp.h"
+
+#include <algorithm>
+
+#include "lp/simplex.h"
+#include "util/check.h"
+
+namespace corral {
+
+DatasetPlacementResult place_datasets(
+    const DatasetPlacementProblem& problem) {
+  const int D = static_cast<int>(problem.datasets.size());
+  const int R = problem.num_racks;
+  require(R >= 1, "place_datasets: num_racks must be >= 1");
+  require(problem.reads.size() == problem.job_racks.size(),
+          "place_datasets: reads/job_racks length mismatch");
+  require(problem.balance_slack >= 0,
+          "place_datasets: balance_slack must be non-negative");
+  Bytes total = 0;
+  for (const Dataset& dataset : problem.datasets) {
+    require(dataset.bytes >= 0, "place_datasets: negative dataset size");
+    total += dataset.bytes;
+  }
+  for (const auto& racks : problem.job_racks) {
+    for (int r : racks) {
+      require(r >= 0 && r < R, "place_datasets: rack index out of range");
+    }
+  }
+
+  DatasetPlacementResult result;
+  result.fraction.assign(static_cast<std::size_t>(D),
+                         std::vector<double>(static_cast<std::size_t>(R),
+                                             0.0));
+  if (D == 0) {
+    result.optimal = true;
+    return result;
+  }
+
+  // Objective: maximize covered bytes. Coefficient of x_{d,r} is S_d times
+  // the number of jobs reading d whose rack set contains r.
+  const auto x_index = [R](int d, int r) { return d * R + r; };
+  std::vector<double> gain(static_cast<std::size_t>(D * R), 0.0);
+  Bytes demanded = 0;  // total bytes jobs want to read
+  for (std::size_t j = 0; j < problem.reads.size(); ++j) {
+    for (int d : problem.reads[j]) {
+      require(d >= 0 && d < D, "place_datasets: dataset index out of range");
+      demanded += problem.datasets[static_cast<std::size_t>(d)].bytes;
+      for (int r : problem.job_racks[j]) {
+        gain[static_cast<std::size_t>(x_index(d, r))] +=
+            problem.datasets[static_cast<std::size_t>(d)].bytes;
+      }
+    }
+  }
+
+  LpProblem lp(D * R);
+  lp.maximize(gain);
+  // Each dataset fully placed.
+  for (int d = 0; d < D; ++d) {
+    std::vector<std::pair<int, double>> row;
+    for (int r = 0; r < R; ++r) row.emplace_back(x_index(d, r), 1.0);
+    lp.add_constraint_sparse(row, Relation::kEqual, 1.0);
+  }
+  // Rack capacity: no rack exceeds its balanced share by more than the
+  // slack factor.
+  const double capacity = total / R * (1.0 + problem.balance_slack);
+  for (int r = 0; r < R; ++r) {
+    std::vector<std::pair<int, double>> row;
+    for (int d = 0; d < D; ++d) {
+      row.emplace_back(x_index(d, r),
+                       problem.datasets[static_cast<std::size_t>(d)].bytes);
+    }
+    lp.add_constraint_sparse(row, Relation::kLessEqual, capacity);
+  }
+
+  const LpSolution solution = lp.solve();
+  if (!solution.optimal()) return result;  // optimal == false
+
+  result.optimal = true;
+  for (int d = 0; d < D; ++d) {
+    for (int r = 0; r < R; ++r) {
+      result.fraction[static_cast<std::size_t>(d)]
+                     [static_cast<std::size_t>(r)] =
+          std::clamp(solution.x[static_cast<std::size_t>(x_index(d, r))],
+                     0.0, 1.0);
+    }
+  }
+  result.expected_cross_rack_bytes =
+      std::max(0.0, demanded - solution.objective);
+  return result;
+}
+
+}  // namespace corral

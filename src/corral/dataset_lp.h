@@ -1,0 +1,57 @@
+// Dataset-to-rack placement for shared datasets (§7 "Data-job
+// dependencies").
+//
+// Corral's planner assumes each job reads its own dataset. When the
+// relation between datasets and jobs is a bipartite graph (several jobs
+// read the same dataset), the paper suggests: "This can be incorporated
+// into Corral by using the schedule of the offline planner and formulating
+// a simple LP with variables representing what fraction of each dataset is
+// allocated to each rack and the cost function capturing the amount of
+// cross-rack data transferred." This module is that LP, solved with the
+// bundled simplex.
+//
+// Variables x_{d,r}: fraction of dataset d stored on rack r. A job j with
+// assigned racks R_j reading dataset d fetches S_d * (1 - sum_{r in R_j}
+// x_{d,r}) bytes across racks. Rack capacities keep the placement balanced.
+#ifndef CORRAL_CORRAL_DATASET_LP_H_
+#define CORRAL_CORRAL_DATASET_LP_H_
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace corral {
+
+struct Dataset {
+  std::string name;
+  Bytes bytes = 0;
+};
+
+struct DatasetPlacementProblem {
+  std::vector<Dataset> datasets;
+  // reads[j] = indices of the datasets job j consumes.
+  std::vector<std::vector<int>> reads;
+  // job_racks[j] = the rack set R_j the offline planner assigned to job j.
+  std::vector<std::vector<int>> job_racks;
+  int num_racks = 1;
+  // Every rack may hold at most (1 + balance_slack) * (total bytes / racks);
+  // 0 forces perfect balance, larger values trade balance for locality.
+  double balance_slack = 0.25;
+};
+
+struct DatasetPlacementResult {
+  bool optimal = false;
+  // fraction[d][r]: share of dataset d placed on rack r (rows sum to 1).
+  std::vector<std::vector<double>> fraction;
+  // Objective value: total bytes jobs must read across racks.
+  Bytes expected_cross_rack_bytes = 0;
+};
+
+// Solves the placement LP. Throws std::invalid_argument on malformed input
+// (index out of range, negative sizes, mismatched vector lengths).
+DatasetPlacementResult place_datasets(const DatasetPlacementProblem& problem);
+
+}  // namespace corral
+
+#endif  // CORRAL_CORRAL_DATASET_LP_H_

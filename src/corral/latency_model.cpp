@@ -1,0 +1,156 @@
+#include "corral/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jobs/dag.h"
+#include "util/check.h"
+
+namespace corral {
+
+LatencyModelParams LatencyModelParams::from_cluster(
+    const ClusterConfig& config) {
+  LatencyModelParams params;
+  params.machines_per_rack = config.machines_per_rack;
+  params.slots_per_machine = config.slots_per_machine;
+  params.nic_bandwidth = config.nic_bandwidth;
+  params.oversubscription = config.oversubscription;
+  params.alpha = params.default_alpha();
+  return params;
+}
+
+double LatencyModelParams::default_alpha() const {
+  const BytesPerSec uplink =
+      machines_per_rack * nic_bandwidth / oversubscription;
+  return 1.0 / uplink;
+}
+
+StageLatency stage_latency(const MapReduceSpec& stage, int racks,
+                           const LatencyModelParams& params) {
+  require(racks >= 1, "stage_latency: racks must be >= 1");
+  require(params.machines_per_rack >= 1 && params.slots_per_machine >= 1,
+          "stage_latency: invalid model params");
+  require(params.oversubscription >= 1.0,
+          "stage_latency: oversubscription must be >= 1");
+  stage.validate();
+
+  const double r = racks;
+  const double k = params.machines_per_rack;
+  const double slots = r * k * params.slots_per_machine;
+  const double B = params.nic_bandwidth;
+  const double V = params.oversubscription;
+
+  StageLatency out;
+
+  // Map stage: w_map waves, each processing one task's input at B_M.
+  const double map_waves = std::ceil(stage.num_maps / slots);
+  out.map = map_waves * (stage.input_bytes / stage.num_maps) / stage.map_rate;
+
+  if (stage.num_reduces == 0 || stage.shuffle_bytes <= 0) {
+    // Map-only stage (e.g., an extract with no aggregation).
+    if (stage.num_reduces > 0) {
+      const double reduce_waves = std::ceil(stage.num_reduces / slots);
+      out.reduce = reduce_waves * (stage.output_bytes / stage.num_reduces) /
+                   stage.reduce_rate;
+    }
+    return out;
+  }
+
+  const double reduce_waves = std::ceil(stage.num_reduces / slots);
+
+  // Shuffle (§4.3). D_core is the shuffle data a single machine sends
+  // across the core over the whole shuffle; dividing by the per-machine
+  // core share B/V gives the cross-core time. D_local is the per-machine
+  // data that stays within the rack, moved at the residual NIC bandwidth
+  // B - B/V. We evaluate both on a per-wave basis and multiply by the wave
+  // count, which is equivalent to using the whole-shuffle totals (each wave
+  // moves 1/w of the data); this avoids double-counting the wave factor.
+  if (racks > 1) {
+    const double core_per_machine =
+        stage.shuffle_bytes / (r * k) * (r - 1.0) / r;
+    const double local_per_machine = stage.shuffle_bytes / (r * k) / r;
+    const Seconds core_time = core_per_machine / (B / V);
+    const Seconds local_time =
+        local_per_machine * ((k - 1.0) / k) / (B - B / V);
+    out.shuffle = std::max(core_time, local_time);
+  } else {
+    // Single rack: no data crosses the core; everything moves inside the
+    // rack at full NIC speed.
+    const double local_per_machine = stage.shuffle_bytes / k;
+    out.shuffle = local_per_machine * ((k - 1.0) / k) / B;
+  }
+
+  // Reduce stage: w_reduce waves, each processing one task's output at B_R.
+  out.reduce = reduce_waves * (stage.output_bytes / stage.num_reduces) /
+               stage.reduce_rate;
+  return out;
+}
+
+Seconds job_latency(const JobSpec& job, int racks,
+                    const LatencyModelParams& params) {
+  require(!job.stages.empty(), "job_latency: job has no stages");
+  if (job.is_map_reduce()) {
+    return stage_latency(job.stages.front(), racks, params).total();
+  }
+  std::vector<double> weights;
+  weights.reserve(job.stages.size());
+  for (const MapReduceSpec& stage : job.stages) {
+    weights.push_back(stage_latency(stage, racks, params).total());
+  }
+  return critical_path(static_cast<int>(job.stages.size()), job.edges,
+                       weights)
+      .length;
+}
+
+Seconds job_latency_with_penalty(const JobSpec& job, int racks,
+                                 const LatencyModelParams& params) {
+  return job_latency(job, racks, params) +
+         params.alpha * job.total_input() / racks;
+}
+
+ResponseFunction::ResponseFunction(const JobSpec& job, int max_racks,
+                                   const LatencyModelParams& params)
+    : arrival_(job.arrival) {
+  require(max_racks >= 1, "ResponseFunction: max_racks must be >= 1");
+  latency_.reserve(static_cast<std::size_t>(max_racks));
+  for (int r = 1; r <= max_racks; ++r) {
+    latency_.push_back(job_latency_with_penalty(job, r, params));
+  }
+}
+
+ResponseFunction::ResponseFunction(std::vector<Seconds> latency_by_racks,
+                                   Seconds arrival)
+    : latency_(std::move(latency_by_racks)), arrival_(arrival) {
+  require(!latency_.empty(), "ResponseFunction: empty latency vector");
+  for (Seconds l : latency_) {
+    require(l >= 0, "ResponseFunction: negative latency");
+  }
+}
+
+Seconds ResponseFunction::at(int racks) const {
+  require(racks >= 1 && racks <= max_racks(),
+          "ResponseFunction::at: racks out of range");
+  return latency_[static_cast<std::size_t>(racks - 1)];
+}
+
+Seconds ResponseFunction::min_latency() const {
+  return *std::min_element(latency_.begin(), latency_.end());
+}
+
+int ResponseFunction::best_racks() const {
+  const auto it = std::min_element(latency_.begin(), latency_.end());
+  return static_cast<int>(it - latency_.begin()) + 1;
+}
+
+std::vector<ResponseFunction> build_response_functions(
+    std::span<const JobSpec> jobs, int max_racks,
+    const LatencyModelParams& params) {
+  std::vector<ResponseFunction> out;
+  out.reserve(jobs.size());
+  for (const JobSpec& job : jobs) {
+    out.emplace_back(job, max_racks, params);
+  }
+  return out;
+}
+
+}  // namespace corral

@@ -1,0 +1,90 @@
+// Latency response functions (§4.3, §4.5).
+//
+// The planner predicts the latency L_j(r) of job j when allocated r racks.
+// For a MapReduce stage the model is the sum of a map stage, a shuffle stage
+// and a reduce stage; for a DAG it is the sum of stage latencies along the
+// critical path. These functions are deliberately simple proxies: "we
+// tradeoff accurate (absolute) latency values for simpler and practical
+// planning algorithms" (§3.3).
+#ifndef CORRAL_CORRAL_LATENCY_MODEL_H_
+#define CORRAL_CORRAL_LATENCY_MODEL_H_
+
+#include <vector>
+
+#include "cluster/topology.h"
+#include "jobs/job.h"
+
+namespace corral {
+
+struct LatencyModelParams {
+  int machines_per_rack = 30;   // k
+  int slots_per_machine = 8;    // tasks running concurrently per machine
+  BytesPerSec nic_bandwidth = 10 * kGbps;  // B
+  double oversubscription = 5.0;           // V
+
+  // Data-imbalance tradeoff coefficient (§4.5). The penalty added to L_j(r)
+  // is alpha * D_I / r. The paper sets alpha to the inverse of the
+  // rack-to-core bandwidth so the penalty approximates the time to upload
+  // the job's input into a rack.
+  double alpha = 0.0;
+
+  static LatencyModelParams from_cluster(const ClusterConfig& config);
+
+  // alpha = 1 / (rack uplink bandwidth), the paper's default (§4.5).
+  double default_alpha() const;
+
+  int tasks_per_rack() const { return machines_per_rack * slots_per_machine; }
+};
+
+// Latency of one MapReduce stage on r racks (§4.3), without the imbalance
+// penalty. Breaks out the three phases for tests and diagnostics.
+struct StageLatency {
+  Seconds map = 0;
+  Seconds shuffle = 0;
+  Seconds reduce = 0;
+  Seconds total() const { return map + shuffle + reduce; }
+};
+
+StageLatency stage_latency(const MapReduceSpec& stage, int racks,
+                           const LatencyModelParams& params);
+
+// Latency of a whole job on r racks: single stage for MapReduce, critical
+// path over stages for DAGs (§4.3 "General DAGs"). No imbalance penalty.
+Seconds job_latency(const JobSpec& job, int racks,
+                    const LatencyModelParams& params);
+
+// L'_j(r) = L_j(r) + alpha * D_I / r (§4.5).
+Seconds job_latency_with_penalty(const JobSpec& job, int racks,
+                                 const LatencyModelParams& params);
+
+// Precomputed response function L'_j(r) for r = 1..max_racks, as used by the
+// planner and the LP bounds.
+class ResponseFunction {
+ public:
+  ResponseFunction(const JobSpec& job, int max_racks,
+                   const LatencyModelParams& params);
+
+  // For direct construction in tests and synthetic studies.
+  ResponseFunction(std::vector<Seconds> latency_by_racks, Seconds arrival);
+
+  int max_racks() const { return static_cast<int>(latency_.size()); }
+  // r must be in [1, max_racks()].
+  Seconds at(int racks) const;
+  Seconds arrival() const { return arrival_; }
+  Seconds min_latency() const;
+  // Rack count attaining min_latency (smallest such r).
+  int best_racks() const;
+
+ private:
+  std::vector<Seconds> latency_;  // latency_[r-1] = L'(r)
+  Seconds arrival_ = 0;
+};
+
+// Builds response functions for a batch of jobs.
+std::vector<ResponseFunction> build_response_functions(
+    std::span<const JobSpec> jobs, int max_racks,
+    const LatencyModelParams& params);
+
+}  // namespace corral
+
+#endif  // CORRAL_CORRAL_LATENCY_MODEL_H_

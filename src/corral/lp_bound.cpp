@@ -1,0 +1,245 @@
+#include "corral/lp_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "lp/simplex.h"
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Lower convex envelope of the points {(L_j(r), W_j(r) = r * L_j(r))}: the
+// minimum rack-seconds of work a job can be "fractionally" completed with,
+// as a function of its latency budget T. envelope(T) is non-increasing and
+// convex; +inf below the minimum achievable latency.
+class WorkEnvelope {
+ public:
+  WorkEnvelope(const ResponseFunction& job, int num_racks) {
+    std::vector<std::pair<double, double>> points;  // (latency, work)
+    points.reserve(static_cast<std::size_t>(num_racks));
+    for (int r = 1; r <= num_racks; ++r) {
+      points.emplace_back(job.at(r), static_cast<double>(r) * job.at(r));
+    }
+    std::sort(points.begin(), points.end());
+    // Keep only points on the lower-left convex boundary: strictly
+    // decreasing work as latency increases, and convex turns.
+    for (const auto& p : points) {
+      if (!hull_.empty() && p.second >= hull_.back().second) continue;
+      while (hull_.size() >= 2 && !convex_turn(hull_[hull_.size() - 2],
+                                               hull_.back(), p)) {
+        hull_.pop_back();
+      }
+      hull_.push_back(p);
+    }
+    ensure(!hull_.empty(), "WorkEnvelope: no points");
+  }
+
+  double min_latency() const { return hull_.front().first; }
+
+  // Minimum work achievable with expected latency <= budget.
+  double work(double budget) const {
+    if (budget < hull_.front().first) return kInf;
+    if (budget >= hull_.back().first) return hull_.back().second;
+    // Find segment [i, i+1] with L_i <= budget < L_{i+1} and interpolate.
+    const auto it = std::upper_bound(
+        hull_.begin(), hull_.end(), budget,
+        [](double b, const std::pair<double, double>& p) {
+          return b < p.first;
+        });
+    const auto& hi = *it;
+    const auto& lo = *(it - 1);
+    const double t = (budget - lo.first) / (hi.first - lo.first);
+    return lo.second + t * (hi.second - lo.second);
+  }
+
+ private:
+  // True when b lies strictly below the segment a->c, i.e. keeping b
+  // preserves the lower (convex) envelope. With cross = (b-a) x (c-a) in
+  // the (L, W) plane, b below the chord corresponds to a positive cross
+  // product; b on or above it must be popped.
+  static bool convex_turn(const std::pair<double, double>& a,
+                          const std::pair<double, double>& b,
+                          const std::pair<double, double>& c) {
+    const double cross = (b.first - a.first) * (c.second - a.second) -
+                         (b.second - a.second) * (c.first - a.first);
+    return cross > 0;
+  }
+
+  std::vector<std::pair<double, double>> hull_;
+};
+
+}  // namespace
+
+Seconds lp_batch_makespan_bound(std::span<const ResponseFunction> jobs,
+                                int num_racks) {
+  require(num_racks >= 1, "lp_batch_makespan_bound: num_racks must be >= 1");
+  if (jobs.empty()) return 0;
+
+  std::vector<WorkEnvelope> envelopes;
+  envelopes.reserve(jobs.size());
+  double lo = 0;  // max over jobs of minimum latency: T below is infeasible
+  double total_min_work = 0;
+  for (const ResponseFunction& job : jobs) {
+    require(job.max_racks() >= num_racks,
+            "lp_batch_makespan_bound: response function too narrow");
+    envelopes.emplace_back(job, num_racks);
+    lo = std::max(lo, envelopes.back().min_latency());
+    total_min_work += envelopes.back().work(kInf);
+  }
+  // Aggregate capacity alone forces T >= total work / R.
+  lo = std::max(lo, total_min_work / num_racks);
+
+  const auto feasible = [&](double T) {
+    double work = 0;
+    for (const WorkEnvelope& env : envelopes) {
+      const double w = env.work(T);
+      if (w == kInf) return false;
+      work += w;
+      if (work > T * num_racks * (1 + 1e-12)) return false;
+    }
+    return work <= T * num_racks * (1 + 1e-12);
+  };
+
+  if (feasible(lo)) return lo;
+  double hi = lo;
+  while (!feasible(hi)) hi *= 2;
+  for (int iter = 0; iter < 100 && (hi - lo) > 1e-9 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (feasible(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+Seconds lp_batch_makespan_bound_simplex(std::span<const ResponseFunction> jobs,
+                                        int num_racks) {
+  require(num_racks >= 1,
+          "lp_batch_makespan_bound_simplex: num_racks must be >= 1");
+  const int J = static_cast<int>(jobs.size());
+  if (J == 0) return 0;
+
+  // Variables: x_{jr} for j in [0,J), r in [1,num_racks]; plus T last.
+  const int num_vars = J * num_racks + 1;
+  const int t_var = J * num_racks;
+  const auto x_index = [&](int j, int r) { return j * num_racks + (r - 1); };
+
+  LpProblem lp(num_vars);
+  std::vector<double> objective(static_cast<std::size_t>(num_vars), 0.0);
+  objective[static_cast<std::size_t>(t_var)] = 1.0;
+  lp.minimize(objective);
+
+  // (2) sum_r x_jr = 1.
+  for (int j = 0; j < J; ++j) {
+    std::vector<std::pair<int, double>> row;
+    for (int r = 1; r <= num_racks; ++r) row.emplace_back(x_index(j, r), 1.0);
+    lp.add_constraint_sparse(row, Relation::kEqual, 1.0);
+  }
+  // (3) sum_r x_jr L_j(r) - T <= 0.
+  for (int j = 0; j < J; ++j) {
+    std::vector<std::pair<int, double>> row;
+    for (int r = 1; r <= num_racks; ++r) {
+      row.emplace_back(x_index(j, r), jobs[static_cast<std::size_t>(j)].at(r));
+    }
+    row.emplace_back(t_var, -1.0);
+    lp.add_constraint_sparse(row, Relation::kLessEqual, 0.0);
+  }
+  // (4) sum_{j,r} x_jr L_j(r) r - T R <= 0.
+  {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < J; ++j) {
+      for (int r = 1; r <= num_racks; ++r) {
+        row.emplace_back(x_index(j, r),
+                         jobs[static_cast<std::size_t>(j)].at(r) * r);
+      }
+    }
+    row.emplace_back(t_var, -static_cast<double>(num_racks));
+    lp.add_constraint_sparse(row, Relation::kLessEqual, 0.0);
+  }
+
+  const LpSolution solution = lp.solve();
+  ensure(solution.optimal(), "lp_batch_makespan_bound_simplex: LP not solved");
+  return solution.objective;
+}
+
+Seconds online_avg_completion_bound(std::span<const ResponseFunction> jobs,
+                                    int num_racks) {
+  require(num_racks >= 1,
+          "online_avg_completion_bound: num_racks must be >= 1");
+  const std::size_t J = jobs.size();
+  if (J == 0) return 0;
+
+  // Bound 1: every job needs at least its minimum latency.
+  double sum_min_latency = 0;
+  for (const ResponseFunction& job : jobs) {
+    sum_min_latency += job.min_latency();
+  }
+
+  // Bound 2: preemptive SRPT on one machine of speed `num_racks`, with
+  // processing volume min_r r * L_j(r) rack-seconds per job. SRPT minimizes
+  // the total completion time of this relaxation, so its value bounds any
+  // rack-granular schedule from below.
+  struct Item {
+    double arrival;
+    double remaining;
+  };
+  std::vector<Item> items;
+  items.reserve(J);
+  for (const ResponseFunction& job : jobs) {
+    double volume = kInf;
+    for (int r = 1; r <= num_racks; ++r) {
+      volume = std::min(volume, static_cast<double>(r) * job.at(r));
+    }
+    items.push_back({job.arrival(), volume});
+  }
+  std::vector<std::size_t> by_arrival(J);
+  for (std::size_t i = 0; i < J; ++i) by_arrival[i] = i;
+  std::sort(by_arrival.begin(), by_arrival.end(), [&](auto a, auto b) {
+    return items[a].arrival < items[b].arrival;
+  });
+
+  const double speed = num_racks;
+  double now = 0;
+  double srpt_flow_total = 0;
+  std::size_t next_arrival = 0;
+  std::vector<std::size_t> active;
+  std::size_t finished = 0;
+  while (finished < J) {
+    if (active.empty()) {
+      ensure(next_arrival < J, "SRPT bound: no active or pending job");
+      now = std::max(now, items[by_arrival[next_arrival]].arrival);
+    }
+    while (next_arrival < J &&
+           items[by_arrival[next_arrival]].arrival <= now + 1e-12) {
+      active.push_back(by_arrival[next_arrival]);
+      ++next_arrival;
+    }
+    // Shortest remaining processing time first.
+    const auto it = std::min_element(
+        active.begin(), active.end(), [&](auto a, auto b) {
+          return items[a].remaining < items[b].remaining;
+        });
+    const std::size_t job = *it;
+    const double finish_at = now + items[job].remaining / speed;
+    const double next_at = next_arrival < J
+                               ? items[by_arrival[next_arrival]].arrival
+                               : kInf;
+    if (finish_at <= next_at) {
+      now = finish_at;
+      srpt_flow_total += now - items[job].arrival;
+      active.erase(it);
+      ++finished;
+    } else {
+      items[job].remaining -= (next_at - now) * speed;
+      now = next_at;
+    }
+  }
+
+  return std::max(sum_min_latency, srpt_flow_total) /
+         static_cast<double>(J);
+}
+
+}  // namespace corral

@@ -1,0 +1,45 @@
+// LP relaxation lower bounds (Appendix A).
+//
+// LP-Batch bounds the makespan of *any* schedule that assigns resources at
+// rack/job granularity; the paper uses it to show the two-phase heuristic is
+// within ~3% of optimal in the batch case and ~15% online. We solve
+// LP-Batch two ways:
+//
+//  * a closed-form reduction: for a fixed makespan T the LP decomposes per
+//    job into a 2-constraint LP whose value is the lower convex envelope of
+//    the points (L_j(r), r * L_j(r)); feasibility of T is then a single
+//    aggregate capacity check, and the bound is found by binary search;
+//  * the generic simplex solver on the LP as written in the appendix, used
+//    to cross-validate the reduction on small instances.
+//
+// The paper omits the full online formulation ("we omit the full description
+// for brevity"); we use a valid-but-looser relaxation: the maximum of the
+// minimum-latency bound and a preemptive SRPT bound on an aggregate
+// capacity of R rack-units (see DESIGN.md).
+#ifndef CORRAL_CORRAL_LP_BOUND_H_
+#define CORRAL_CORRAL_LP_BOUND_H_
+
+#include <span>
+
+#include "corral/latency_model.h"
+
+namespace corral {
+
+// Lower bound on the makespan of any rack-granular schedule (LP-Batch).
+// Solved by the convex-envelope reduction + binary search; scales to
+// hundreds of jobs and racks.
+Seconds lp_batch_makespan_bound(std::span<const ResponseFunction> jobs,
+                                int num_racks);
+
+// Same bound computed with the dense simplex solver; intended for small
+// instances (J * R up to a few thousand variables).
+Seconds lp_batch_makespan_bound_simplex(std::span<const ResponseFunction> jobs,
+                                        int num_racks);
+
+// Lower bound on the average completion (flow) time in the online scenario.
+Seconds online_avg_completion_bound(std::span<const ResponseFunction> jobs,
+                                    int num_racks);
+
+}  // namespace corral
+
+#endif  // CORRAL_CORRAL_LP_BOUND_H_

@@ -1,0 +1,275 @@
+#include "corral/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+// Reusable buffers for one prioritization pass, so the provisioning loop's
+// J*R evaluations do not allocate.
+struct Scratch {
+  std::vector<int> order;        // job indices in scheduling order
+  std::vector<Seconds> finish;   // F_i per rack
+  std::vector<int> rack_order;   // rack indices sorted by F_i
+};
+
+// Figure 4: schedules jobs in priority order onto racks, filling `plan`
+// rack sets, start times and priorities. `initial_finish` (when non-null)
+// seeds the per-rack availability F_i, which lets rolling-horizon planning
+// chain windows. Returns {makespan, avg completion}; `final_finish` (when
+// non-null) receives the resulting F_i.
+std::pair<Seconds, Seconds> run_prioritization(
+    std::span<const ResponseFunction> jobs, std::span<const int> racks_per_job,
+    int num_racks, const PlannerConfig& config, Scratch& scratch, Plan* plan,
+    const std::vector<Seconds>* initial_finish = nullptr,
+    std::vector<Seconds>* final_finish = nullptr, int priority_base = 0) {
+  const std::size_t J = jobs.size();
+
+  scratch.order.resize(J);
+  std::iota(scratch.order.begin(), scratch.order.end(), 0);
+  const auto batch_less = [&](int a, int b) {
+    const auto sa = static_cast<std::size_t>(a);
+    const auto sb = static_cast<std::size_t>(b);
+    // Widest-job first avoids "holes" in the schedule; ties by LPT.
+    if (config.widest_job_first && racks_per_job[sa] != racks_per_job[sb]) {
+      return racks_per_job[sa] > racks_per_job[sb];
+    }
+    const Seconds la = jobs[sa].at(racks_per_job[sa]);
+    const Seconds lb = jobs[sb].at(racks_per_job[sb]);
+    if (la != lb) return la > lb;
+    return a < b;
+  };
+  const auto online_less = [&](int a, int b) {
+    const Seconds aa = jobs[static_cast<std::size_t>(a)].arrival();
+    const Seconds ab = jobs[static_cast<std::size_t>(b)].arrival();
+    if (aa != ab) return aa < ab;
+    return batch_less(a, b);
+  };
+  if (config.objective == Objective::kMakespan) {
+    std::sort(scratch.order.begin(), scratch.order.end(), batch_less);
+  } else {
+    std::sort(scratch.order.begin(), scratch.order.end(), online_less);
+  }
+
+  if (initial_finish != nullptr) {
+    require(initial_finish->size() == static_cast<std::size_t>(num_racks),
+            "run_prioritization: initial finish size mismatch");
+    scratch.finish = *initial_finish;
+  } else {
+    scratch.finish.assign(static_cast<std::size_t>(num_racks), 0.0);
+  }
+  scratch.rack_order.resize(static_cast<std::size_t>(num_racks));
+
+  Seconds makespan = 0;
+  Seconds total_flow = 0;
+  int priority = priority_base;
+  for (int j : scratch.order) {
+    const auto sj = static_cast<std::size_t>(j);
+    const int rj = racks_per_job[sj];
+    const Seconds latency = jobs[sj].at(rj);
+
+    // Pick the r_j racks that free up earliest.
+    std::iota(scratch.rack_order.begin(), scratch.rack_order.end(), 0);
+    std::partial_sort(
+        scratch.rack_order.begin(), scratch.rack_order.begin() + rj,
+        scratch.rack_order.end(), [&](int a, int b) {
+          const Seconds fa = scratch.finish[static_cast<std::size_t>(a)];
+          const Seconds fb = scratch.finish[static_cast<std::size_t>(b)];
+          if (fa != fb) return fa < fb;
+          return a < b;
+        });
+
+    Seconds start = jobs[sj].arrival();
+    for (int i = 0; i < rj; ++i) {
+      start = std::max(
+          start,
+          scratch.finish[static_cast<std::size_t>(scratch.rack_order[
+              static_cast<std::size_t>(i)])]);
+    }
+    const Seconds completion = start + latency;
+    for (int i = 0; i < rj; ++i) {
+      scratch.finish[static_cast<std::size_t>(
+          scratch.rack_order[static_cast<std::size_t>(i)])] = completion;
+    }
+    makespan = std::max(makespan, completion);
+    total_flow += completion - jobs[sj].arrival();
+
+    if (plan != nullptr) {
+      PlannedJob& planned = plan->jobs[sj];
+      planned.job_index = j;
+      planned.num_racks = rj;
+      planned.racks.assign(scratch.rack_order.begin(),
+                           scratch.rack_order.begin() + rj);
+      std::sort(planned.racks.begin(), planned.racks.end());
+      planned.start_time = start;
+      planned.predicted_latency = latency;
+      planned.priority = priority;
+    }
+    ++priority;
+  }
+  if (final_finish != nullptr) *final_finish = scratch.finish;
+  const Seconds avg_flow = J == 0 ? 0.0 : total_flow / static_cast<double>(J);
+  return {makespan, avg_flow};
+}
+
+void validate_inputs(std::span<const ResponseFunction> jobs, int num_racks) {
+  require(num_racks >= 1, "plan: num_racks must be >= 1");
+  for (const ResponseFunction& f : jobs) {
+    require(f.max_racks() >= num_racks,
+            "plan: response function does not cover the cluster's racks");
+  }
+}
+
+// The provisioning phase (§4.2) over one window of jobs: starts every job
+// at one rack and repeatedly widens the currently-longest job, evaluating
+// every candidate allocation with the prioritization phase against the
+// given initial rack availability. Returns the winning rack-count vector.
+std::vector<int> provision(std::span<const ResponseFunction> jobs,
+                           int num_racks, const PlannerConfig& config,
+                           const std::vector<Seconds>* initial_finish,
+                           Scratch& scratch) {
+  const std::size_t J = jobs.size();
+  std::vector<int> racks(J, 1);
+  std::vector<int> best_racks = racks;
+
+  const auto evaluate = [&](std::span<const int> allocation) {
+    const auto [makespan, avg_flow] =
+        run_prioritization(jobs, allocation, num_racks, config, scratch,
+                           nullptr, initial_finish);
+    return config.objective == Objective::kMakespan ? makespan : avg_flow;
+  };
+
+  double best_value = evaluate(racks);
+
+  // Total allocated racks among widened jobs, for the [19]-style stop rule.
+  long widened_total = 0;
+  while (true) {
+    // Find the longest job that can still be widened.
+    int longest = -1;
+    Seconds longest_latency = -1;
+    for (std::size_t j = 0; j < J; ++j) {
+      if (racks[j] >= num_racks) continue;
+      const Seconds latency = jobs[j].at(racks[j]);
+      if (latency > longest_latency) {
+        longest_latency = latency;
+        longest = static_cast<int>(j);
+      }
+    }
+    if (longest < 0) break;  // every job reached r_j = R
+
+    const auto sj = static_cast<std::size_t>(longest);
+    if (racks[sj] == 1) widened_total += 2;  // 1 -> 2 racks
+    else ++widened_total;
+    ++racks[sj];
+
+    const double value = evaluate(racks);
+    if (value < best_value) {
+      best_value = value;
+      best_racks = racks;
+    }
+
+    if (!config.explore_full_range && widened_total >= num_racks) break;
+  }
+  return best_racks;
+}
+
+}  // namespace
+
+Plan prioritize(std::span<const ResponseFunction> jobs,
+                std::span<const int> racks_per_job, int num_racks,
+                const PlannerConfig& config) {
+  validate_inputs(jobs, num_racks);
+  require(racks_per_job.size() == jobs.size(),
+          "prioritize: racks_per_job size mismatch");
+  for (int r : racks_per_job) {
+    require(r >= 1 && r <= num_racks, "prioritize: rack count out of range");
+  }
+  Plan plan;
+  plan.jobs.resize(jobs.size());
+  Scratch scratch;
+  const auto [makespan, avg_flow] = run_prioritization(
+      jobs, racks_per_job, num_racks, config, scratch, &plan);
+  plan.predicted_makespan = makespan;
+  plan.predicted_avg_completion = avg_flow;
+  return plan;
+}
+
+Plan plan_offline(std::span<const ResponseFunction> jobs, int num_racks,
+                  const PlannerConfig& config) {
+  validate_inputs(jobs, num_racks);
+  if (jobs.empty()) return Plan{};
+  Scratch scratch;
+  const std::vector<int> best_racks =
+      provision(jobs, num_racks, config, nullptr, scratch);
+  return prioritize(jobs, best_racks, num_racks, config);
+}
+
+Plan plan_offline(std::span<const JobSpec> jobs, const ClusterConfig& cluster,
+                  const PlannerConfig& config) {
+  const LatencyModelParams params = LatencyModelParams::from_cluster(cluster);
+  const std::vector<ResponseFunction> functions =
+      build_response_functions(jobs, cluster.racks, params);
+  return plan_offline(functions, cluster.racks, config);
+}
+
+Plan plan_rolling(std::span<const ResponseFunction> jobs, int num_racks,
+                  const PlannerConfig& config, Seconds period) {
+  validate_inputs(jobs, num_racks);
+  require(period > 0, "plan_rolling: period must be positive");
+  Plan plan;
+  plan.jobs.resize(jobs.size());
+  if (jobs.empty()) return plan;
+
+  // Group job indices by arrival window.
+  Seconds last_arrival = 0;
+  for (const ResponseFunction& job : jobs) {
+    last_arrival = std::max(last_arrival, job.arrival());
+  }
+  const int windows = static_cast<int>(last_arrival / period) + 1;
+  std::vector<std::vector<int>> window_jobs(
+      static_cast<std::size_t>(windows));
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto w = static_cast<std::size_t>(jobs[j].arrival() / period);
+    window_jobs[w].push_back(static_cast<int>(j));
+  }
+
+  Scratch scratch;
+  std::vector<Seconds> finish(static_cast<std::size_t>(num_racks), 0.0);
+  Seconds makespan = 0;
+  Seconds total_flow = 0;
+  int priority_base = 0;
+  for (const std::vector<int>& indices : window_jobs) {
+    if (indices.empty()) continue;
+    std::vector<ResponseFunction> window;
+    window.reserve(indices.size());
+    for (int j : indices) window.push_back(jobs[static_cast<std::size_t>(j)]);
+
+    const std::vector<int> racks =
+        provision(window, num_racks, config, &finish, scratch);
+    Plan window_plan;
+    window_plan.jobs.resize(window.size());
+    const auto [window_makespan, window_avg] = run_prioritization(
+        window, racks, num_racks, config, scratch, &window_plan, &finish,
+        &finish, priority_base);
+    makespan = std::max(makespan, window_makespan);
+    total_flow += window_avg * static_cast<double>(window.size());
+    priority_base += static_cast<int>(window.size());
+
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      PlannedJob planned = window_plan.jobs[i];
+      planned.job_index = indices[i];
+      plan.jobs[static_cast<std::size_t>(indices[i])] = std::move(planned);
+    }
+  }
+  plan.predicted_makespan = makespan;
+  plan.predicted_avg_completion =
+      total_flow / static_cast<double>(jobs.size());
+  return plan;
+}
+
+}  // namespace corral

@@ -1,0 +1,91 @@
+// Corral's offline planner (§4).
+//
+// The planning problem: given response functions L_j(r) for a set of jobs
+// and a cluster of R racks, choose for every job the number of racks r_j,
+// the concrete rack set R_j, a start time T_j and a priority p_j, minimizing
+// either makespan (batch scenario) or average completion time (online
+// scenario). Both problems are NP-hard; the planner uses the two-phase
+// heuristic of §4.2:
+//
+//  * Provisioning phase — start every job at one rack and repeatedly widen
+//    the currently-longest job by one rack, evaluating each of the J*R
+//    candidate allocations with the prioritization phase and keeping the
+//    best.
+//  * Prioritization phase — an extension of LPT to multi-rack (malleable)
+//    jobs: widest-job first, ties broken by processing time (Figure 4).
+#ifndef CORRAL_CORRAL_PLANNER_H_
+#define CORRAL_CORRAL_PLANNER_H_
+
+#include <span>
+#include <vector>
+
+#include "corral/latency_model.h"
+#include "jobs/job.h"
+
+namespace corral {
+
+enum class Objective { kMakespan, kAverageCompletionTime };
+
+struct PlannerConfig {
+  Objective objective = Objective::kMakespan;
+
+  // Ablations of §4.2 design choices (see DESIGN.md):
+  // Sort equal-width jobs by processing time only (plain LPT) when false.
+  bool widest_job_first = true;
+  // The paper runs the provisioning loop until every job reaches r_j = R;
+  // the earlier heuristic of [19] stops when sum_{j: r_j>1} r_j = R.
+  bool explore_full_range = true;
+};
+
+struct PlannedJob {
+  int job_index = 0;        // position in the planner's input
+  int num_racks = 1;        // r_j
+  std::vector<int> racks;   // R_j, rack ids
+  Seconds start_time = 0;   // T_j
+  Seconds predicted_latency = 0;  // L_j(r_j)
+  int priority = 0;         // p_j; lower value = scheduled earlier
+
+  Seconds predicted_completion() const {
+    return start_time + predicted_latency;
+  }
+};
+
+struct Plan {
+  std::vector<PlannedJob> jobs;  // same order as the planner's input
+  Seconds predicted_makespan = 0;
+  Seconds predicted_avg_completion = 0;  // mean of (completion - arrival)
+
+  double objective_value(Objective objective) const {
+    return objective == Objective::kMakespan ? predicted_makespan
+                                             : predicted_avg_completion;
+  }
+};
+
+// Plans from precomputed response functions. Every response function must
+// cover at least `num_racks` racks.
+Plan plan_offline(std::span<const ResponseFunction> jobs, int num_racks,
+                  const PlannerConfig& config);
+
+// Convenience overload: builds response functions from job specs with the
+// cluster's latency model (imbalance penalty included, §4.5).
+Plan plan_offline(std::span<const JobSpec> jobs, const ClusterConfig& cluster,
+                  const PlannerConfig& config);
+
+// Runs only the prioritization phase (Figure 4) for a fixed rack-count
+// vector; exposed for tests and for the LP-gap study.
+Plan prioritize(std::span<const ResponseFunction> jobs,
+                std::span<const int> racks_per_job, int num_racks,
+                const PlannerConfig& config);
+
+// Rolling-horizon planning (§3.1: "The offline planner will periodically
+// receive updated estimates of future workload, rerun the planning problem,
+// and update the guidelines to the cluster scheduler"). Jobs are grouped
+// into windows of `period` seconds by arrival time; each window is planned
+// by the two-phase heuristic against the rack availability left behind by
+// the previous windows. Priorities are globally consistent across windows.
+Plan plan_rolling(std::span<const ResponseFunction> jobs, int num_racks,
+                  const PlannerConfig& config, Seconds period);
+
+}  // namespace corral
+
+#endif  // CORRAL_CORRAL_PLANNER_H_

@@ -1,0 +1,93 @@
+#include "corral/whatif.h"
+#include <algorithm>
+
+#include "corral/lp_bound.h"
+#include "util/check.h"
+
+namespace corral {
+
+DeadlineAssessment assess_deadline(std::span<const JobSpec> jobs,
+                                   const ClusterConfig& cluster,
+                                   Seconds deadline) {
+  require(deadline > 0, "assess_deadline: deadline must be positive");
+  DeadlineAssessment assessment;
+  assessment.racks = cluster.racks;
+
+  const LatencyModelParams params = LatencyModelParams::from_cluster(cluster);
+  const auto functions =
+      build_response_functions(jobs, cluster.racks, params);
+  PlannerConfig config;
+  config.objective = Objective::kMakespan;
+  const Plan plan = plan_offline(functions, cluster.racks, config);
+  assessment.planned_makespan = plan.predicted_makespan;
+  assessment.lower_bound = lp_batch_makespan_bound(functions, cluster.racks);
+
+  if (assessment.planned_makespan <= deadline) {
+    assessment.verdict = DeadlineVerdict::kFits;
+  } else if (assessment.lower_bound <= deadline) {
+    assessment.verdict = DeadlineVerdict::kAtRisk;
+  } else {
+    assessment.verdict = DeadlineVerdict::kImpossible;
+  }
+  return assessment;
+}
+
+CapacityPlan plan_capacity(std::span<const JobSpec> jobs,
+                           const ClusterConfig& cluster, Seconds deadline,
+                           int max_racks) {
+  require(max_racks >= 1, "plan_capacity: max_racks must be >= 1");
+  require(deadline > 0, "plan_capacity: deadline must be positive");
+
+  CapacityPlan result;
+  // Doubling sweep to bracket the transition, then linear refinement: the
+  // planned makespan is (weakly) improved by more racks in practice but is
+  // not guaranteed monotone, so the final answer re-checks each count in
+  // the refined range.
+  int lo = 1;
+  int hi = max_racks;
+  std::vector<int> candidates;
+  for (int r = 1; r <= max_racks; r *= 2) candidates.push_back(r);
+  if (candidates.back() != max_racks) candidates.push_back(max_racks);
+
+  for (int r : candidates) {
+    ClusterConfig sized = cluster;
+    sized.racks = r;
+    const DeadlineAssessment assessment =
+        assess_deadline(jobs, sized, deadline);
+    result.sweep.push_back(assessment);
+    if (assessment.verdict == DeadlineVerdict::kFits) {
+      hi = std::min(hi, r);
+    } else {
+      lo = std::max(lo, r + 1);
+    }
+  }
+
+  // Linear refinement inside [lo, hi].
+  for (int r = lo; r <= hi; ++r) {
+    const bool already = std::any_of(
+        result.sweep.begin(), result.sweep.end(),
+        [r](const DeadlineAssessment& a) { return a.racks == r; });
+    if (already) continue;
+    ClusterConfig sized = cluster;
+    sized.racks = r;
+    result.sweep.push_back(assess_deadline(jobs, sized, deadline));
+  }
+  std::sort(result.sweep.begin(), result.sweep.end(),
+            [](const DeadlineAssessment& a, const DeadlineAssessment& b) {
+              return a.racks < b.racks;
+            });
+
+  for (const DeadlineAssessment& assessment : result.sweep) {
+    if (result.certified_floor < 0 &&
+        assessment.verdict != DeadlineVerdict::kImpossible) {
+      result.certified_floor = assessment.racks;
+    }
+    if (result.racks_needed < 0 &&
+        assessment.verdict == DeadlineVerdict::kFits) {
+      result.racks_needed = assessment.racks;
+    }
+  }
+  return result;
+}
+
+}  // namespace corral

@@ -1,0 +1,57 @@
+// What-if capacity queries on top of the planner and the LP bounds.
+//
+// The offline planner answers "how do I run this workload on this
+// cluster?"; operators just as often ask the inverse: "how much cluster
+// does this workload need?". This module sweeps rack counts with the §4.2
+// heuristic and uses the Appendix-A LP bound to *certify* infeasibility —
+// if even the relaxation misses the deadline, no rack-granular schedule can
+// meet it.
+#ifndef CORRAL_CORRAL_WHATIF_H_
+#define CORRAL_CORRAL_WHATIF_H_
+
+#include <span>
+
+#include "corral/planner.h"
+
+namespace corral {
+
+enum class DeadlineVerdict {
+  kFits,        // the heuristic plan meets the deadline
+  kAtRisk,      // the heuristic misses it but the LP bound leaves room
+  kImpossible,  // even the LP relaxation misses the deadline
+};
+
+struct DeadlineAssessment {
+  int racks = 0;
+  Seconds planned_makespan = 0;
+  Seconds lower_bound = 0;
+  DeadlineVerdict verdict = DeadlineVerdict::kImpossible;
+};
+
+// Assesses one cluster size. `cluster.racks` is taken from the argument.
+DeadlineAssessment assess_deadline(std::span<const JobSpec> jobs,
+                                   const ClusterConfig& cluster,
+                                   Seconds deadline);
+
+struct CapacityPlan {
+  // Smallest rack count whose heuristic plan fits the deadline; -1 when no
+  // count up to max_racks fits.
+  int racks_needed = -1;
+  // Smallest rack count not *provably* infeasible (LP bound <= deadline);
+  // a certified floor on the answer.
+  int certified_floor = -1;
+  std::vector<DeadlineAssessment> sweep;  // one entry per rack count tried
+};
+
+// Sweeps rack counts 1..max_racks (geometrically refined around the
+// transition) and returns the capacity verdicts. `cluster` supplies the
+// per-rack shape (machines, slots, NIC, oversubscription); its rack count
+// is ignored. Throws std::invalid_argument for non-positive deadlines or
+// max_racks.
+CapacityPlan plan_capacity(std::span<const JobSpec> jobs,
+                           const ClusterConfig& cluster, Seconds deadline,
+                           int max_racks);
+
+}  // namespace corral
+
+#endif  // CORRAL_CORRAL_WHATIF_H_

@@ -1,0 +1,118 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+
+#include "dfs/placement.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace corral {
+
+bool FileLayout::chunk_on_machine(int chunk, int machine) const {
+  const auto& replicas = chunks[static_cast<std::size_t>(chunk)].machines;
+  return std::find(replicas.begin(), replicas.end(), machine) !=
+         replicas.end();
+}
+
+bool FileLayout::chunk_in_rack(int chunk, int rack,
+                               const ClusterTopology& topology) const {
+  const auto& replicas = chunks[static_cast<std::size_t>(chunk)].machines;
+  return std::any_of(replicas.begin(), replicas.end(), [&](int m) {
+    return topology.rack_of(m) == rack;
+  });
+}
+
+int FileLayout::closest_replica(int chunk, int machine,
+                                const ClusterTopology& topology) const {
+  const auto& replicas = chunks[static_cast<std::size_t>(chunk)].machines;
+  require(!replicas.empty(), "closest_replica: chunk has no replicas");
+  const int rack = topology.rack_of(machine);
+  int rack_local = -1;
+  for (int m : replicas) {
+    if (m == machine) return m;
+    if (rack_local < 0 && topology.rack_of(m) == rack) rack_local = m;
+  }
+  return rack_local >= 0 ? rack_local : replicas.front();
+}
+
+Dfs::Dfs(const ClusterTopology* topology, DfsConfig config)
+    : topology_(topology), config_(config) {
+  require(topology_ != nullptr, "Dfs: topology must not be null");
+  require(config_.replicas >= 1, "Dfs: at least one replica required");
+  require(config_.replicas <= topology_->machines(),
+          "Dfs: more replicas than machines");
+  machine_bytes_.assign(static_cast<std::size_t>(topology_->machines()), 0.0);
+  rack_bytes_.assign(static_cast<std::size_t>(topology_->racks()), 0.0);
+}
+
+const FileLayout& Dfs::write_file(const std::string& name, Bytes bytes,
+                                  int num_chunks,
+                                  BlockPlacementPolicy& policy, Rng& rng) {
+  require(!name.empty(), "write_file: name must be non-empty");
+  require(!has_file(name), "write_file: file already exists");
+  require(bytes >= 0, "write_file: negative size");
+  require(num_chunks >= 1, "write_file: need at least one chunk");
+
+  FileLayout layout;
+  layout.name = name;
+  layout.bytes = bytes;
+  layout.chunks.resize(static_cast<std::size_t>(num_chunks));
+  const Bytes chunk_bytes = bytes / num_chunks;
+  for (auto& chunk : layout.chunks) {
+    chunk.bytes = chunk_bytes;
+    chunk.machines = policy.place_chunk(*this, config_.replicas, rng);
+    ensure(static_cast<int>(chunk.machines.size()) == config_.replicas,
+           "write_file: policy returned wrong replica count");
+    for (int m : chunk.machines) {
+      machine_bytes_[static_cast<std::size_t>(m)] += chunk_bytes;
+      rack_bytes_[static_cast<std::size_t>(topology_->rack_of(m))] +=
+          chunk_bytes;
+    }
+  }
+  auto [it, inserted] = files_.emplace(name, std::move(layout));
+  ensure(inserted, "write_file: concurrent insert");
+  return it->second;
+}
+
+bool Dfs::has_file(const std::string& name) const {
+  return files_.contains(name);
+}
+
+const FileLayout& Dfs::file(const std::string& name) const {
+  const auto it = files_.find(name);
+  require(it != files_.end(), "file: no such file");
+  return it->second;
+}
+
+void Dfs::remove_file(const std::string& name) {
+  const auto it = files_.find(name);
+  require(it != files_.end(), "remove_file: no such file");
+  for (const auto& chunk : it->second.chunks) {
+    for (int m : chunk.machines) {
+      machine_bytes_[static_cast<std::size_t>(m)] -= chunk.bytes;
+      rack_bytes_[static_cast<std::size_t>(topology_->rack_of(m))] -=
+          chunk.bytes;
+    }
+  }
+  files_.erase(it);
+}
+
+Bytes Dfs::machine_bytes(int machine) const {
+  require(machine >= 0 && machine < topology_->machines(),
+          "machine_bytes: id out of range");
+  return machine_bytes_[static_cast<std::size_t>(machine)];
+}
+
+Bytes Dfs::rack_bytes(int rack) const {
+  require(rack >= 0 && rack < topology_->racks(),
+          "rack_bytes: id out of range");
+  return rack_bytes_[static_cast<std::size_t>(rack)];
+}
+
+std::vector<double> Dfs::rack_load_vector() const { return rack_bytes_; }
+
+double Dfs::rack_balance_cov() const {
+  return coefficient_of_variation(rack_bytes_);
+}
+
+}  // namespace corral

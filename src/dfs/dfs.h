@@ -1,0 +1,88 @@
+// A simulated HDFS-like distributed file system.
+//
+// Files are divided into chunks, each replicated `replicas` times (default
+// 3). Per the paper (§2): "two of the chunks reside on the same rack, while
+// the third one is on a different rack. Each chunk is placed independently
+// of the other chunks." Placement is delegated to a BlockPlacementPolicy so
+// Corral can pin one replica inside a job's assigned racks (§3.1) while the
+// baselines use the default random policy.
+#ifndef CORRAL_DFS_DFS_H_
+#define CORRAL_DFS_DFS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace corral {
+
+struct DfsConfig {
+  int replicas = 3;
+};
+
+// Replica machines of one chunk. machines[0] is the "primary" replica — the
+// one Corral's policy pins inside the job's assigned racks.
+struct ChunkLocation {
+  Bytes bytes = 0;
+  std::vector<int> machines;
+};
+
+struct FileLayout {
+  std::string name;
+  Bytes bytes = 0;
+  std::vector<ChunkLocation> chunks;
+
+  // True when some replica of `chunk` lives on `machine`.
+  bool chunk_on_machine(int chunk, int machine) const;
+  // True when some replica of `chunk` lives in `rack`.
+  bool chunk_in_rack(int chunk, int rack,
+                     const ClusterTopology& topology) const;
+  // A replica machine for `chunk`, preferring `machine` itself, then its
+  // rack, then any replica.
+  int closest_replica(int chunk, int machine,
+                      const ClusterTopology& topology) const;
+};
+
+class BlockPlacementPolicy;
+
+class Dfs {
+ public:
+  Dfs(const ClusterTopology* topology, DfsConfig config);
+
+  // Creates a file of `bytes` split into `num_chunks` equal chunks placed by
+  // `policy`. The name must be unique. Returns the resulting layout.
+  const FileLayout& write_file(const std::string& name, Bytes bytes,
+                               int num_chunks, BlockPlacementPolicy& policy,
+                               Rng& rng);
+
+  bool has_file(const std::string& name) const;
+  const FileLayout& file(const std::string& name) const;
+  void remove_file(const std::string& name);
+
+  const ClusterTopology& topology() const { return *topology_; }
+  const DfsConfig& config() const { return config_; }
+
+  // Stored bytes per machine / per rack (for balance metrics and
+  // least-loaded placement decisions).
+  Bytes machine_bytes(int machine) const;
+  Bytes rack_bytes(int rack) const;
+  std::vector<double> rack_load_vector() const;
+
+  // Coefficient of variation of per-rack stored bytes — the data-balance
+  // metric reported in §6.2 ("Data balance").
+  double rack_balance_cov() const;
+
+ private:
+  const ClusterTopology* topology_;
+  DfsConfig config_;
+  std::unordered_map<std::string, FileLayout> files_;
+  std::vector<Bytes> machine_bytes_;
+  std::vector<Bytes> rack_bytes_;
+};
+
+}  // namespace corral
+
+#endif  // CORRAL_DFS_DFS_H_

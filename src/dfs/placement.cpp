@@ -1,0 +1,148 @@
+#include "dfs/placement.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+// Uniformly random healthy machine in `rack`, excluding `exclude` (-1 for
+// none). Returns -1 when no eligible machine exists.
+int random_machine_in_rack(const ClusterTopology& topology, int rack,
+                           int exclude, Rng& rng) {
+  std::vector<int> eligible;
+  for (int m : topology.machines_in_rack(rack)) {
+    if (m != exclude && topology.is_up(m)) eligible.push_back(m);
+  }
+  if (eligible.empty()) return -1;
+  return eligible[rng.index(eligible.size())];
+}
+
+// Uniformly random healthy machine anywhere, excluding one rack (-1 for
+// none). Returns -1 when no eligible machine exists.
+int random_machine_excluding_rack(const ClusterTopology& topology,
+                                  int excluded_rack, Rng& rng) {
+  std::vector<int> candidate_racks;
+  for (int r = 0; r < topology.racks(); ++r) {
+    if (r != excluded_rack && topology.healthy_in_rack(r) > 0) {
+      candidate_racks.push_back(r);
+    }
+  }
+  if (candidate_racks.empty()) return -1;
+  const int rack = candidate_racks[rng.index(candidate_racks.size())];
+  return random_machine_in_rack(topology, rack, /*exclude=*/-1, rng);
+}
+
+}  // namespace
+
+std::vector<int> DefaultPlacement::place_chunk(const Dfs& dfs, int replicas,
+                                               Rng& rng) {
+  const ClusterTopology& topology = dfs.topology();
+  std::vector<int> machines;
+  machines.reserve(static_cast<std::size_t>(replicas));
+
+  // First replica: uniformly random healthy machine.
+  int first = -1;
+  for (int attempt = 0; attempt < topology.machines() && first < 0;
+       ++attempt) {
+    const int m = static_cast<int>(rng.index(
+        static_cast<std::size_t>(topology.machines())));
+    if (topology.is_up(m)) first = m;
+  }
+  require(first >= 0, "DefaultPlacement: no healthy machine");
+  machines.push_back(first);
+
+  // Second replica: same rack, different machine (HDFS's 2-in-one-rack rule).
+  if (replicas >= 2) {
+    const int same_rack =
+        random_machine_in_rack(topology, topology.rack_of(first), first, rng);
+    machines.push_back(same_rack >= 0 ? same_rack : first);
+  }
+
+  // Third and further replicas: a different rack.
+  while (static_cast<int>(machines.size()) < replicas) {
+    const int other = random_machine_excluding_rack(
+        topology, topology.rack_of(first), rng);
+    if (other < 0) {
+      // Degenerate single-rack cluster: fall back to any distinct machine.
+      const int fallback =
+          random_machine_in_rack(topology, topology.rack_of(first), first,
+                                 rng);
+      machines.push_back(fallback >= 0 ? fallback : first);
+    } else {
+      machines.push_back(other);
+    }
+  }
+  return machines;
+}
+
+CorralPlacement::CorralPlacement(std::vector<int> target_racks)
+    : target_racks_(std::move(target_racks)) {
+  require(!target_racks_.empty(),
+          "CorralPlacement: target rack set must be non-empty");
+}
+
+std::vector<int> CorralPlacement::place_chunk(const Dfs& dfs, int replicas,
+                                              Rng& rng) {
+  const ClusterTopology& topology = dfs.topology();
+  for (int r : target_racks_) {
+    require(r >= 0 && r < topology.racks(),
+            "CorralPlacement: rack id out of range");
+  }
+
+  // Primary replica: a randomly chosen rack from R_j (§3.1), least-loaded
+  // healthy machine within it so machines inside the rack stay balanced.
+  std::vector<int> usable;
+  for (int r : target_racks_) {
+    if (topology.healthy_in_rack(r) > 0) usable.push_back(r);
+  }
+  std::vector<int> machines;
+  if (usable.empty()) {
+    // All assigned racks are down: fall back to the default policy (§3.1:
+    // "If the assigned locations are not available ... ignore the
+    // guidelines").
+    DefaultPlacement fallback;
+    return fallback.place_chunk(dfs, replicas, rng);
+  }
+  const int primary_rack = usable[rng.index(usable.size())];
+  int primary = -1;
+  Bytes primary_load = std::numeric_limits<Bytes>::max();
+  for (int m : topology.machines_in_rack(primary_rack)) {
+    if (topology.is_up(m) && dfs.machine_bytes(m) < primary_load) {
+      primary = m;
+      primary_load = dfs.machine_bytes(m);
+    }
+  }
+  ensure(primary >= 0, "CorralPlacement: healthy rack without machines");
+  machines.push_back(primary);
+
+  // Remaining replicas: together on the least-loaded rack other than the
+  // primary's (§4.5: "greedily placing the last two data replicas on the
+  // least loaded rack"), which also preserves the HDFS fault-tolerance rule
+  // of keeping replicas in at least two racks.
+  int spare_rack = -1;
+  Bytes spare_load = std::numeric_limits<Bytes>::max();
+  for (int r = 0; r < topology.racks(); ++r) {
+    if (r == primary_rack || topology.healthy_in_rack(r) == 0) continue;
+    if (dfs.rack_bytes(r) < spare_load) {
+      spare_rack = r;
+      spare_load = dfs.rack_bytes(r);
+    }
+  }
+  while (static_cast<int>(machines.size()) < replicas) {
+    int m = -1;
+    if (spare_rack >= 0) {
+      const int exclude = machines.size() >= 2 ? machines.back() : -1;
+      m = random_machine_in_rack(topology, spare_rack, exclude, rng);
+    }
+    if (m < 0) {
+      m = random_machine_in_rack(topology, primary_rack, primary, rng);
+    }
+    machines.push_back(m >= 0 ? m : primary);
+  }
+  return machines;
+}
+
+}  // namespace corral

@@ -1,0 +1,49 @@
+// Block placement policies.
+//
+// DefaultPlacement mimics HDFS: first replica on a random machine, second on
+// a different machine of the same rack, third on a machine of a different
+// rack (§2 of the paper). CorralPlacement implements §3.1 + §4.5: the
+// primary replica goes to a randomly chosen rack from the job's assigned
+// set R_j, and the remaining replicas are placed together on the least
+// loaded rack outside that choice (preserving the same per-chunk fault
+// tolerance: at most two replicas share a rack).
+#ifndef CORRAL_DFS_PLACEMENT_H_
+#define CORRAL_DFS_PLACEMENT_H_
+
+#include <vector>
+
+#include "dfs/dfs.h"
+
+namespace corral {
+
+class BlockPlacementPolicy {
+ public:
+  virtual ~BlockPlacementPolicy() = default;
+
+  // Chooses `replicas` distinct machines for one chunk. `dfs` exposes the
+  // topology and current per-machine/rack load.
+  virtual std::vector<int> place_chunk(const Dfs& dfs, int replicas,
+                                       Rng& rng) = 0;
+};
+
+class DefaultPlacement : public BlockPlacementPolicy {
+ public:
+  std::vector<int> place_chunk(const Dfs& dfs, int replicas,
+                               Rng& rng) override;
+};
+
+class CorralPlacement : public BlockPlacementPolicy {
+ public:
+  // `target_racks` is the job's assigned rack set R_j; must be non-empty.
+  explicit CorralPlacement(std::vector<int> target_racks);
+
+  std::vector<int> place_chunk(const Dfs& dfs, int replicas,
+                               Rng& rng) override;
+
+ private:
+  std::vector<int> target_racks_;
+};
+
+}  // namespace corral
+
+#endif  // CORRAL_DFS_PLACEMENT_H_

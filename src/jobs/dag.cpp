@@ -1,0 +1,87 @@
+#include "jobs/dag.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace corral {
+
+std::vector<int> topological_order(int num_nodes,
+                                   std::span<const DagEdge> edges) {
+  require(num_nodes >= 0, "topological_order: negative node count");
+  std::vector<int> indegree(static_cast<std::size_t>(num_nodes), 0);
+  std::vector<std::vector<int>> adjacency(static_cast<std::size_t>(num_nodes));
+  for (const DagEdge& e : edges) {
+    require(e.from >= 0 && e.from < num_nodes && e.to >= 0 && e.to < num_nodes,
+            "topological_order: edge index out of range");
+    require(e.from != e.to, "topological_order: self-loop");
+    adjacency[static_cast<std::size_t>(e.from)].push_back(e.to);
+    ++indegree[static_cast<std::size_t>(e.to)];
+  }
+  std::vector<int> ready;
+  for (int v = 0; v < num_nodes; ++v) {
+    if (indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(num_nodes));
+  while (!ready.empty()) {
+    const int v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (int next : adjacency[static_cast<std::size_t>(v)]) {
+      if (--indegree[static_cast<std::size_t>(next)] == 0) {
+        ready.push_back(next);
+      }
+    }
+  }
+  require(static_cast<int>(order.size()) == num_nodes,
+          "topological_order: graph has a cycle");
+  return order;
+}
+
+CriticalPath critical_path(int num_nodes, std::span<const DagEdge> edges,
+                           std::span<const double> node_weights) {
+  require(static_cast<int>(node_weights.size()) == num_nodes,
+          "critical_path: weight count must match node count");
+  const std::vector<int> order = topological_order(num_nodes, edges);
+
+  std::vector<std::vector<int>> incoming(static_cast<std::size_t>(num_nodes));
+  for (const DagEdge& e : edges) {
+    incoming[static_cast<std::size_t>(e.to)].push_back(e.from);
+  }
+
+  // Longest distance ending at each node, and the predecessor achieving it.
+  std::vector<double> dist(static_cast<std::size_t>(num_nodes), 0.0);
+  std::vector<int> pred(static_cast<std::size_t>(num_nodes), -1);
+  for (int v : order) {
+    double best = 0.0;
+    int best_pred = -1;
+    for (int p : incoming[static_cast<std::size_t>(v)]) {
+      if (dist[static_cast<std::size_t>(p)] > best) {
+        best = dist[static_cast<std::size_t>(p)];
+        best_pred = p;
+      }
+    }
+    dist[static_cast<std::size_t>(v)] =
+        best + node_weights[static_cast<std::size_t>(v)];
+    pred[static_cast<std::size_t>(v)] = best_pred;
+  }
+
+  CriticalPath result;
+  if (num_nodes == 0) return result;
+  int tail = 0;
+  for (int v = 1; v < num_nodes; ++v) {
+    if (dist[static_cast<std::size_t>(v)] >
+        dist[static_cast<std::size_t>(tail)]) {
+      tail = v;
+    }
+  }
+  result.length = dist[static_cast<std::size_t>(tail)];
+  for (int v = tail; v != -1; v = pred[static_cast<std::size_t>(v)]) {
+    result.nodes.push_back(v);
+  }
+  std::reverse(result.nodes.begin(), result.nodes.end());
+  return result;
+}
+
+}  // namespace corral

@@ -1,0 +1,38 @@
+// DAG utilities: topological order and critical paths.
+//
+// The latency response function of a DAG job is the sum of stage latencies
+// along its critical path (§4.3). The paper finds the path with an efficient
+// shortest-path style pass over the DAG; we do the same via a topological
+// order, which is O(V + E).
+#ifndef CORRAL_JOBS_DAG_H_
+#define CORRAL_JOBS_DAG_H_
+
+#include <span>
+#include <vector>
+
+namespace corral {
+
+struct DagEdge {
+  int from = 0;
+  int to = 0;
+};
+
+// Returns a topological order of nodes 0..num_nodes-1.
+// Throws std::invalid_argument if an edge index is out of range or the
+// graph has a cycle.
+std::vector<int> topological_order(int num_nodes,
+                                   std::span<const DagEdge> edges);
+
+struct CriticalPath {
+  double length = 0.0;
+  std::vector<int> nodes;  // in execution order
+};
+
+// Longest weighted path (node weights) from any source to any sink.
+// Requires weights.size() == num_nodes and an acyclic graph.
+CriticalPath critical_path(int num_nodes, std::span<const DagEdge> edges,
+                           std::span<const double> node_weights);
+
+}  // namespace corral
+
+#endif  // CORRAL_JOBS_DAG_H_

@@ -1,0 +1,76 @@
+// Job model.
+//
+// Section 4.3 of the paper represents a MapReduce job by the 5-tuple
+// <D_I, D_S, D_O, N_M, N_R> (input/shuffle/output bytes, map/reduce task
+// counts) plus per-task processing rates B_M and B_R estimated from earlier
+// runs. General DAG jobs (Hive/Tez, §4.3 "General DAGs") model every stage
+// as one such MapReduce stage, linked by data dependencies.
+#ifndef CORRAL_JOBS_JOB_H_
+#define CORRAL_JOBS_JOB_H_
+
+#include <string>
+#include <vector>
+
+#include "jobs/dag.h"
+#include "util/units.h"
+
+namespace corral {
+
+// One MapReduce stage: the paper's 5-tuple plus processing rates.
+struct MapReduceSpec {
+  std::string name;
+  Bytes input_bytes = 0;    // D_I
+  Bytes shuffle_bytes = 0;  // D_S
+  Bytes output_bytes = 0;   // D_O
+  int num_maps = 1;         // N_M
+  int num_reduces = 1;      // N_R
+  // Average rate at which one map (reduce) task processes data; the paper
+  // estimates these from previous runs of the same job.
+  BytesPerSec map_rate = 50 * kMB;     // B_M
+  BytesPerSec reduce_rate = 50 * kMB;  // B_R
+
+  // Validates the invariants (non-negative sizes, positive task counts and
+  // rates); throws std::invalid_argument otherwise.
+  void validate() const;
+};
+
+// A job: a DAG of MapReduce stages with an arrival time. A plain MapReduce
+// job is the single-stage special case.
+struct JobSpec {
+  int id = 0;
+  std::string name;
+  std::vector<MapReduceSpec> stages;
+  // Edges over stage indices; data produced by `from` is consumed by `to`.
+  std::vector<DagEdge> edges;
+  Seconds arrival = 0.0;
+  // Recurring (or otherwise predictable) jobs are planned by Corral's
+  // offline planner; ad hoc jobs are not (§3.1).
+  bool recurring = true;
+
+  static JobSpec map_reduce(int id, std::string name, MapReduceSpec stage,
+                            Seconds arrival = 0.0);
+
+  bool is_map_reduce() const { return stages.size() == 1 && edges.empty(); }
+
+  // The widest stage determines how many slots the job can use at once.
+  int max_parallelism() const;
+
+  // Total bytes read from the distributed file system by source stages.
+  Bytes total_input() const;
+  // Total bytes moved in shuffles across all stages.
+  Bytes total_shuffle() const;
+  Bytes total_output() const;
+
+  int num_tasks() const;
+
+  // Stage indices with no incoming edge (they read job input from the DFS).
+  std::vector<int> source_stages() const;
+
+  // Validates stage specs and DAG shape (indices in range, acyclic);
+  // throws std::invalid_argument otherwise.
+  void validate() const;
+};
+
+}  // namespace corral
+
+#endif  // CORRAL_JOBS_JOB_H_

@@ -1,0 +1,263 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense simplex tableau with an explicit basis. Columns are laid out as
+// [structural vars | slack/surplus vars | artificial vars | rhs].
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double inv = 1.0 / at(pr, pc);
+    double* prow = &data_[pr * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) prow[c] *= inv;
+    prow[pc] = 1.0;  // kill round-off on the pivot column
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = at(r, pc);
+      if (std::abs(factor) < kEps) {
+        at(r, pc) = 0.0;
+        continue;
+      }
+      double* row = &data_[r * cols_];
+      for (std::size_t c = 0; c < cols_; ++c) row[c] -= factor * prow[c];
+      row[pc] = 0.0;
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace
+
+LpProblem::LpProblem(int num_vars) : num_vars_(num_vars) {
+  require(num_vars > 0, "LpProblem: num_vars must be positive");
+  objective_.assign(static_cast<std::size_t>(num_vars), 0.0);
+}
+
+void LpProblem::minimize(std::vector<double> c) {
+  require(static_cast<int>(c.size()) == num_vars_,
+          "LpProblem::minimize: objective size mismatch");
+  objective_ = std::move(c);
+  maximize_ = false;
+}
+
+void LpProblem::maximize(std::vector<double> c) {
+  require(static_cast<int>(c.size()) == num_vars_,
+          "LpProblem::maximize: objective size mismatch");
+  objective_ = std::move(c);
+  maximize_ = true;
+}
+
+void LpProblem::add_constraint(std::vector<double> coeffs, Relation rel,
+                               double rhs) {
+  require(static_cast<int>(coeffs.size()) == num_vars_,
+          "LpProblem::add_constraint: row size mismatch");
+  rows_.push_back(Row{std::move(coeffs), rel, rhs});
+}
+
+void LpProblem::add_constraint_sparse(
+    const std::vector<std::pair<int, double>>& terms, Relation rel,
+    double rhs) {
+  std::vector<double> coeffs(static_cast<std::size_t>(num_vars_), 0.0);
+  for (const auto& [index, value] : terms) {
+    require(index >= 0 && index < num_vars_,
+            "LpProblem::add_constraint_sparse: index out of range");
+    coeffs[static_cast<std::size_t>(index)] += value;
+  }
+  rows_.push_back(Row{std::move(coeffs), rel, rhs});
+}
+
+LpSolution LpProblem::solve(int max_iterations) const {
+  const std::size_t m = rows_.size();
+  const std::size_t n = static_cast<std::size_t>(num_vars_);
+
+  // Normalize rows so all right-hand sides are non-negative; count the
+  // slack/surplus and artificial columns needed.
+  std::vector<double> sign(m, 1.0);
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    Relation rel = rows_[r].rel;
+    double rhs = rows_[r].rhs;
+    if (rhs < 0) {
+      sign[r] = -1.0;
+      rhs = -rhs;
+      if (rel == Relation::kLessEqual) {
+        rel = Relation::kGreaterEqual;
+      } else if (rel == Relation::kGreaterEqual) {
+        rel = Relation::kLessEqual;
+      }
+    }
+    if (rel != Relation::kEqual) ++num_slack;
+    // <= rows get a slack that can serve as the initial basis; >= and =
+    // rows need an artificial variable.
+    if (rel != Relation::kLessEqual) ++num_artificial;
+  }
+
+  const std::size_t total = n + num_slack + num_artificial;
+  const std::size_t rhs_col = total;
+  // Row m is the phase-2 objective, row m+1 the phase-1 objective.
+  Tableau tab(m + 2, total + 1);
+  std::vector<std::size_t> basis(m);
+
+  std::size_t next_slack = n;
+  std::size_t next_artificial = n + num_slack;
+  for (std::size_t r = 0; r < m; ++r) {
+    Relation rel = rows_[r].rel;
+    double rhs = rows_[r].rhs;
+    if (sign[r] < 0) {
+      rhs = -rhs;
+      if (rel == Relation::kLessEqual) {
+        rel = Relation::kGreaterEqual;
+      } else if (rel == Relation::kGreaterEqual) {
+        rel = Relation::kLessEqual;
+      }
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      tab.at(r, c) = sign[r] * rows_[r].coeffs[c];
+    }
+    tab.at(r, rhs_col) = rhs;
+    if (rel == Relation::kLessEqual) {
+      tab.at(r, next_slack) = 1.0;
+      basis[r] = next_slack++;
+    } else if (rel == Relation::kGreaterEqual) {
+      tab.at(r, next_slack) = -1.0;
+      ++next_slack;
+      tab.at(r, next_artificial) = 1.0;
+      basis[r] = next_artificial++;
+    } else {
+      tab.at(r, next_artificial) = 1.0;
+      basis[r] = next_artificial++;
+    }
+  }
+  ensure(next_slack == n + num_slack, "simplex: slack column accounting");
+  ensure(next_artificial == total, "simplex: artificial column accounting");
+
+  // Phase-2 objective row: minimize c.x (negate for maximization).
+  for (std::size_t c = 0; c < n; ++c) {
+    tab.at(m, c) = maximize_ ? -objective_[c] : objective_[c];
+  }
+  // Phase-1 objective row: minimize the sum of artificial variables.
+  for (std::size_t c = n + num_slack; c < total; ++c) tab.at(m + 1, c) = 1.0;
+  // Price out the artificial basis so reduced costs start consistent.
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] >= n + num_slack) {
+      for (std::size_t c = 0; c <= total; ++c) {
+        tab.at(m + 1, c) -= tab.at(r, c);
+      }
+    }
+  }
+
+  int iterations = 0;
+  const auto run_phase = [&](std::size_t obj_row,
+                             std::size_t allowed_cols) -> LpStatus {
+    while (true) {
+      if (++iterations > max_iterations) return LpStatus::kIterationLimit;
+      // Pricing: Dantzig early on, Bland once degeneracy is likely.
+      const bool bland = iterations > max_iterations / 2;
+      std::size_t pivot_col = allowed_cols;
+      double best = -kEps;
+      for (std::size_t c = 0; c < allowed_cols; ++c) {
+        const double reduced = tab.at(obj_row, c);
+        if (reduced < -kEps) {
+          if (bland) {
+            pivot_col = c;
+            break;
+          }
+          if (reduced < best) {
+            best = reduced;
+            pivot_col = c;
+          }
+        }
+      }
+      if (pivot_col == allowed_cols) return LpStatus::kOptimal;
+
+      // Ratio test.
+      std::size_t pivot_row = m;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < m; ++r) {
+        const double a = tab.at(r, pivot_col);
+        if (a > kEps) {
+          const double ratio = tab.at(r, rhs_col) / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps && pivot_row < m &&
+               basis[r] < basis[pivot_row])) {
+            best_ratio = ratio;
+            pivot_row = r;
+          }
+        }
+      }
+      if (pivot_row == m) return LpStatus::kUnbounded;
+
+      tab.pivot(pivot_row, pivot_col);
+      basis[pivot_row] = pivot_col;
+    }
+  };
+
+  LpSolution solution;
+  if (num_artificial > 0) {
+    const LpStatus phase1 = run_phase(m + 1, total);
+    if (phase1 != LpStatus::kOptimal) {
+      solution.status = phase1;
+      return solution;
+    }
+    if (tab.at(m + 1, rhs_col) < -1e-6) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive any artificial variable still in the basis out of it (it must
+    // be at value zero); if its row is all zeros the row is redundant.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] < n + num_slack) continue;
+      std::size_t replacement = total;
+      for (std::size_t c = 0; c < n + num_slack; ++c) {
+        if (std::abs(tab.at(r, c)) > kEps) {
+          replacement = c;
+          break;
+        }
+      }
+      if (replacement < total) {
+        tab.pivot(r, replacement);
+        basis[r] = replacement;
+      }
+    }
+  }
+
+  // Phase 2: exclude artificial columns from pricing.
+  const LpStatus phase2 = run_phase(m, n + num_slack);
+  solution.status = phase2;
+  if (phase2 != LpStatus::kOptimal) return solution;
+
+  solution.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) solution.x[basis[r]] = tab.at(r, rhs_col);
+  }
+  double value = 0.0;
+  for (std::size_t c = 0; c < n; ++c) value += objective_[c] * solution.x[c];
+  solution.objective = value;
+  return solution;
+}
+
+}  // namespace corral

@@ -1,0 +1,205 @@
+#include "net/allocator.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTinyBytes = 1e-6;
+
+// Scratch space for one progressive-filling pass, reusable across calls to
+// avoid reallocating per-link vectors on every rate recomputation (the
+// allocator runs once per simulation event batch).
+struct FillScratch {
+  std::vector<double> width_on_link;
+  std::vector<std::vector<int>> flows_on_link;
+  std::vector<int> active_links;
+  std::vector<bool> frozen;
+
+  void prepare(int num_links, std::size_t num_flows) {
+    width_on_link.assign(static_cast<std::size_t>(num_links), 0.0);
+    if (flows_on_link.size() < static_cast<std::size_t>(num_links)) {
+      flows_on_link.resize(static_cast<std::size_t>(num_links));
+    }
+    active_links.clear();
+    frozen.assign(num_flows, false);
+  }
+};
+
+// Progressive filling: repeatedly saturate the most constrained link and
+// freeze the flows that cross it at the width-weighted fair share. When
+// `add_to_existing` is set the computed share is added on top of existing
+// rates (Varys work conservation) instead of replacing them.
+void progressive_fill(std::vector<Flow>& flows, std::vector<double> residual,
+                      bool add_to_existing, FillScratch& scratch) {
+  scratch.prepare(static_cast<int>(residual.size()), flows.size());
+
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const FlowPath& path = flows[f].path;
+    ensure(path.count > 0, "progressive_fill: flow with empty path");
+    for (int i = 0; i < path.count; ++i) {
+      const auto link = static_cast<std::size_t>(path.links[i]);
+      if (scratch.width_on_link[link] == 0.0) {
+        scratch.active_links.push_back(path.links[i]);
+        scratch.flows_on_link[link].clear();
+      }
+      scratch.width_on_link[link] += flows[f].width;
+      scratch.flows_on_link[link].push_back(static_cast<int>(f));
+    }
+    if (!add_to_existing) flows[f].rate = 0;
+  }
+
+  // Widths are subtracted as flows freeze; treat tiny residues as empty so
+  // floating-point drift cannot leave a "loaded" link with no unfrozen
+  // flows (which would stall the loop).
+  constexpr double kWidthEps = 1e-9;
+  std::size_t remaining_flows = flows.size();
+  while (remaining_flows > 0) {
+    // Bottleneck link: smallest per-width share among links carrying load.
+    int bottleneck = -1;
+    double best_share = kInf;
+    for (int l : scratch.active_links) {
+      const auto sl = static_cast<std::size_t>(l);
+      if (scratch.width_on_link[sl] <= kWidthEps) continue;
+      const double share =
+          std::max(residual[sl], 0.0) / scratch.width_on_link[sl];
+      if (share < best_share) {
+        best_share = share;
+        bottleneck = l;
+      }
+    }
+    ensure(bottleneck >= 0, "progressive_fill: active flows but no link");
+
+    std::size_t frozen_now = 0;
+    for (int fi : scratch.flows_on_link[static_cast<std::size_t>(bottleneck)]) {
+      const auto f = static_cast<std::size_t>(fi);
+      if (scratch.frozen[f]) continue;
+      scratch.frozen[f] = true;
+      --remaining_flows;
+      ++frozen_now;
+      const double rate = best_share * flows[f].width;
+      flows[f].rate += rate;
+      for (int i = 0; i < flows[f].path.count; ++i) {
+        const auto link = static_cast<std::size_t>(flows[f].path.links[i]);
+        residual[link] -= rate;
+        scratch.width_on_link[link] -= flows[f].width;
+      }
+    }
+    if (frozen_now == 0) {
+      // Width residue only: retire the link and keep going.
+      scratch.width_on_link[static_cast<std::size_t>(bottleneck)] = 0.0;
+    }
+  }
+}
+
+FillScratch& thread_scratch() {
+  thread_local FillScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void FlowPath::add(int link) {
+  require(count < static_cast<int>(links.size()), "FlowPath: too many links");
+  links[static_cast<std::size_t>(count++)] = link;
+}
+
+void MaxMinFairAllocator::allocate(std::vector<Flow>& flows,
+                                   const LinkSet& links) {
+  if (flows.empty()) return;
+  progressive_fill(flows, links.capacities(), /*add_to_existing=*/false,
+                   thread_scratch());
+}
+
+void VarysAllocator::allocate(std::vector<Flow>& flows,
+                              const LinkSet& links) {
+  if (flows.empty()) return;
+  const int L = links.count();
+
+  // Group flows into coflows; flows without a coflow are singletons.
+  std::unordered_map<long, std::vector<int>> groups;
+  groups.reserve(flows.size());
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const long key = flows[f].coflow >= 0
+                         ? static_cast<long>(flows[f].coflow)
+                         : -static_cast<long>(f) - 1;
+    groups[key].push_back(static_cast<int>(f));
+  }
+
+  // Effective bottleneck Γ of each coflow at full link capacity.
+  struct Group {
+    std::vector<int> flow_ids;
+    double gamma = 0;
+  };
+  std::vector<Group> ordered;
+  ordered.reserve(groups.size());
+  std::vector<double> load(static_cast<std::size_t>(L), 0.0);
+  std::vector<int> touched;
+  for (auto& [key, ids] : groups) {
+    touched.clear();
+    double gamma = 0;
+    for (int fi : ids) {
+      const Flow& flow = flows[static_cast<std::size_t>(fi)];
+      for (int i = 0; i < flow.path.count; ++i) {
+        const int l = flow.path.links[i];
+        const auto sl = static_cast<std::size_t>(l);
+        if (load[sl] == 0.0) touched.push_back(l);
+        load[sl] += flow.remaining;
+        gamma = std::max(gamma, load[sl] / links.capacity(l));
+      }
+    }
+    for (int l : touched) load[static_cast<std::size_t>(l)] = 0.0;
+    ordered.push_back(Group{std::move(ids), gamma});
+  }
+  // Smallest effective bottleneck first.
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Group& a, const Group& b) { return a.gamma < b.gamma; });
+
+  // MADD: give each coflow, in SEBF order, just enough rate on the residual
+  // capacities to finish all its flows together.
+  std::vector<double> residual = links.capacities();
+  for (Flow& flow : flows) flow.rate = 0;
+  for (const Group& group : ordered) {
+    // Rescaled completion time on what is left of the fabric.
+    touched.clear();
+    double gamma = 0;
+    bool starved = false;
+    for (int fi : group.flow_ids) {
+      const Flow& flow = flows[static_cast<std::size_t>(fi)];
+      for (int i = 0; i < flow.path.count; ++i) {
+        const int l = flow.path.links[i];
+        const auto sl = static_cast<std::size_t>(l);
+        if (load[sl] == 0.0) touched.push_back(l);
+        load[sl] += flow.remaining;
+        if (residual[sl] <= kTinyBytes) {
+          starved = true;
+        } else {
+          gamma = std::max(gamma, load[sl] / residual[sl]);
+        }
+      }
+    }
+    for (int l : touched) load[static_cast<std::size_t>(l)] = 0.0;
+    if (starved || gamma <= 0) continue;  // backfill will still serve it
+    for (int fi : group.flow_ids) {
+      Flow& flow = flows[static_cast<std::size_t>(fi)];
+      const double rate = flow.remaining / gamma;
+      flow.rate = rate;
+      for (int i = 0; i < flow.path.count; ++i) {
+        const auto sl = static_cast<std::size_t>(flow.path.links[i]);
+        residual[sl] = std::max(residual[sl] - rate, 0.0);
+      }
+    }
+  }
+
+  // Work conservation: distribute leftover capacity max-min across all
+  // flows on top of the MADD rates.
+  progressive_fill(flows, std::move(residual), /*add_to_existing=*/true,
+                   thread_scratch());
+}
+
+}  // namespace corral

@@ -1,0 +1,74 @@
+// Flow rate allocation policies (§6.6).
+//
+// The simulator supports pluggable network schedulers, mirroring the paper's
+// flow-based event simulator: "We have implemented ... a max-min fair
+// bandwidth allocation mechanism to emulate TCP, and Varys, which uses
+// application communication patterns to better schedule flows."
+#ifndef CORRAL_NET_ALLOCATOR_H_
+#define CORRAL_NET_ALLOCATOR_H_
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "net/links.h"
+
+namespace corral {
+
+struct FlowPath {
+  std::array<int, 4> links{};
+  int count = 0;
+
+  void add(int link);
+};
+
+struct Flow {
+  int id = 0;
+  Bytes total = 0;
+  Bytes remaining = 0;
+  // Number of aggregated subflows; max-min fair share is width-weighted so
+  // an aggregate of w task-level transfers competes like w TCP connections.
+  double width = 1.0;
+  // Coflow id (>= 0) groups the flows of one shuffle for Varys; -1 means
+  // the flow is not part of any coflow and competes individually.
+  int coflow = -1;
+  // Opaque caller tag (the simulator stores task identifiers here).
+  std::uint64_t tag = 0;
+  bool cross_rack = false;
+  FlowPath path;
+  BytesPerSec rate = 0;  // output of the allocator
+};
+
+class RateAllocator {
+ public:
+  virtual ~RateAllocator() = default;
+
+  // Assigns Flow::rate for every flow, respecting link capacities. Flows
+  // are guaranteed a positive rate (the policies are work conserving), so
+  // the simulation always makes progress.
+  virtual void allocate(std::vector<Flow>& flows, const LinkSet& links) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+// Width-weighted max-min fairness via progressive filling; a fluid proxy
+// for per-connection TCP fairness.
+class MaxMinFairAllocator : public RateAllocator {
+ public:
+  void allocate(std::vector<Flow>& flows, const LinkSet& links) override;
+  std::string_view name() const override { return "tcp-maxmin"; }
+};
+
+// Varys-like coflow scheduling: Smallest Effective Bottleneck First ordering
+// across coflows, minimum-allocation-for-desired-duration (MADD) rates
+// within a coflow, and max-min backfilling of leftover capacity for work
+// conservation.
+class VarysAllocator : public RateAllocator {
+ public:
+  void allocate(std::vector<Flow>& flows, const LinkSet& links) override;
+  std::string_view name() const override { return "varys"; }
+};
+
+}  // namespace corral
+
+#endif  // CORRAL_NET_ALLOCATOR_H_

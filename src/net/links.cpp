@@ -1,0 +1,72 @@
+#include "net/links.h"
+
+#include "util/check.h"
+
+namespace corral {
+
+namespace {
+// "Unlimited" storage interconnect: far above any plausible demand but
+// finite so progressive filling stays well conditioned.
+constexpr BytesPerSec kUnlimitedStorage = 1e15;
+}  // namespace
+
+LinkSet::LinkSet(const ClusterConfig& config) : config_(config) {
+  const int machines = config_.total_machines();
+  capacity_.assign(
+      static_cast<std::size_t>(2 * machines + 2 * config_.racks + 1), 0.0);
+  for (int m = 0; m < machines; ++m) {
+    capacity_[static_cast<std::size_t>(host_up(m))] = config_.nic_bandwidth;
+    capacity_[static_cast<std::size_t>(host_down(m))] = config_.nic_bandwidth;
+  }
+  capacity_[static_cast<std::size_t>(storage_link())] = kUnlimitedStorage;
+  set_background_fraction(config_.background_core_fraction);
+}
+
+int LinkSet::host_up(int machine) const {
+  require(machine >= 0 && machine < config_.total_machines(),
+          "host_up: machine out of range");
+  return machine;
+}
+
+int LinkSet::host_down(int machine) const {
+  require(machine >= 0 && machine < config_.total_machines(),
+          "host_down: machine out of range");
+  return config_.total_machines() + machine;
+}
+
+int LinkSet::rack_up(int rack) const {
+  require(rack >= 0 && rack < config_.racks, "rack_up: rack out of range");
+  return 2 * config_.total_machines() + rack;
+}
+
+int LinkSet::rack_down(int rack) const {
+  require(rack >= 0 && rack < config_.racks, "rack_down: rack out of range");
+  return 2 * config_.total_machines() + config_.racks + rack;
+}
+
+int LinkSet::storage_link() const {
+  return 2 * config_.total_machines() + 2 * config_.racks;
+}
+
+void LinkSet::set_storage_bandwidth(BytesPerSec bandwidth) {
+  require(bandwidth > 0, "set_storage_bandwidth: must be positive");
+  capacity_[static_cast<std::size_t>(storage_link())] = bandwidth;
+}
+
+BytesPerSec LinkSet::capacity(int link) const {
+  require(link >= 0 && link < count(), "capacity: link out of range");
+  return capacity_[static_cast<std::size_t>(link)];
+}
+
+void LinkSet::set_background_fraction(double fraction) {
+  require(fraction >= 0.0 && fraction < 1.0,
+          "set_background_fraction: fraction must be in [0, 1)");
+  config_.background_core_fraction = fraction;
+  const BytesPerSec effective = config_.effective_rack_uplink();
+  for (int r = 0; r < config_.racks; ++r) {
+    capacity_[static_cast<std::size_t>(rack_up(r))] = effective;
+    capacity_[static_cast<std::size_t>(rack_down(r))] = effective;
+  }
+}
+
+}  // namespace corral

@@ -1,0 +1,49 @@
+// Link table for the folded-CLOS fabric (§6.1).
+//
+// Four link classes capture every contended resource of the topology:
+// per-machine NIC send (host_up) and receive (host_down) links, and
+// per-rack uplinks to / downlinks from the core (rack_up / rack_down).
+// The core itself is non-blocking, and machines within a rack enjoy full
+// bisection bandwidth, so no other links are needed. Rack up/down capacity
+// is the oversubscribed share, reduced further by the configured background
+// traffic fraction (see DESIGN.md).
+#ifndef CORRAL_NET_LINKS_H_
+#define CORRAL_NET_LINKS_H_
+
+#include <vector>
+
+#include "cluster/topology.h"
+#include "util/units.h"
+
+namespace corral {
+
+class LinkSet {
+ public:
+  explicit LinkSet(const ClusterConfig& config);
+
+  int host_up(int machine) const;
+  int host_down(int machine) const;
+  int rack_up(int rack) const;
+  int rack_down(int rack) const;
+  // The interconnect to an external storage cluster (§7 "Remote storage":
+  // Azure Storage / S3 style deployments where input is fetched remotely).
+  // Effectively unlimited by default; configure with set_storage_bandwidth.
+  int storage_link() const;
+  void set_storage_bandwidth(BytesPerSec bandwidth);
+
+  int count() const { return static_cast<int>(capacity_.size()); }
+  BytesPerSec capacity(int link) const;
+  const std::vector<BytesPerSec>& capacities() const { return capacity_; }
+
+  // Adjusts rack up/down capacities for a new background-traffic fraction
+  // (used by the Fig 12 network-load sweep).
+  void set_background_fraction(double fraction);
+
+ private:
+  ClusterConfig config_;
+  std::vector<BytesPerSec> capacity_;
+};
+
+}  // namespace corral
+
+#endif  // CORRAL_NET_LINKS_H_

@@ -1,0 +1,188 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Flows are considered complete when fewer than this many bytes remain;
+// guards against floating-point residue after an exact-horizon advance.
+constexpr Bytes kCompletionSlack = 1e-3;
+
+}  // namespace
+
+Network::Network(const ClusterConfig& config,
+                 std::unique_ptr<RateAllocator> allocator)
+    : config_(config), links_(config), allocator_(std::move(allocator)) {
+  require(allocator_ != nullptr, "Network: allocator must not be null");
+  link_bytes_.assign(static_cast<std::size_t>(links_.count()), 0.0);
+}
+
+int Network::add_flow(Flow flow) {
+  flow.id = next_flow_id_++;
+  flows_.push_back(std::move(flow));
+  dirty_ = true;
+  return flows_.back().id;
+}
+
+int Network::start_flow(const FlowDesc& desc) {
+  require(desc.bytes > 0, "start_flow: bytes must be positive");
+  require(desc.src_machine >= 0 &&
+              desc.src_machine < config_.total_machines(),
+          "start_flow: src out of range");
+  require(desc.dst_machine >= 0 &&
+              desc.dst_machine < config_.total_machines(),
+          "start_flow: dst out of range");
+  require(desc.src_machine != desc.dst_machine,
+          "start_flow: src and dst must differ (local transfers are free)");
+  require(desc.width > 0, "start_flow: width must be positive");
+
+  Flow flow;
+  flow.total = flow.remaining = desc.bytes;
+  flow.width = desc.width;
+  flow.coflow = desc.coflow;
+  flow.tag = desc.tag;
+  const int src_rack = desc.src_machine / config_.machines_per_rack;
+  const int dst_rack = desc.dst_machine / config_.machines_per_rack;
+  flow.cross_rack = src_rack != dst_rack;
+  flow.path.add(links_.host_up(desc.src_machine));
+  if (flow.cross_rack) {
+    flow.path.add(links_.rack_up(src_rack));
+    flow.path.add(links_.rack_down(dst_rack));
+  }
+  flow.path.add(links_.host_down(desc.dst_machine));
+  return add_flow(flow);
+}
+
+int Network::start_fanin_flow(int src_rack, int dst_machine, Bytes bytes,
+                              double width, int coflow, std::uint64_t tag) {
+  require(bytes > 0, "start_fanin_flow: bytes must be positive");
+  require(src_rack >= 0 && src_rack < config_.racks,
+          "start_fanin_flow: src rack out of range");
+  require(dst_machine >= 0 && dst_machine < config_.total_machines(),
+          "start_fanin_flow: dst out of range");
+  require(width > 0, "start_fanin_flow: width must be positive");
+
+  Flow flow;
+  flow.total = flow.remaining = bytes;
+  flow.width = width;
+  flow.coflow = coflow;
+  flow.tag = tag;
+  const int dst_rack = dst_machine / config_.machines_per_rack;
+  flow.cross_rack = src_rack != dst_rack;
+  if (flow.cross_rack) {
+    flow.path.add(links_.rack_up(src_rack));
+    flow.path.add(links_.rack_down(dst_rack));
+  }
+  flow.path.add(links_.host_down(dst_machine));
+  return add_flow(flow);
+}
+
+int Network::start_storage_flow(int dst_machine, Bytes bytes, double width,
+                                int coflow, std::uint64_t tag) {
+  require(bytes > 0, "start_storage_flow: bytes must be positive");
+  require(dst_machine >= 0 && dst_machine < config_.total_machines(),
+          "start_storage_flow: dst out of range");
+  require(width > 0, "start_storage_flow: width must be positive");
+
+  Flow flow;
+  flow.total = flow.remaining = bytes;
+  flow.width = width;
+  flow.coflow = coflow;
+  flow.tag = tag;
+  flow.cross_rack = true;  // storage reads transit the core
+  flow.path.add(links_.storage_link());
+  flow.path.add(links_.rack_down(dst_machine / config_.machines_per_rack));
+  flow.path.add(links_.host_down(dst_machine));
+  return add_flow(flow);
+}
+
+void Network::set_storage_bandwidth(BytesPerSec bandwidth) {
+  links_.set_storage_bandwidth(bandwidth);
+  dirty_ = true;
+}
+
+
+std::vector<Flow> Network::cancel_flows_if(
+    const std::function<bool(const Flow&)>& predicate) {
+  require(predicate != nullptr, "cancel_flows_if: predicate required");
+  std::vector<Flow> cancelled;
+  auto keep = flows_.begin();
+  for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+    if (predicate(*it)) {
+      cancelled.push_back(*it);
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  if (!cancelled.empty()) {
+    flows_.erase(keep, flows_.end());
+    dirty_ = true;
+  }
+  return cancelled;
+}
+
+void Network::recompute_if_dirty() {
+  if (!dirty_) return;
+  allocator_->allocate(flows_, links_);
+  dirty_ = false;
+}
+
+Seconds Network::time_to_next_completion() {
+  if (flows_.empty()) return kInf;
+  recompute_if_dirty();
+  Seconds horizon = kInf;
+  for (const Flow& flow : flows_) {
+    if (flow.rate > 0) {
+      horizon = std::min(horizon, flow.remaining / flow.rate);
+    }
+  }
+  ensure(horizon < kInf,
+         "Network: active flows but no progress (allocator starved a flow)");
+  return horizon;
+}
+
+std::vector<CompletedFlow> Network::advance(Seconds dt) {
+  require(dt >= 0, "advance: dt must be non-negative");
+  std::vector<CompletedFlow> completed;
+  if (flows_.empty() || dt == 0) return completed;
+  recompute_if_dirty();
+
+  for (Flow& flow : flows_) {
+    const Bytes moved = std::min(flow.remaining, flow.rate * dt);
+    flow.remaining -= moved;
+    if (flow.cross_rack) cross_rack_bytes_ += moved;
+    for (int i = 0; i < flow.path.count; ++i) {
+      link_bytes_[static_cast<std::size_t>(flow.path.links[i])] += moved;
+    }
+  }
+  // Batch-remove everything that finished in this step; symmetric shuffles
+  // complete in groups, so a single recompute serves many completions.
+  auto keep = flows_.begin();
+  for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+    if (it->remaining <= kCompletionSlack) {
+      completed.push_back(CompletedFlow{it->id, it->tag, it->coflow,
+                                        it->total, it->cross_rack});
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  if (!completed.empty()) {
+    flows_.erase(keep, flows_.end());
+    dirty_ = true;
+  }
+  return completed;
+}
+
+void Network::set_background_fraction(double fraction) {
+  links_.set_background_fraction(fraction);
+  dirty_ = true;
+}
+
+}  // namespace corral

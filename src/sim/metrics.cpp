@@ -1,0 +1,53 @@
+#include "sim/metrics.h"
+
+#include "util/check.h"
+
+namespace corral {
+
+std::vector<double> SimResult::completion_times() const {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const JobResult& job : jobs) out.push_back(job.completion_time());
+  return out;
+}
+
+double SimResult::avg_completion() const {
+  const auto times = completion_times();
+  return mean(times);
+}
+
+double SimResult::median_completion() const {
+  const auto times = completion_times();
+  require(!times.empty(), "median_completion: no jobs");
+  return percentile(times, 50);
+}
+
+std::vector<double> SimResult::all_reduce_durations() const {
+  std::vector<double> out;
+  for (const JobResult& job : jobs) {
+    out.insert(out.end(), job.reduce_durations.begin(),
+               job.reduce_durations.end());
+  }
+  return out;
+}
+
+std::vector<double> SimResult::per_job_avg_reduce_time() const {
+  std::vector<double> out;
+  for (const JobResult& job : jobs) {
+    if (!job.reduce_durations.empty()) {
+      out.push_back(mean(job.reduce_durations));
+    }
+  }
+  return out;
+}
+
+double SimResult::avg_uplink_utilization() const {
+  return mean(rack_uplink_utilization);
+}
+
+double reduction(double baseline, double value) {
+  require(baseline != 0, "reduction: zero baseline");
+  return (baseline - value) / baseline;
+}
+
+}  // namespace corral

@@ -1,0 +1,60 @@
+// Simulation results and the derived metrics reported in §6.
+#ifndef CORRAL_SIM_METRICS_H_
+#define CORRAL_SIM_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace corral {
+
+struct JobResult {
+  int job_id = 0;
+  std::string name;
+  bool recurring = true;
+  Seconds arrival = 0;
+  Seconds first_task_start = 0;
+  Seconds finish = 0;
+  // Bytes this job moved over rack up/down links (input reads, shuffle,
+  // replica writes).
+  Bytes cross_rack_bytes = 0;
+  // Total slot-occupancy seconds of the job's tasks ("compute hours",
+  // Fig 7b, measures "the total time spent by all the tasks").
+  double compute_seconds = 0;
+  // Per reduce-task execution times (fetch + compute + write), Fig 7c.
+  std::vector<Seconds> reduce_durations;
+
+  Seconds completion_time() const { return finish - arrival; }
+};
+
+struct SimResult {
+  std::string policy_name;
+  Seconds makespan = 0;  // time until the last job finishes
+  std::vector<JobResult> jobs;
+  Bytes total_cross_rack_bytes = 0;
+  double total_compute_hours = 0;
+  // CoV of per-rack input bytes after placement (§6.2 "Data balance").
+  double input_balance_cov = 0;
+  // Mean utilization of each rack's (background-reduced) core uplink over
+  // the run: bytes sent up / (effective capacity x makespan). Quantifies
+  // how much core bandwidth the scheduler left for other tenants.
+  std::vector<double> rack_uplink_utilization;
+
+  std::vector<double> completion_times() const;
+  double avg_completion() const;
+  double median_completion() const;
+  std::vector<double> all_reduce_durations() const;
+  // Mean of per-job average reduce-task times (Fig 7c aggregates per job).
+  std::vector<double> per_job_avg_reduce_time() const;
+  // Average of rack_uplink_utilization (0 when unavailable).
+  double avg_uplink_utilization() const;
+};
+
+// (a - b) / a: fractional reduction of metric `b` relative to baseline `a`.
+double reduction(double baseline, double value);
+
+}  // namespace corral
+
+#endif  // CORRAL_SIM_METRICS_H_

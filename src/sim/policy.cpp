@@ -1,0 +1,165 @@
+#include "sim/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace corral {
+
+PlanLookup::PlanLookup(std::span<const JobSpec> planned_jobs,
+                       const Plan& plan) {
+  require(planned_jobs.size() == plan.jobs.size(),
+          "PlanLookup: job/plan size mismatch");
+  for (std::size_t i = 0; i < planned_jobs.size(); ++i) {
+    by_job_id_.emplace(planned_jobs[i].id, plan.jobs[i]);
+  }
+}
+
+const PlannedJob* PlanLookup::find(int job_id) const {
+  const auto it = by_job_id_.find(job_id);
+  return it == by_job_id_.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<BlockPlacementPolicy> YarnCapacityPolicy::input_placement(
+    const JobSpec&) {
+  return std::make_unique<DefaultPlacement>();
+}
+
+std::vector<int> YarnCapacityPolicy::allowed_racks(
+    const JobSpec&, const Dfs&, const std::vector<const FileLayout*>&,
+    Rng&) {
+  return {};
+}
+
+double YarnCapacityPolicy::priority(const JobSpec& job) const {
+  return job.arrival;
+}
+
+CorralPolicy::CorralPolicy(const PlanLookup* plan) : plan_(plan) {
+  require(plan_ != nullptr, "CorralPolicy: plan must not be null");
+}
+
+std::unique_ptr<BlockPlacementPolicy> CorralPolicy::input_placement(
+    const JobSpec& job) {
+  const PlannedJob* planned = plan_->find(job.id);
+  if (planned == nullptr || !job.recurring) {
+    // Ad hoc jobs use regular HDFS policies (§3.1).
+    return std::make_unique<DefaultPlacement>();
+  }
+  return std::make_unique<CorralPlacement>(planned->racks);
+}
+
+std::vector<int> CorralPolicy::allowed_racks(
+    const JobSpec& job, const Dfs&, const std::vector<const FileLayout*>&,
+    Rng&) {
+  const PlannedJob* planned = plan_->find(job.id);
+  if (planned == nullptr || !job.recurring) return {};
+  return planned->racks;
+}
+
+double CorralPolicy::priority(const JobSpec& job) const {
+  // Planned jobs are ordered by their planned start time T_j (which orders
+  // exactly like the planner's priority rank p_j); ad hoc jobs interleave
+  // by arrival time on the same axis, so they use whatever slots the plan
+  // leaves idle without being starved behind the entire plan.
+  const PlannedJob* planned = plan_->find(job.id);
+  if (planned == nullptr || !job.recurring) return job.arrival;
+  return planned->start_time;
+}
+
+LocalShufflePolicy::LocalShufflePolicy(const PlanLookup* plan)
+    : plan_(plan) {
+  require(plan_ != nullptr, "LocalShufflePolicy: plan must not be null");
+}
+
+std::unique_ptr<BlockPlacementPolicy> LocalShufflePolicy::input_placement(
+    const JobSpec&) {
+  // The whole point of this baseline: Corral's task placement, HDFS's
+  // random data placement (§6.1).
+  return std::make_unique<DefaultPlacement>();
+}
+
+std::vector<int> LocalShufflePolicy::allowed_racks(
+    const JobSpec& job, const Dfs&, const std::vector<const FileLayout*>&,
+    Rng&) {
+  const PlannedJob* planned = plan_->find(job.id);
+  if (planned == nullptr || !job.recurring) return {};
+  return planned->racks;
+}
+
+double LocalShufflePolicy::priority(const JobSpec& job) const {
+  const PlannedJob* planned = plan_->find(job.id);
+  if (planned == nullptr || !job.recurring) return job.arrival;
+  return planned->start_time;
+}
+
+ShuffleWatcherPolicy::ShuffleWatcherPolicy(int slots_per_rack)
+    : slots_per_rack_(slots_per_rack) {
+  require(slots_per_rack_ > 0,
+          "ShuffleWatcherPolicy: slots_per_rack must be positive");
+}
+
+std::unique_ptr<BlockPlacementPolicy> ShuffleWatcherPolicy::input_placement(
+    const JobSpec&) {
+  return std::make_unique<DefaultPlacement>();
+}
+
+std::vector<int> ShuffleWatcherPolicy::allowed_racks(
+    const JobSpec& job, const Dfs& dfs,
+    const std::vector<const FileLayout*>& input_files, Rng&) {
+  const int num_racks = dfs.topology().racks();
+  // Choose the rack count that minimizes estimated cross-rack bytes:
+  // remote input reads shrink with r, shuffle spillover grows with r.
+  const double input = job.total_input();
+  const double shuffle = job.total_shuffle();
+  int needed = 1;
+  double best_cost = std::numeric_limits<double>::max();
+  for (int r = 1; r <= num_racks; ++r) {
+    const double cost =
+        input * (1.0 - static_cast<double>(r) / num_racks) +
+        shuffle * (static_cast<double>(r - 1) / r);
+    if (cost < best_cost - 1e-9) {
+      best_cost = cost;
+      needed = r;
+    }
+  }
+  if (needed >= num_racks) return {};
+
+  // Per-rack bytes of this job's input.
+  std::vector<Bytes> input_by_rack(static_cast<std::size_t>(num_racks), 0.0);
+  for (const FileLayout* file : input_files) {
+    for (const auto& chunk : file->chunks) {
+      for (int m : chunk.machines) {
+        input_by_rack[static_cast<std::size_t>(dfs.topology().rack_of(m))] +=
+            chunk.bytes / static_cast<double>(chunk.machines.size());
+      }
+    }
+  }
+  // Rank racks by how much of the job's input they hold, bucketed coarsely
+  // so near-ties resolve toward low rack ids. ShuffleWatcher is oblivious
+  // to what other jobs chose, so with HDFS's near-uniform spread many jobs
+  // herd onto the same racks — the contention pathology §6.2.1 observes
+  // ("ends up scheduling several large jobs on the same subset of racks").
+  const Bytes bucket = std::max<Bytes>(input / (2.0 * num_racks), 1.0);
+  std::vector<int> racks(static_cast<std::size_t>(num_racks));
+  for (int r = 0; r < num_racks; ++r) racks[static_cast<std::size_t>(r)] = r;
+  std::sort(racks.begin(), racks.end(), [&](int a, int b) {
+    const double ba =
+        std::floor(input_by_rack[static_cast<std::size_t>(a)] / bucket);
+    const double bb =
+        std::floor(input_by_rack[static_cast<std::size_t>(b)] / bucket);
+    if (ba != bb) return ba > bb;
+    return a < b;
+  });
+  racks.resize(static_cast<std::size_t>(needed));
+  std::sort(racks.begin(), racks.end());
+  return racks;
+}
+
+double ShuffleWatcherPolicy::priority(const JobSpec& job) const {
+  return job.arrival;
+}
+
+}  // namespace corral

@@ -1,0 +1,136 @@
+// Job scheduling policies (§6.1 "Baselines").
+//
+// The simulator delegates three decisions to a policy, mirroring how the
+// paper's Yarn implementation splits responsibilities (§5):
+//   * where to place a job's input data (HDFS block placement policy),
+//   * which racks the job's tasks are constrained to (locality preference
+//     passed to the Resource Manager),
+//   * the order in which jobs get free slots (priority p_j).
+//
+// Implemented policies:
+//   * YarnCapacityPolicy  — Yarn-CS: default random data placement, no rack
+//     constraints, FIFO by arrival, delay scheduling for map locality.
+//   * CorralPolicy        — the paper's system: plan-driven data placement
+//     (one replica inside R_j), tasks constrained to R_j, plan priorities.
+//   * LocalShufflePolicy  — Corral's task placement but HDFS's default data
+//     placement; isolates the contribution of input placement (§6.1).
+//   * ShuffleWatcherPolicy — per-job greedy rack subset chosen at submit
+//     time with no cross-job coordination; input data stays random.
+#ifndef CORRAL_SIM_POLICY_H_
+#define CORRAL_SIM_POLICY_H_
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "corral/planner.h"
+#include "dfs/placement.h"
+#include "jobs/job.h"
+
+namespace corral {
+
+// Maps job ids to their planned allocation. Built from the jobs the planner
+// saw (in the same order) and the plan it produced.
+class PlanLookup {
+ public:
+  PlanLookup() = default;
+  PlanLookup(std::span<const JobSpec> planned_jobs, const Plan& plan);
+
+  // Returns nullptr for jobs the planner did not see (ad hoc jobs).
+  const PlannedJob* find(int job_id) const;
+
+ private:
+  std::unordered_map<int, PlannedJob> by_job_id_;
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Block placement policy for the job's input files.
+  virtual std::unique_ptr<BlockPlacementPolicy> input_placement(
+      const JobSpec& job) = 0;
+
+  // Racks the job's tasks are constrained to; empty means the whole
+  // cluster. Called after the input data has been placed; `input_files`
+  // are the job's input layouts (one per source stage).
+  virtual std::vector<int> allowed_racks(
+      const JobSpec& job, const Dfs& dfs,
+      const std::vector<const FileLayout*>& input_files, Rng& rng) = 0;
+
+  // Scheduling priority; lower value runs first.
+  virtual double priority(const JobSpec& job) const = 0;
+};
+
+class YarnCapacityPolicy : public SchedulingPolicy {
+ public:
+  std::string_view name() const override { return "yarn-cs"; }
+  std::unique_ptr<BlockPlacementPolicy> input_placement(
+      const JobSpec& job) override;
+  std::vector<int> allowed_racks(
+      const JobSpec& job, const Dfs& dfs,
+      const std::vector<const FileLayout*>& input_files, Rng& rng) override;
+  double priority(const JobSpec& job) const override;
+};
+
+class CorralPolicy : public SchedulingPolicy {
+ public:
+  explicit CorralPolicy(const PlanLookup* plan);
+
+  std::string_view name() const override { return "corral"; }
+  std::unique_ptr<BlockPlacementPolicy> input_placement(
+      const JobSpec& job) override;
+  std::vector<int> allowed_racks(
+      const JobSpec& job, const Dfs& dfs,
+      const std::vector<const FileLayout*>& input_files, Rng& rng) override;
+  double priority(const JobSpec& job) const override;
+
+ private:
+  const PlanLookup* plan_;
+};
+
+class LocalShufflePolicy : public SchedulingPolicy {
+ public:
+  explicit LocalShufflePolicy(const PlanLookup* plan);
+
+  std::string_view name() const override { return "local-shuffle"; }
+  std::unique_ptr<BlockPlacementPolicy> input_placement(
+      const JobSpec& job) override;
+  std::vector<int> allowed_racks(
+      const JobSpec& job, const Dfs& dfs,
+      const std::vector<const FileLayout*>& input_files, Rng& rng) override;
+  double priority(const JobSpec& job) const override;
+
+ private:
+  const PlanLookup* plan_;
+};
+
+class ShuffleWatcherPolicy : public SchedulingPolicy {
+ public:
+  explicit ShuffleWatcherPolicy(int slots_per_rack);
+
+  std::string_view name() const override { return "shufflewatcher"; }
+  std::unique_ptr<BlockPlacementPolicy> input_placement(
+      const JobSpec& job) override;
+  // Greedy, per-job: picks the rack count minimizing the job's estimated
+  // cross-rack bytes — remote input reads (input is spread uniformly, so a
+  // fraction 1 - r/R must cross) against shuffle spillover ((r-1)/r of the
+  // shuffle) — then prefers the racks already holding the most of its
+  // input. No coordination across jobs and no makespan term, which is why
+  // it "can schedule all jobs on a single rack" (§6.1) and places W2's
+  // giant shuffle-heavy jobs on one rack (§6.2.1).
+  std::vector<int> allowed_racks(
+      const JobSpec& job, const Dfs& dfs,
+      const std::vector<const FileLayout*>& input_files, Rng& rng) override;
+  double priority(const JobSpec& job) const override;
+
+ private:
+  int slots_per_rack_;
+};
+
+}  // namespace corral
+
+#endif  // CORRAL_SIM_POLICY_H_

@@ -1,0 +1,41 @@
+#include "sim/result_io.h"
+
+#include <fstream>
+#include <iomanip>
+
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+std::string sanitize_name(const std::string& name) {
+  std::string out = name.empty() ? std::string("unnamed") : name;
+  for (char& c : out) {
+    if (c == ',' || c == ' ' || c == '\n' || c == '\t') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_results_csv(std::ostream& out, const SimResult& result) {
+  out << "job_id,name,recurring,arrival,finish,completion,"
+         "cross_rack_bytes,compute_seconds,num_reduce_tasks\n";
+  out << std::setprecision(17);
+  for (const JobResult& job : result.jobs) {
+    out << job.job_id << ',' << sanitize_name(job.name) << ','
+        << (job.recurring ? 1 : 0) << ',' << job.arrival << ',' << job.finish
+        << ',' << job.completion_time() << ',' << job.cross_rack_bytes << ','
+        << job.compute_seconds << ',' << job.reduce_durations.size() << "\n";
+  }
+}
+
+void write_results_csv_file(const std::string& path,
+                            const SimResult& result) {
+  std::ofstream out(path);
+  require(out.good(), "write_results_csv_file: cannot open output file");
+  write_results_csv(out, result);
+  require(out.good(), "write_results_csv_file: write failed");
+}
+
+}  // namespace corral

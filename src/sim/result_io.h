@@ -1,0 +1,22 @@
+// CSV export of simulation results, so the evaluation pipeline can feed
+// external plotting tools. The matching trace format for job specs lives
+// in workload/trace_io.h.
+#ifndef CORRAL_SIM_RESULT_IO_H_
+#define CORRAL_SIM_RESULT_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/metrics.h"
+
+namespace corral {
+
+// Writes per-job results as CSV with a header row:
+// job_id,name,recurring,arrival,finish,completion,cross_rack_bytes,
+// compute_seconds,num_reduce_tasks
+void write_results_csv(std::ostream& out, const SimResult& result);
+void write_results_csv_file(const std::string& path, const SimResult& result);
+
+}  // namespace corral
+
+#endif  // CORRAL_SIM_RESULT_IO_H_

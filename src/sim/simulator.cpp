@@ -1,0 +1,1147 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+
+#include "net/network.h"
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr Seconds kTimeEps = 1e-9;
+// Transfers below this size are treated as free (metadata-level traffic).
+constexpr Bytes kMinFlowBytes = 1.0;
+
+enum class FlowKind : std::uint64_t {
+  kMapFetch = 1,
+  kReduceFetch = 2,
+  kWriteRemote = 3,
+};
+
+// Flow tags / task keys: kind(4) | attempt(8) | job(20) | stage(8) |
+// task(24). The attempt counter distinguishes a task's re-execution after a
+// machine failure from stale flows and events of its previous run.
+std::uint64_t pack_tag(FlowKind kind, int attempt, int job, int stage,
+                       int task) {
+  return (static_cast<std::uint64_t>(kind) << 60) |
+         (static_cast<std::uint64_t>(attempt & 0xFF) << 52) |
+         (static_cast<std::uint64_t>(job) << 32) |
+         (static_cast<std::uint64_t>(stage) << 24) |
+         static_cast<std::uint64_t>(task);
+}
+
+FlowKind tag_kind(std::uint64_t tag) {
+  return static_cast<FlowKind>(tag >> 60);
+}
+int tag_attempt(std::uint64_t tag) {
+  return static_cast<int>((tag >> 52) & 0xFF);
+}
+int tag_job(std::uint64_t tag) {
+  return static_cast<int>((tag >> 32) & 0xFFFFF);
+}
+int tag_stage(std::uint64_t tag) {
+  return static_cast<int>((tag >> 24) & 0xFF);
+}
+int tag_task(std::uint64_t tag) {
+  return static_cast<int>(tag & 0xFFFFFF);
+}
+
+// Attempt counters travel as 8 bits inside tags; compare modulo 256.
+bool same_attempt(int current, int from_tag) {
+  return (current & 0xFF) == from_tag;
+}
+
+enum class StageState { kWaiting, kMapping, kReducing, kDone };
+
+struct StageRuntime {
+  StageState state = StageState::kWaiting;
+  int parents_pending = 0;
+
+  // --- map side ---
+  std::deque<int> map_queue;  // unscheduled map task ids
+  int maps_done = 0;
+  int maps_pending = 0;  // queued, not yet assigned
+  std::vector<bool> map_taken;
+  std::vector<Seconds> map_start;
+  std::vector<int> map_attempt;       // re-execution counter per task
+  std::vector<int> map_assigned;      // machine running the map, or -1
+  std::vector<int> map_exec_machine;  // machine of a completed map, or -1
+  // Chunk-level locality indices for source stages (lazy deletion).
+  const FileLayout* input_file = nullptr;
+  // Source stage reading from the external storage cluster (§7).
+  bool remote_input = false;
+  std::unordered_map<int, std::vector<int>> maps_by_machine;
+  std::unordered_map<int, std::vector<int>> maps_by_rack;
+  // Non-source stages read their parents' outputs, spread over racks.
+  std::vector<Bytes> stage_input_by_rack;
+
+  // --- shuffle bookkeeping ---
+  std::vector<Bytes> map_output_by_rack;
+  std::vector<std::unordered_set<int>> map_machines_by_rack;
+  std::unordered_map<int, int> maps_on_machine;  // completed maps per host
+
+  // --- reduce side ---
+  std::deque<int> reduce_queue;
+  int reduces_done = 0;
+  int reduces_pending = 0;
+  std::vector<int> reduce_pending_flows;
+  std::vector<Seconds> reduce_start;
+  std::vector<int> reduce_attempt;
+  std::vector<int> reduce_assigned;  // machine running the reduce, or -1
+  std::vector<bool> reduce_done;
+
+  // Where this stage's output ended up (feeds child stages).
+  std::vector<Bytes> output_by_rack;
+};
+
+struct JobRuntime {
+  const JobSpec* spec = nullptr;
+  int index = 0;
+  double priority = 0;
+  std::vector<StageRuntime> stages;
+  std::vector<std::vector<int>> children;  // stage -> child stages
+  std::vector<int> allowed_racks;          // empty = whole cluster
+  std::vector<bool> rack_allowed;          // always sized to racks
+  int stages_done = 0;
+  bool finished = false;
+  int delay_skips = 0;
+  int pending_tasks = 0;  // queued map + reduce tasks across stages
+  JobResult result;
+};
+
+struct Event {
+  Seconds time = 0;
+  long seq = 0;
+  enum class Type { kArrival, kMapCompute, kReduceCompute, kMachineFailure }
+      type = Type::kArrival;
+  int job = 0;
+  int stage = 0;
+  int task = 0;
+  int machine = 0;
+  int attempt = 0;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+class Simulator {
+ public:
+  Simulator(std::span<const JobSpec> jobs, SchedulingPolicy& policy,
+            const SimConfig& config)
+      : config_(config),
+        topology_(config.cluster),
+        dfs_(&topology_, config.dfs),
+        network_(config.cluster,
+                 config.use_varys
+                     ? std::unique_ptr<RateAllocator>(
+                           std::make_unique<VarysAllocator>())
+                     : std::make_unique<MaxMinFairAllocator>()),
+        policy_(policy),
+        rng_(config.seed) {
+    for (int m : config.failed_machines) topology_.fail_machine(m);
+    require(config_.storage_bandwidth > 0,
+            "run_simulation: storage bandwidth must be positive");
+    network_.set_storage_bandwidth(config_.storage_bandwidth);
+    slots_free_.assign(static_cast<std::size_t>(topology_.machines()), 0);
+    for (int m = 0; m < topology_.machines(); ++m) {
+      slots_free_[static_cast<std::size_t>(m)] =
+          topology_.is_up(m) ? config_.cluster.slots_per_machine : 0;
+    }
+    for (const SimConfig::MachineFailure& failure :
+         config_.machine_failure_events) {
+      require(failure.machine >= 0 && failure.machine < topology_.machines(),
+              "run_simulation: failure event machine out of range");
+      require(failure.time >= 0,
+              "run_simulation: failure event time must be non-negative");
+      push_event(Event{failure.time, next_seq_++,
+                       Event::Type::kMachineFailure, 0, 0, 0,
+                       failure.machine, 0});
+    }
+    jobs_.resize(jobs.size());
+    std::unordered_set<int> seen_ids;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i].validate();
+      require(seen_ids.insert(jobs[i].id).second,
+              "run_simulation: duplicate job id");
+      require(jobs[i].stages.size() < 256,
+              "run_simulation: at most 255 stages per job");
+      JobRuntime& J = jobs_[i];
+      J.spec = &jobs[i];
+      J.index = static_cast<int>(i);
+      J.stages.resize(jobs[i].stages.size());
+      J.children.resize(jobs[i].stages.size());
+      for (const DagEdge& e : jobs[i].edges) {
+        J.children[static_cast<std::size_t>(e.from)].push_back(e.to);
+        ++J.stages[static_cast<std::size_t>(e.to)].parents_pending;
+      }
+      J.result.job_id = jobs[i].id;
+      J.result.name = jobs[i].name;
+      J.result.recurring = jobs[i].recurring;
+      J.result.arrival = jobs[i].arrival;
+      J.result.first_task_start = -1;
+      push_event(Event{jobs[i].arrival, next_seq_++, Event::Type::kArrival,
+                       static_cast<int>(i), 0, 0, 0, 0});
+    }
+  }
+
+  SimResult run() {
+    while (!events_.empty() || !network_.idle()) {
+      const Seconds event_time =
+          events_.empty() ? kInf : events_.top().time;
+      const Seconds net_horizon = network_.time_to_next_completion();
+      const Seconds net_time =
+          net_horizon == kInf ? kInf : now_ + net_horizon;
+      Seconds next = std::min(event_time, net_time);
+      if (next == kInf && unfinished_jobs() == 0) break;  // failure events only
+      ensure(next < kInf, "simulation stalled: no events, active flows");
+      ensure(next >= now_ - kTimeEps, "time went backwards");
+      ensure(next <= config_.max_time, "simulation exceeded max_time");
+
+      // Batch flow completions within one quantum (never past an event):
+      // staggered completions then share a single rate recomputation.
+      if (net_time < event_time) {
+        next = std::min(event_time,
+                        std::max(net_time, now_ + config_.time_quantum));
+      }
+
+      if (next > now_) {
+        const auto completed = network_.advance(next - now_);
+        now_ = next;
+        for (const CompletedFlow& flow : completed) on_flow_complete(flow);
+      } else {
+        now_ = next;
+      }
+      while (!events_.empty() && events_.top().time <= now_ + kTimeEps) {
+        const Event event = events_.top();
+        events_.pop();
+        process_event(event);
+      }
+      dispatch();
+    }
+
+    SimResult result;
+    result.policy_name = std::string(policy_.name());
+    result.input_balance_cov = dfs_.rack_balance_cov();
+    for (JobRuntime& J : jobs_) {
+      result.makespan = std::max(result.makespan, J.result.finish);
+    }
+    if (result.makespan > 0) {
+      const BytesPerSec uplink = config_.cluster.effective_rack_uplink();
+      for (int r = 0; r < topology_.racks(); ++r) {
+        const Bytes up = network_.link_bytes()[static_cast<std::size_t>(
+            network_.links().rack_up(r))];
+        result.rack_uplink_utilization.push_back(
+            up / (uplink * result.makespan));
+      }
+    }
+    for (JobRuntime& J : jobs_) {
+      ensure(J.finished, "run: job did not finish");
+      result.makespan = std::max(result.makespan, J.result.finish);
+      result.total_cross_rack_bytes += J.result.cross_rack_bytes;
+      result.total_compute_hours += J.result.compute_seconds / kHour;
+      result.jobs.push_back(std::move(J.result));
+    }
+    return result;
+  }
+
+ private:
+  const MapReduceSpec& stage_spec(int job, int stage) const {
+    return jobs_[static_cast<std::size_t>(job)]
+        .spec->stages[static_cast<std::size_t>(stage)];
+  }
+  StageRuntime& stage_rt(int job, int stage) {
+    return jobs_[static_cast<std::size_t>(job)]
+        .stages[static_cast<std::size_t>(stage)];
+  }
+
+  int unfinished_jobs() const {
+    int count = 0;
+    for (const JobRuntime& J : jobs_) {
+      if (!J.finished) ++count;
+    }
+    return count;
+  }
+
+  void push_event(Event event) {
+    // Align event times to the batching quantum (rounding up preserves
+    // causality: nothing ever completes early).
+    if (config_.time_quantum > 0) {
+      event.time = std::ceil(event.time / config_.time_quantum) *
+                   config_.time_quantum;
+    }
+    events_.push(event);
+  }
+
+  // ---------------------------------------------------------------- events
+
+  void process_event(const Event& event) {
+    switch (event.type) {
+      case Event::Type::kArrival:
+        submit_job(event.job);
+        break;
+      case Event::Type::kMapCompute: {
+        StageRuntime& S = stage_rt(event.job, event.stage);
+        // Stale events of a killed attempt are ignored.
+        if (!same_attempt(S.map_attempt[static_cast<std::size_t>(event.task)],
+                          event.attempt & 0xFF)) {
+          break;
+        }
+        finish_map_task(event.job, event.stage, event.task, event.machine);
+        break;
+      }
+      case Event::Type::kReduceCompute: {
+        StageRuntime& S = stage_rt(event.job, event.stage);
+        if (!same_attempt(
+                S.reduce_attempt[static_cast<std::size_t>(event.task)],
+                event.attempt & 0xFF)) {
+          break;
+        }
+        on_reduce_computed(event.job, event.stage, event.task, event.machine);
+        break;
+      }
+      case Event::Type::kMachineFailure:
+        on_machine_failure(event.machine);
+        break;
+    }
+  }
+
+  void submit_job(int j) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    const JobSpec& spec = *J.spec;
+
+    // Place input data (one file per source stage), then ask the policy for
+    // rack constraints given where the data landed. In the remote-storage
+    // deployment (§7) there is nothing to place: maps stream their input
+    // over the storage interconnect instead.
+    std::vector<const FileLayout*> layouts;
+    if (config_.remote_input_storage) {
+      for (int s : spec.source_stages()) {
+        J.stages[static_cast<std::size_t>(s)].remote_input = true;
+      }
+    } else {
+      const auto placement = policy_.input_placement(spec);
+      for (int s : spec.source_stages()) {
+        const MapReduceSpec& st = spec.stages[static_cast<std::size_t>(s)];
+        if (st.input_bytes <= 0) continue;
+        const std::string file_name = "job-" + std::to_string(spec.id) +
+                                      "-stage-" + std::to_string(s) +
+                                      "-input";
+        const FileLayout& layout = dfs_.write_file(
+            file_name, st.input_bytes, st.num_maps, *placement, rng_);
+        J.stages[static_cast<std::size_t>(s)].input_file = &layout;
+        layouts.push_back(&layout);
+      }
+    }
+
+    std::vector<int> racks = policy_.allowed_racks(spec, dfs_, layouts, rng_);
+    // Fall back to the whole cluster when an assigned rack lost too many
+    // machines (§3.1: the RM ignores locality guidelines in that case).
+    for (int r : racks) {
+      require(r >= 0 && r < topology_.racks(),
+              "submit_job: policy returned bad rack");
+      if (!topology_.rack_usable(r, config_.rack_health_threshold)) {
+        racks.clear();
+        break;
+      }
+    }
+    J.allowed_racks = racks;
+    J.rack_allowed.assign(static_cast<std::size_t>(topology_.racks()),
+                          racks.empty());
+    for (int r : racks) J.rack_allowed[static_cast<std::size_t>(r)] = true;
+
+    J.priority = policy_.priority(spec);
+    // Insert in priority order (ties by arrival sequence).
+    const auto pos = std::upper_bound(
+        active_jobs_.begin(), active_jobs_.end(), j, [&](int a, int b) {
+          return jobs_[static_cast<std::size_t>(a)].priority <
+                 jobs_[static_cast<std::size_t>(b)].priority;
+        });
+    active_jobs_.insert(pos, j);
+
+    for (int s : spec.source_stages()) activate_stage(j, s);
+    new_work_ = true;
+  }
+
+  void activate_stage(int j, int s) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    StageRuntime& S = stage_rt(j, s);
+    const MapReduceSpec& spec = stage_spec(j, s);
+    ensure(S.state == StageState::kWaiting, "activate_stage: bad state");
+    ensure(S.parents_pending == 0, "activate_stage: parents pending");
+    S.state = StageState::kMapping;
+
+    const auto maps = static_cast<std::size_t>(spec.num_maps);
+    const auto reduces = static_cast<std::size_t>(spec.num_reduces);
+    S.map_taken.assign(maps, false);
+    S.map_start.assign(maps, 0.0);
+    S.map_attempt.assign(maps, 0);
+    S.map_assigned.assign(maps, -1);
+    S.map_exec_machine.assign(maps, -1);
+    S.reduce_attempt.assign(reduces, 0);
+    S.reduce_assigned.assign(reduces, -1);
+    S.reduce_done.assign(reduces, false);
+    S.map_output_by_rack.assign(static_cast<std::size_t>(topology_.racks()),
+                                0.0);
+    S.map_machines_by_rack.resize(
+        static_cast<std::size_t>(topology_.racks()));
+    S.output_by_rack.assign(static_cast<std::size_t>(topology_.racks()), 0.0);
+    for (int t = 0; t < spec.num_maps; ++t) S.map_queue.push_back(t);
+    S.maps_pending = spec.num_maps;
+    J.pending_tasks += spec.num_maps;
+
+    if (S.input_file != nullptr) {
+      // Chunk-level locality index: map t reads chunk t.
+      for (int t = 0; t < spec.num_maps; ++t) {
+        const auto& replicas =
+            S.input_file->chunks[static_cast<std::size_t>(t)].machines;
+        for (int m : replicas) {
+          S.maps_by_machine[m].push_back(t);
+          S.maps_by_rack[topology_.rack_of(m)].push_back(t);
+        }
+      }
+    } else {
+      // Non-source stage: input is the union of parent outputs.
+      S.stage_input_by_rack.assign(
+          static_cast<std::size_t>(topology_.racks()), 0.0);
+      for (const DagEdge& e : J.spec->edges) {
+        if (e.to != s) continue;
+        const StageRuntime& parent = stage_rt(j, e.from);
+        for (int r = 0; r < topology_.racks(); ++r) {
+          S.stage_input_by_rack[static_cast<std::size_t>(r)] +=
+              parent.output_by_rack[static_cast<std::size_t>(r)];
+        }
+      }
+    }
+    new_work_ = true;
+  }
+
+  // ------------------------------------------------------------- map tasks
+
+  void start_map_task(int j, int s, int task, int machine) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    StageRuntime& S = stage_rt(j, s);
+    const MapReduceSpec& spec = stage_spec(j, s);
+    const int attempt = S.map_attempt[static_cast<std::size_t>(task)];
+    S.map_taken[static_cast<std::size_t>(task)] = true;
+    S.map_assigned[static_cast<std::size_t>(task)] = machine;
+    --S.maps_pending;
+    --J.pending_tasks;
+    --slots_free_[static_cast<std::size_t>(machine)];
+    S.map_start[static_cast<std::size_t>(task)] = now_;
+    if (J.result.first_task_start < 0) J.result.first_task_start = now_;
+
+    const Bytes input_share = spec.input_bytes / spec.num_maps;
+    const Seconds compute = input_share / spec.map_rate;
+
+    if (S.remote_input && input_share >= kMinFlowBytes) {
+      // Remote storage deployment (§7): stream the split over the storage
+      // interconnect, then process.
+      map_machine_[map_key(j, s, task, attempt)] = machine;
+      network_.start_storage_flow(
+          machine, input_share, 1.0, coflow_id(j, s),
+          pack_tag(FlowKind::kMapFetch, attempt, j, s, task));
+      return;
+    }
+    if (S.input_file != nullptr && input_share >= kMinFlowBytes) {
+      if (!S.input_file->chunk_on_machine(task, machine)) {
+        // Remote read: stream the chunk from the closest healthy replica,
+        // then process. (Remote maps pay the transfer in full; locality is
+        // exactly what delay scheduling and Corral's placement buy back.)
+        const int src = pick_replica(*S.input_file, task, machine);
+        if (src != machine) {
+          map_machine_[map_key(j, s, task, attempt)] = machine;
+          network_.start_flow(FlowDesc{
+              src, machine, input_share, 1.0, /*coflow=*/-1,
+              pack_tag(FlowKind::kMapFetch, attempt, j, s, task)});
+          return;  // compute event scheduled on flow completion
+        }
+      }
+    } else if (S.input_file == nullptr && !S.remote_input) {
+      // Non-source stage: fetch the task's share of parent outputs from
+      // every rack holding some (a shuffle-like fan-in).
+      int flows = 0;
+      for (int r = 0; r < topology_.racks(); ++r) {
+        const Bytes bytes =
+            S.stage_input_by_rack[static_cast<std::size_t>(r)] /
+            spec.num_maps;
+        if (bytes < kMinFlowBytes) continue;
+        network_.start_fanin_flow(
+            r, machine, bytes, 1.0, coflow_id(j, s),
+            pack_tag(FlowKind::kMapFetch, attempt, j, s, task));
+        ++flows;
+      }
+      if (flows > 0) {
+        // The compute event fires when the *last* fan-in flow finishes.
+        map_fetches_[map_key(j, s, task, attempt)] = flows;
+        map_machine_[map_key(j, s, task, attempt)] = machine;
+        return;
+      }
+    }
+    push_event(Event{now_ + compute, next_seq_++, Event::Type::kMapCompute,
+                     j, s, task, machine, attempt});
+  }
+
+  void finish_map_task(int j, int s, int task, int machine) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    StageRuntime& S = stage_rt(j, s);
+    const MapReduceSpec& spec = stage_spec(j, s);
+    const int rack = topology_.rack_of(machine);
+
+    J.result.compute_seconds +=
+        now_ - S.map_start[static_cast<std::size_t>(task)];
+    S.map_assigned[static_cast<std::size_t>(task)] = -1;
+    S.map_exec_machine[static_cast<std::size_t>(task)] = machine;
+    ++S.maps_done;
+    ++S.maps_on_machine[machine];
+    if (spec.shuffle_bytes > 0 && spec.num_reduces > 0) {
+      S.map_output_by_rack[static_cast<std::size_t>(rack)] +=
+          spec.shuffle_bytes / spec.num_maps;
+      S.map_machines_by_rack[static_cast<std::size_t>(rack)].insert(machine);
+    }
+    if (spec.num_reduces == 0) {
+      // Map-only stage: output materializes where the maps ran.
+      S.output_by_rack[static_cast<std::size_t>(rack)] +=
+          spec.output_bytes / spec.num_maps;
+    }
+    free_slot(machine);
+
+    if (S.maps_done == spec.num_maps) {
+      if (spec.num_reduces > 0) {
+        start_reduce_phase(j, s);
+      } else {
+        complete_stage(j, s);
+      }
+    }
+  }
+
+  // Transitions a stage whose maps are all done into the reduce phase,
+  // queueing only reduces that have not already completed (a stage can pass
+  // through here again after a failure reran lost maps).
+  void start_reduce_phase(int j, int s) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    StageRuntime& S = stage_rt(j, s);
+    const MapReduceSpec& spec = stage_spec(j, s);
+    if (S.reduces_done == spec.num_reduces) {
+      complete_stage(j, s);
+      return;
+    }
+    S.state = StageState::kReducing;
+    S.reduce_pending_flows.assign(
+        static_cast<std::size_t>(spec.num_reduces), 0);
+    if (S.reduce_start.empty()) {
+      S.reduce_start.assign(static_cast<std::size_t>(spec.num_reduces), 0.0);
+    }
+    ensure(S.reduce_queue.empty(), "start_reduce_phase: stale reduce queue");
+    for (int t = 0; t < spec.num_reduces; ++t) {
+      if (!S.reduce_done[static_cast<std::size_t>(t)]) {
+        S.reduce_queue.push_back(t);
+        ++S.reduces_pending;
+        ++J.pending_tasks;
+      }
+    }
+    new_work_ = true;
+  }
+
+  // ---------------------------------------------------------- reduce tasks
+
+  void start_reduce_task(int j, int s, int task, int machine) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    StageRuntime& S = stage_rt(j, s);
+    const MapReduceSpec& spec = stage_spec(j, s);
+    const int attempt = S.reduce_attempt[static_cast<std::size_t>(task)];
+    --S.reduces_pending;
+    --J.pending_tasks;
+    --slots_free_[static_cast<std::size_t>(machine)];
+    S.reduce_assigned[static_cast<std::size_t>(task)] = machine;
+    S.reduce_start[static_cast<std::size_t>(task)] = now_;
+    if (J.result.first_task_start < 0) J.result.first_task_start = now_;
+
+    // Fetch this reduce's share of every rack's map output. Width = number
+    // of machines that produced map output there, approximating the
+    // task-level TCP connection count.
+    int flows = 0;
+    for (int r = 0; r < topology_.racks(); ++r) {
+      const Bytes bytes =
+          S.map_output_by_rack[static_cast<std::size_t>(r)] /
+          spec.num_reduces;
+      if (bytes < kMinFlowBytes) continue;
+      const double width = std::max<std::size_t>(
+          1, S.map_machines_by_rack[static_cast<std::size_t>(r)].size());
+      network_.start_fanin_flow(
+          r, machine, bytes, width, coflow_id(j, s),
+          pack_tag(FlowKind::kReduceFetch, attempt, j, s, task));
+      ++flows;
+    }
+    S.reduce_pending_flows[static_cast<std::size_t>(task)] = flows;
+    if (flows == 0) {
+      schedule_reduce_compute(j, s, task, machine);
+    } else {
+      reduce_machine_[reduce_key(j, s, task, attempt)] = machine;
+    }
+  }
+
+  void schedule_reduce_compute(int j, int s, int task, int machine) {
+    StageRuntime& S = stage_rt(j, s);
+    const MapReduceSpec& spec = stage_spec(j, s);
+    const Seconds compute =
+        (spec.output_bytes / spec.num_reduces) / spec.reduce_rate;
+    push_event(Event{now_ + compute, next_seq_++,
+                     Event::Type::kReduceCompute, j, s, task, machine,
+                     S.reduce_attempt[static_cast<std::size_t>(task)]});
+  }
+
+  void on_reduce_computed(int j, int s, int task, int machine) {
+    StageRuntime& S = stage_rt(j, s);
+    const MapReduceSpec& spec = stage_spec(j, s);
+    const int rack = topology_.rack_of(machine);
+    // First output replica is written locally.
+    S.output_by_rack[static_cast<std::size_t>(rack)] +=
+        spec.output_bytes / spec.num_reduces;
+
+    const Bytes out_share = spec.output_bytes / spec.num_reduces;
+    if (config_.write_output_replicas && out_share >= kMinFlowBytes) {
+      // HDFS write pipeline: the off-rack replica transits the core and
+      // holds the slot; the same-rack copy proceeds at full bisection off
+      // the critical path and is not modelled.
+      const int remote = random_machine_excluding_rack(rack);
+      if (remote >= 0) {
+        const int attempt = S.reduce_attempt[static_cast<std::size_t>(task)];
+        network_.start_flow(FlowDesc{
+            machine, remote, out_share, 1.0, /*coflow=*/-1,
+            pack_tag(FlowKind::kWriteRemote, attempt, j, s, task)});
+        reduce_machine_[reduce_key(j, s, task, attempt)] = machine;
+        return;
+      }
+    }
+    finish_reduce_task(j, s, task, machine);
+  }
+
+  void finish_reduce_task(int j, int s, int task, int machine) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    StageRuntime& S = stage_rt(j, s);
+    const MapReduceSpec& spec = stage_spec(j, s);
+    const Seconds duration =
+        now_ - S.reduce_start[static_cast<std::size_t>(task)];
+    J.result.compute_seconds += duration;
+    J.result.reduce_durations.push_back(duration);
+    S.reduce_assigned[static_cast<std::size_t>(task)] = -1;
+    S.reduce_done[static_cast<std::size_t>(task)] = true;
+    ++S.reduces_done;
+    free_slot(machine);
+    if (S.reduces_done == spec.num_reduces) complete_stage(j, s);
+  }
+
+  void complete_stage(int j, int s) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    StageRuntime& S = stage_rt(j, s);
+    S.state = StageState::kDone;
+    ++J.stages_done;
+    for (int child : J.children[static_cast<std::size_t>(s)]) {
+      StageRuntime& C = stage_rt(j, child);
+      if (--C.parents_pending == 0) activate_stage(j, child);
+    }
+    if (J.stages_done == static_cast<int>(J.spec->stages.size())) {
+      J.finished = true;
+      J.result.finish = now_;
+      active_jobs_.erase(
+          std::find(active_jobs_.begin(), active_jobs_.end(), j));
+    }
+  }
+
+  // ----------------------------------------------------------------- flows
+
+  void on_flow_complete(const CompletedFlow& flow) {
+    const int j = tag_job(flow.tag);
+    const int s = tag_stage(flow.tag);
+    const int task = tag_task(flow.tag);
+    const int attempt = tag_attempt(flow.tag);
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    if (flow.cross_rack) J.result.cross_rack_bytes += flow.bytes;
+
+    switch (tag_kind(flow.tag)) {
+      case FlowKind::kMapFetch: {
+        StageRuntime& S = stage_rt(j, s);
+        if (!same_attempt(S.map_attempt[static_cast<std::size_t>(task)],
+                          attempt)) {
+          break;
+        }
+        const MapReduceSpec& spec = stage_spec(j, s);
+        const auto fetch_it = map_fetches_.find(map_key(j, s, task, attempt));
+        if (fetch_it != map_fetches_.end()) {
+          if (--fetch_it->second > 0) return;  // fan-in flows outstanding
+          map_fetches_.erase(fetch_it);
+        }
+        // The fetch is complete; the task now processes its input.
+        const auto it = map_machine_.find(map_key(j, s, task, attempt));
+        ensure(it != map_machine_.end(), "unknown running map");
+        const int machine = it->second;
+        map_machine_.erase(it);
+        const Seconds compute =
+            (spec.input_bytes / spec.num_maps) / spec.map_rate;
+        push_event(Event{now_ + compute, next_seq_++,
+                         Event::Type::kMapCompute, j, s, task, machine,
+                         attempt});
+        break;
+      }
+      case FlowKind::kReduceFetch: {
+        StageRuntime& S = stage_rt(j, s);
+        if (!same_attempt(
+                S.reduce_attempt[static_cast<std::size_t>(task)], attempt)) {
+          break;
+        }
+        if (--S.reduce_pending_flows[static_cast<std::size_t>(task)] == 0) {
+          const auto it =
+              reduce_machine_.find(reduce_key(j, s, task, attempt));
+          ensure(it != reduce_machine_.end(),
+                 "reduce fetch finished for unknown task");
+          const int machine = it->second;
+          reduce_machine_.erase(it);
+          schedule_reduce_compute(j, s, task, machine);
+        }
+        break;
+      }
+      case FlowKind::kWriteRemote: {
+        StageRuntime& S = stage_rt(j, s);
+        if (!same_attempt(
+                S.reduce_attempt[static_cast<std::size_t>(task)], attempt)) {
+          break;
+        }
+        const auto it = reduce_machine_.find(reduce_key(j, s, task, attempt));
+        ensure(it != reduce_machine_.end(), "write finished for unknown task");
+        finish_reduce_task(j, s, task, it->second);
+        reduce_machine_.erase(it);
+        break;
+      }
+    }
+  }
+
+  // --------------------------------------------------------------- failure
+
+  // §3.1/§7 failure handling: dead machines lose their slots and their
+  // running tasks; completed map outputs stored there are lost (map output
+  // is not replicated, exactly as in Hadoop) and those maps rerun; reduce
+  // outputs are HDFS-replicated and survive. Corral's rack constraints are
+  // dropped for jobs whose assigned rack falls below the health threshold.
+  void on_machine_failure(int machine) {
+    if (!topology_.is_up(machine)) return;
+    topology_.fail_machine(machine);
+    slots_free_[static_cast<std::size_t>(machine)] = 0;
+    const int machine_rack = topology_.rack_of(machine);
+
+    for (std::size_t ji = 0; ji < jobs_.size(); ++ji) {
+      JobRuntime& J = jobs_[ji];
+      if (J.finished) continue;
+      const int j = static_cast<int>(ji);
+
+      // Constraint fallback (§3.1).
+      if (!J.allowed_racks.empty() &&
+          std::find(J.allowed_racks.begin(), J.allowed_racks.end(),
+                    machine_rack) != J.allowed_racks.end() &&
+          !topology_.rack_usable(machine_rack,
+                                 config_.rack_health_threshold)) {
+        J.allowed_racks.clear();
+        J.rack_allowed.assign(static_cast<std::size_t>(topology_.racks()),
+                              true);
+      }
+
+      for (std::size_t si = 0; si < J.stages.size(); ++si) {
+        StageRuntime& S = J.stages[si];
+        if (S.state != StageState::kMapping &&
+            S.state != StageState::kReducing) {
+          continue;
+        }
+        const int s = static_cast<int>(si);
+        const MapReduceSpec& spec = stage_spec(j, s);
+
+        // Kill maps running on the dead machine.
+        for (int t = 0; t < spec.num_maps; ++t) {
+          if (S.map_assigned[static_cast<std::size_t>(t)] == machine) {
+            requeue_map(j, s, t, /*release_slot=*/false);
+          }
+        }
+
+        // Lost map outputs: the machine held completed maps' intermediate
+        // data that reduces have not fully consumed yet.
+        const auto lost_it = S.maps_on_machine.find(machine);
+        if (lost_it != S.maps_on_machine.end() && lost_it->second > 0) {
+          for (int t = 0; t < spec.num_maps; ++t) {
+            if (S.map_exec_machine[static_cast<std::size_t>(t)] != machine) {
+              continue;
+            }
+            S.map_exec_machine[static_cast<std::size_t>(t)] = -1;
+            --S.maps_done;
+            if (spec.shuffle_bytes > 0 && spec.num_reduces > 0) {
+              S.map_output_by_rack[static_cast<std::size_t>(machine_rack)] -=
+                  spec.shuffle_bytes / spec.num_maps;
+            }
+            requeue_map(j, s, t, /*release_slot=*/false);
+          }
+          S.maps_on_machine.erase(machine);
+          S.map_machines_by_rack[static_cast<std::size_t>(machine_rack)]
+              .erase(machine);
+
+          if (S.state == StageState::kReducing) {
+            demote_to_mapping(j, s);
+          }
+        }
+
+        // Kill reduces running on the dead machine (if the stage is still
+        // reducing after the possible demotion, or was untouched above).
+        if (S.state == StageState::kReducing) {
+          for (int t = 0; t < spec.num_reduces; ++t) {
+            if (S.reduce_assigned[static_cast<std::size_t>(t)] == machine) {
+              requeue_reduce(j, s, t, /*release_slot=*/false);
+            }
+          }
+        }
+      }
+    }
+
+    // Tear down every transfer touching the dead machine, plus any stale
+    // flows of the tasks killed above (their attempt no longer matches).
+    const int up = network_.links().host_up(machine);
+    const int down = network_.links().host_down(machine);
+    const auto cancelled = network_.cancel_flows_if([&](const Flow& flow) {
+      for (int i = 0; i < flow.path.count; ++i) {
+        if (flow.path.links[i] == up || flow.path.links[i] == down) {
+          return true;
+        }
+      }
+      return is_stale(flow.tag);
+    });
+    for (const Flow& flow : cancelled) on_flow_cancelled(flow, machine);
+    new_work_ = true;
+  }
+
+  // True when the flow belongs to a task attempt that has been superseded.
+  bool is_stale(std::uint64_t tag) {
+    const int j = tag_job(tag);
+    const int s = tag_stage(tag);
+    const int task = tag_task(tag);
+    const int attempt = tag_attempt(tag);
+    StageRuntime& S = stage_rt(j, s);
+    if (tag_kind(tag) == FlowKind::kMapFetch) {
+      return !same_attempt(S.map_attempt[static_cast<std::size_t>(task)],
+                           attempt);
+    }
+    return !same_attempt(S.reduce_attempt[static_cast<std::size_t>(task)],
+                         attempt);
+  }
+
+  // Reacts to a flow the failure handler tore down. Flows of killed tasks
+  // only need their bookkeeping purged; flows of *live* tasks lost their
+  // remote endpoint (a replica source or a write target) and the task is
+  // restarted or its write re-issued.
+  void on_flow_cancelled(const Flow& flow, int dead_machine) {
+    const int j = tag_job(flow.tag);
+    const int s = tag_stage(flow.tag);
+    const int task = tag_task(flow.tag);
+    const int attempt = tag_attempt(flow.tag);
+    StageRuntime& S = stage_rt(j, s);
+
+    switch (tag_kind(flow.tag)) {
+      case FlowKind::kMapFetch: {
+        map_fetches_.erase(map_key(j, s, task, attempt));
+        if (!same_attempt(S.map_attempt[static_cast<std::size_t>(task)],
+                          attempt)) {
+          map_machine_.erase(map_key(j, s, task, attempt));
+          break;  // task already killed
+        }
+        // The replica source died while a live map was streaming from it:
+        // restart the map (it re-picks a healthy replica), freeing its
+        // still-healthy slot.
+        map_machine_.erase(map_key(j, s, task, attempt));
+        requeue_map(j, s, task, /*release_slot=*/true);
+        break;
+      }
+      case FlowKind::kReduceFetch: {
+        if (!same_attempt(
+                S.reduce_attempt[static_cast<std::size_t>(task)], attempt)) {
+          reduce_machine_.erase(reduce_key(j, s, task, attempt));
+          break;
+        }
+        // Fan-in flows only die with their destination, so a live attempt
+        // here means its machine just failed but the per-stage scan has not
+        // killed it (ordering safety net).
+        reduce_machine_.erase(reduce_key(j, s, task, attempt));
+        requeue_reduce(j, s, task, /*release_slot=*/false);
+        break;
+      }
+      case FlowKind::kWriteRemote: {
+        const auto it = reduce_machine_.find(reduce_key(j, s, task, attempt));
+        if (it == reduce_machine_.end() ||
+            !same_attempt(S.reduce_attempt[static_cast<std::size_t>(task)],
+                          attempt)) {
+          break;  // task killed; nothing to re-issue
+        }
+        const int src = it->second;
+        if (!topology_.is_up(src)) break;  // will be killed by the scan
+        // The write target died: restart the replica write elsewhere.
+        const int remote =
+            random_machine_excluding_rack(topology_.rack_of(src));
+        if (remote >= 0 && remote != dead_machine) {
+          network_.start_flow(FlowDesc{
+              src, remote, flow.total, 1.0, /*coflow=*/-1, flow.tag});
+        } else {
+          // No healthy off-rack target left; skip the remote replica.
+          reduce_machine_.erase(it);
+          finish_reduce_task(j, s, task, src);
+        }
+        break;
+      }
+    }
+  }
+
+  // Returns a killed or source-less task to the pending queue under a new
+  // attempt number. `release_slot` frees the slot it occupied (only when
+  // the machine itself is still healthy).
+  void requeue_map(int j, int s, int task, bool release_slot) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    StageRuntime& S = stage_rt(j, s);
+    const int machine = S.map_assigned[static_cast<std::size_t>(task)];
+    const int attempt = S.map_attempt[static_cast<std::size_t>(task)];
+    map_fetches_.erase(map_key(j, s, task, attempt));
+    map_machine_.erase(map_key(j, s, task, attempt));
+    S.map_assigned[static_cast<std::size_t>(task)] = -1;
+    ++S.map_attempt[static_cast<std::size_t>(task)];
+    S.map_taken[static_cast<std::size_t>(task)] = false;
+    S.map_queue.push_back(task);
+    ++S.maps_pending;
+    ++J.pending_tasks;
+    if (release_slot && machine >= 0 && topology_.is_up(machine)) {
+      free_slot(machine);
+    }
+  }
+
+  void requeue_reduce(int j, int s, int task, bool release_slot) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    StageRuntime& S = stage_rt(j, s);
+    const int machine = S.reduce_assigned[static_cast<std::size_t>(task)];
+    const int attempt = S.reduce_attempt[static_cast<std::size_t>(task)];
+    reduce_machine_.erase(reduce_key(j, s, task, attempt));
+    S.reduce_assigned[static_cast<std::size_t>(task)] = -1;
+    ++S.reduce_attempt[static_cast<std::size_t>(task)];
+    S.reduce_pending_flows[static_cast<std::size_t>(task)] = 0;
+    S.reduce_queue.push_back(task);
+    ++S.reduces_pending;
+    ++J.pending_tasks;
+    if (release_slot && machine >= 0 && topology_.is_up(machine)) {
+      free_slot(machine);
+    }
+  }
+
+  // Sends a reducing stage back to the map phase after intermediate data
+  // loss: kills every in-flight reduce (their fetch plans reference the
+  // lost outputs) and clears the queue; start_reduce_phase re-queues the
+  // unfinished reduces once the rerun maps complete.
+  void demote_to_mapping(int j, int s) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    StageRuntime& S = stage_rt(j, s);
+    const MapReduceSpec& spec = stage_spec(j, s);
+    for (int t = 0; t < spec.num_reduces; ++t) {
+      const int machine = S.reduce_assigned[static_cast<std::size_t>(t)];
+      if (machine >= 0) {
+        const int attempt = S.reduce_attempt[static_cast<std::size_t>(t)];
+        reduce_machine_.erase(reduce_key(j, s, t, attempt));
+        S.reduce_assigned[static_cast<std::size_t>(t)] = -1;
+        ++S.reduce_attempt[static_cast<std::size_t>(t)];
+        S.reduce_pending_flows[static_cast<std::size_t>(t)] = 0;
+        if (topology_.is_up(machine)) free_slot(machine);
+      }
+    }
+    J.pending_tasks -= S.reduces_pending;
+    S.reduces_pending = 0;
+    S.reduce_queue.clear();
+    S.state = StageState::kMapping;
+  }
+
+  // -------------------------------------------------------------- dispatch
+
+  void dispatch() {
+    if (new_work_) {
+      new_work_ = false;
+      for (int m = 0; m < topology_.machines(); ++m) {
+        if (slots_free_[static_cast<std::size_t>(m)] > 0) try_fill(m);
+      }
+      freed_machines_.clear();
+      return;
+    }
+    for (int m : freed_machines_) try_fill(m);
+    freed_machines_.clear();
+    // A stage transition inside try_fill can mark new work.
+    if (new_work_) dispatch();
+  }
+
+  void try_fill(int machine) {
+    if (!topology_.is_up(machine)) return;
+    while (slots_free_[static_cast<std::size_t>(machine)] > 0) {
+      if (!assign_one_task(machine)) break;
+    }
+  }
+
+  bool assign_one_task(int machine) {
+    const int rack = topology_.rack_of(machine);
+    for (int j : active_jobs_) {
+      JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+      if (J.pending_tasks == 0) continue;
+      if (!J.rack_allowed[static_cast<std::size_t>(rack)]) continue;
+
+      for (std::size_t s = 0; s < J.stages.size(); ++s) {
+        StageRuntime& S = J.stages[s];
+        // Reduces have no input locality; take them eagerly.
+        if (S.state == StageState::kReducing && S.reduces_pending > 0) {
+          const int task = S.reduce_queue.front();
+          S.reduce_queue.pop_front();
+          start_reduce_task(j, static_cast<int>(s), task, machine);
+          return true;
+        }
+        if (S.state != StageState::kMapping || S.maps_pending == 0) continue;
+
+        if (S.input_file == nullptr) {
+          // Remote-storage and fan-in reads have no chunk locality.
+          const int task = pop_any_map(S);
+          start_map_task(j, static_cast<int>(s), task, machine);
+          return true;
+        }
+        // Delay scheduling: node-local first; otherwise the job skips this
+        // opportunity until it has waited long enough for rack-local / any.
+        int task = pop_local_map(S, S.maps_by_machine, machine);
+        if (task >= 0) {
+          J.delay_skips = 0;
+          start_map_task(j, static_cast<int>(s), task, machine);
+          return true;
+        }
+        if (J.delay_skips >= config_.node_local_skips) {
+          task = pop_local_map(S, S.maps_by_rack, rack);
+          if (task >= 0) {
+            start_map_task(j, static_cast<int>(s), task, machine);
+            return true;
+          }
+        }
+        if (J.delay_skips >= config_.rack_local_skips) {
+          task = pop_any_map(S);
+          start_map_task(j, static_cast<int>(s), task, machine);
+          return true;
+        }
+        ++J.delay_skips;
+        // Fall through to the next job; this one is waiting for locality.
+      }
+    }
+    return false;
+  }
+
+  static int pop_local_map(StageRuntime& S,
+                           std::unordered_map<int, std::vector<int>>& index,
+                           int key) {
+    const auto it = index.find(key);
+    if (it == index.end()) return -1;
+    auto& tasks = it->second;
+    while (!tasks.empty()) {
+      const int task = tasks.back();
+      tasks.pop_back();
+      if (!S.map_taken[static_cast<std::size_t>(task)]) return task;
+    }
+    // Keep the bucket: a requeued map may become eligible here again.
+    return -1;
+  }
+
+  static int pop_any_map(StageRuntime& S) {
+    while (!S.map_queue.empty()) {
+      const int task = S.map_queue.front();
+      S.map_queue.pop_front();
+      if (!S.map_taken[static_cast<std::size_t>(task)]) return task;
+    }
+    ensure(false, "pop_any_map: queue empty despite pending maps");
+    return -1;
+  }
+
+  // --------------------------------------------------------------- helpers
+
+  int coflow_id(int j, int s) const { return j * 64 + s; }
+  static std::uint64_t map_key(int j, int s, int task, int attempt) {
+    return pack_tag(FlowKind::kMapFetch, attempt, j, s, task);
+  }
+  static std::uint64_t reduce_key(int j, int s, int task, int attempt) {
+    return pack_tag(FlowKind::kReduceFetch, attempt, j, s, task);
+  }
+
+  int pick_replica(const FileLayout& file, int chunk, int machine) const {
+    const auto& replicas =
+        file.chunks[static_cast<std::size_t>(chunk)].machines;
+    const int rack = topology_.rack_of(machine);
+    int any_healthy = -1;
+    for (int m : replicas) {
+      if (!topology_.is_up(m)) continue;
+      if (topology_.rack_of(m) == rack) return m;
+      if (any_healthy < 0) any_healthy = m;
+    }
+    require(any_healthy >= 0, "pick_replica: all replicas failed");
+    return any_healthy;
+  }
+
+  int random_machine_excluding_rack(int rack) {
+    std::vector<int> candidates;
+    for (int r = 0; r < topology_.racks(); ++r) {
+      if (r != rack && topology_.healthy_in_rack(r) > 0) {
+        candidates.push_back(r);
+      }
+    }
+    if (candidates.empty()) return -1;
+    const int target = candidates[rng_.index(candidates.size())];
+    std::vector<int> machines;
+    for (int m : topology_.machines_in_rack(target)) {
+      if (topology_.is_up(m)) machines.push_back(m);
+    }
+    return machines[rng_.index(machines.size())];
+  }
+
+  void free_slot(int machine) {
+    if (!topology_.is_up(machine)) return;
+    ++slots_free_[static_cast<std::size_t>(machine)];
+    freed_machines_.push_back(machine);
+  }
+
+  SimConfig config_;
+  ClusterTopology topology_;
+  Dfs dfs_;
+  Network network_;
+  SchedulingPolicy& policy_;
+  Rng rng_;
+
+  std::vector<JobRuntime> jobs_;
+  std::vector<int> active_jobs_;  // sorted by priority
+  std::vector<int> slots_free_;
+  std::vector<int> freed_machines_;
+  bool new_work_ = false;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  long next_seq_ = 0;
+  Seconds now_ = 0;
+
+  // In-flight task bookkeeping keyed by packed (kind, attempt, job, stage,
+  // task).
+  std::unordered_map<std::uint64_t, int> map_fetches_;   // outstanding flows
+  std::unordered_map<std::uint64_t, int> map_machine_;   // task -> machine
+  std::unordered_map<std::uint64_t, int> reduce_machine_;
+};
+
+}  // namespace
+
+SimResult run_simulation(std::span<const JobSpec> jobs,
+                         SchedulingPolicy& policy, const SimConfig& config) {
+  Simulator simulator(jobs, policy, config);
+  return simulator.run();
+}
+
+}  // namespace corral

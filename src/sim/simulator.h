@@ -1,0 +1,85 @@
+// Discrete-event, flow-level cluster simulator.
+//
+// This is the reproduction's stand-in for the paper's 210-machine
+// Yarn/HDFS testbed, built in the spirit of the flow-based event simulator
+// the authors used for §6.6. It executes DAG jobs over a slot-based
+// cluster: map tasks read input chunks (free when node-local, a
+// machine-to-machine flow otherwise, with delay scheduling steering tasks
+// toward their data), shuffles move rack-aggregated fan-in flows through
+// the oversubscribed fabric, and reduces compute and optionally write
+// replicated output. Job scheduling and network scheduling are both
+// pluggable (SchedulingPolicy, RateAllocator).
+//
+// Modelling notes (see DESIGN.md §6 for the full list):
+//  * Within a job stage, reduces start once all the stage's maps finished
+//    (Hadoop with slowstart = 1.0), matching the planner's model.
+//  * Shuffle fetches are aggregated per (source rack -> destination
+//    machine) with a width equal to the number of contributing map tasks,
+//    so max-min fairness weighs them like the underlying task-level flows.
+//  * Input upload is instantaneous at submission; the paper likewise
+//    places data "as it is being uploaded" before the job runs.
+#ifndef CORRAL_SIM_SIMULATOR_H_
+#define CORRAL_SIM_SIMULATOR_H_
+
+#include <span>
+
+#include "cluster/topology.h"
+#include "dfs/dfs.h"
+#include "sim/metrics.h"
+#include "sim/policy.h"
+
+namespace corral {
+
+struct SimConfig {
+  ClusterConfig cluster;
+  DfsConfig dfs;
+  // Use the Varys-like coflow allocator instead of TCP max-min (§6.6).
+  bool use_varys = false;
+  // Replicate reduce outputs off-rack (adds write traffic; off by default
+  // so the headline benches isolate read/shuffle locality).
+  bool write_output_replicas = false;
+  // Delay scheduling (§3.1 footnote 2): scheduling opportunities a job
+  // declines before settling for rack-local / arbitrary map placement.
+  int node_local_skips = 3;
+  int rack_local_skips = 6;
+  // Minimum healthy fraction for an assigned rack; below it, Corral's
+  // constraints are dropped for the job (§3.1, §7).
+  double rack_health_threshold = 0.5;
+  // §7 "Remote storage": job input lives in an external storage cluster
+  // (Azure Storage / S3 style) and map tasks stream it over a shared
+  // interconnect instead of reading DFS replicas. There is no input
+  // locality; Corral's remaining benefit is shuffle/rack isolation.
+  bool remote_input_storage = false;
+  BytesPerSec storage_bandwidth = 1e15;  // effectively unlimited
+  // Machines marked dead before the run starts (failure injection).
+  std::vector<int> failed_machines;
+  // Machines failing *during* the run. Running tasks on the machine are
+  // killed and rescheduled; completed map outputs stored there are lost and
+  // those maps rerun (map output is node-local, as in Hadoop); replicated
+  // reduce outputs survive; in-flight transfers touching the machine are
+  // torn down; Corral constraints are dropped for jobs whose assigned rack
+  // falls below rack_health_threshold (§3.1, §7 "Dealing with failures").
+  struct MachineFailure {
+    Seconds time = 0;
+    int machine = 0;
+  };
+  std::vector<MachineFailure> machine_failure_events;
+  std::uint64_t seed = 42;
+  // Watchdog: the simulation throws if it passes this virtual time.
+  Seconds max_time = 90 * kDay;
+  // Event-batching quantum: task completions and flow completions landing
+  // within one quantum are processed together, collapsing thousands of
+  // rate recomputations on large workloads. The approximation error per
+  // task is below one quantum — negligible against multi-minute jobs. Set
+  // to 0 for exact event ordering.
+  Seconds time_quantum = 0.25;
+};
+
+// Runs `jobs` to completion under the given policy and returns the metrics.
+// Jobs must have distinct ids and valid specs.
+SimResult run_simulation(std::span<const JobSpec> jobs,
+                         SchedulingPolicy& policy, const SimConfig& config);
+
+}  // namespace corral
+
+#endif  // CORRAL_SIM_SIMULATOR_H_

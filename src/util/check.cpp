@@ -1,0 +1,20 @@
+#include "util/check.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace corral {
+
+void require(bool condition, std::string_view message) {
+  if (!condition) {
+    throw std::invalid_argument(std::string(message));
+  }
+}
+
+void ensure(bool condition, std::string_view message) {
+  if (!condition) {
+    throw std::logic_error(std::string(message));
+  }
+}
+
+}  // namespace corral

@@ -1,0 +1,23 @@
+// Lightweight precondition checking.
+//
+// The library throws std::invalid_argument / std::logic_error on contract
+// violations rather than asserting, so misuse is testable and callers at the
+// application boundary can recover.
+#ifndef CORRAL_UTIL_CHECK_H_
+#define CORRAL_UTIL_CHECK_H_
+
+#include <string_view>
+
+namespace corral {
+
+// Throws std::invalid_argument with `message` when `condition` is false.
+// Use for validating arguments at public API boundaries.
+void require(bool condition, std::string_view message);
+
+// Throws std::logic_error with `message` when `condition` is false.
+// Use for internal invariants that indicate a bug in this library.
+void ensure(bool condition, std::string_view message);
+
+}  // namespace corral
+
+#endif  // CORRAL_UTIL_CHECK_H_

@@ -1,0 +1,71 @@
+// A minimal command-line flag parser for the CLI tools (tools/).
+//
+// Supports --name=value and --name value forms, boolean flags (--verbose,
+// --verbose=false), typed defaults, and an auto-generated --help. No
+// external dependencies; errors report through the returned status rather
+// than exiting, so tools stay testable.
+#ifndef CORRAL_UTIL_FLAGS_H_
+#define CORRAL_UTIL_FLAGS_H_
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace corral {
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description);
+
+  // Flag registration. Names must be unique, non-empty, without the "--"
+  // prefix. Registration after parse() throws.
+  void add_string(const std::string& name, std::string default_value,
+                  std::string help);
+  void add_int(const std::string& name, long default_value, std::string help);
+  void add_double(const std::string& name, double default_value,
+                  std::string help);
+  void add_bool(const std::string& name, bool default_value,
+                std::string help);
+
+  // Parses argv. Returns false (after printing usage to `out`) when --help
+  // was requested or arguments are malformed: unknown flag, missing value,
+  // a value of the wrong type, or a stray positional argument.
+  bool parse(int argc, const char* const* argv, std::ostream& out);
+
+  // Typed accessors; throw std::invalid_argument for unregistered names or
+  // type mismatches.
+  std::string get_string(const std::string& name) const;
+  long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  // True when the user supplied the flag explicitly.
+  bool provided(const std::string& name) const;
+
+  void print_usage(std::ostream& out) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string value;  // canonical textual form
+    bool provided = false;
+  };
+
+  void add_flag(const std::string& name, Type type, std::string value,
+                std::string help);
+  const Flag& flag_of(const std::string& name, Type type) const;
+  bool set_value(Flag& flag, const std::string& text);
+
+  std::string description_;
+  std::string program_name_ = "tool";
+  std::map<std::string, Flag> flags_;  // ordered for stable --help output
+  bool parsed_ = false;
+};
+
+}  // namespace corral
+
+#endif  // CORRAL_UTIL_FLAGS_H_

@@ -1,0 +1,58 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace corral {
+
+int Rng::uniform_int(int lo, int hi) {
+  require(lo <= hi, "uniform_int: lo must be <= hi");
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "uniform: lo must be <= hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  require(mean > 0, "exponential: mean must be positive");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+bool Rng::chance(double p) {
+  return std::bernoulli_distribution(std::clamp(p, 0.0, 1.0))(engine_);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  require(size > 0, "index: size must be positive");
+  return std::uniform_int_distribution<std::size_t>(0, size - 1)(engine_);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t size,
+                                                         std::size_t count) {
+  require(count <= size, "sample_without_replacement: count exceeds size");
+  std::vector<std::size_t> pool(size);
+  for (std::size_t i = 0; i < size; ++i) pool[i] = i;
+  // Partial Fisher-Yates: only the first `count` positions are finalized.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + std::uniform_int_distribution<std::size_t>(0, size - i - 1)(engine_);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace corral

@@ -1,0 +1,34 @@
+// Plain-text table rendering for the benchmark harness. Every figure/table
+// bench prints its series through this so output is uniform and diffable.
+#ifndef CORRAL_UTIL_TABLE_H_
+#define CORRAL_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace corral {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double value, int decimals = 2);
+  static std::string pct(double fraction, int decimals = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner used by the figure benches.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace corral
+
+#endif  // CORRAL_UTIL_TABLE_H_

@@ -1,0 +1,31 @@
+// Units used throughout the Corral reproduction.
+//
+// All data sizes are in bytes (double, so fractional byte amounts arising
+// from fluid-flow modelling are representable), all rates in bytes/second,
+// and all times in seconds. Helper constants make call sites read like the
+// paper ("10 Gbps NICs", "256 MB chunks").
+#ifndef CORRAL_UTIL_UNITS_H_
+#define CORRAL_UTIL_UNITS_H_
+
+namespace corral {
+
+using Bytes = double;
+using BytesPerSec = double;
+using Seconds = double;
+
+inline constexpr Bytes kKB = 1e3;
+inline constexpr Bytes kMB = 1e6;
+inline constexpr Bytes kGB = 1e9;
+inline constexpr Bytes kTB = 1e12;
+
+// Network rates are quoted in bits/second in the paper; convert to bytes.
+inline constexpr BytesPerSec kGbps = 1e9 / 8.0;
+inline constexpr BytesPerSec kMbps = 1e6 / 8.0;
+
+inline constexpr Seconds kMinute = 60.0;
+inline constexpr Seconds kHour = 3600.0;
+inline constexpr Seconds kDay = 24.0 * kHour;
+
+}  // namespace corral
+
+#endif  // CORRAL_UTIL_UNITS_H_

@@ -1,0 +1,55 @@
+#include "workload/slots.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace corral {
+
+double SlotDemandModel::cdf(double slots) const {
+  if (slots <= 0) return 0;
+  return 0.5 * (1.0 + std::erf((std::log(slots) - mu) /
+                               (sigma * std::sqrt(2.0))));
+}
+
+double inverse_normal_cdf(double p) {
+  require(p > 0 && p < 1, "inverse_normal_cdf: p must be in (0, 1)");
+  double lo = -10, hi = 10;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double value = 0.5 * (1.0 + std::erf(mid / std::sqrt(2.0)));
+    (value < p ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+SlotDemandModel fit_slot_demand(double fraction, double slots_per_rack,
+                                double sigma) {
+  require(fraction > 0 && fraction < 1,
+          "fit_slot_demand: fraction must be in (0, 1)");
+  require(slots_per_rack > 0 && sigma > 0,
+          "fit_slot_demand: positive slots and sigma required");
+  SlotDemandModel model;
+  model.sigma = sigma;
+  model.mu = std::log(slots_per_rack) - sigma * inverse_normal_cdf(fraction);
+  return model;
+}
+
+std::vector<double> sample_slot_demands(const SlotDemandModel& model,
+                                        int count, Rng& rng) {
+  require(count > 0, "sample_slot_demands: count must be positive");
+  std::vector<double> demands;
+  demands.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    demands.push_back(
+        std::max(1.0, std::round(rng.lognormal(model.mu, model.sigma))));
+  }
+  return demands;
+}
+
+std::vector<SlotDemandModel> fig2_clusters() {
+  return {fit_slot_demand(0.75), fit_slot_demand(0.87),
+          fit_slot_demand(0.95)};
+}
+
+}  // namespace corral

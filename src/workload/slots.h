@@ -1,0 +1,42 @@
+// Slot-demand distributions (§2, Figure 2).
+//
+// Figure 2 plots the CDF of compute slots requested per job across three
+// production clusters of more than 10,000 machines; 75%, 87% and 95% of
+// jobs fit within one rack (240 slots). We model per-cluster demand as
+// log-normal and fit the location parameter so the mass below 240 slots
+// matches each cluster's reported fraction.
+#ifndef CORRAL_WORKLOAD_SLOTS_H_
+#define CORRAL_WORKLOAD_SLOTS_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace corral {
+
+struct SlotDemandModel {
+  double mu = 0;     // log-normal location
+  double sigma = 2;  // log-normal scale
+
+  // Fraction of jobs requesting <= slots.
+  double cdf(double slots) const;
+};
+
+// Standard normal inverse CDF (bisection over std::erf; |p-0.5| < 0.5).
+double inverse_normal_cdf(double p);
+
+// Fits mu so that cdf(slots_per_rack) == fraction for the given sigma.
+SlotDemandModel fit_slot_demand(double fraction, double slots_per_rack = 240,
+                                double sigma = 2.0);
+
+// Samples `count` per-job slot demands (>= 1).
+std::vector<double> sample_slot_demands(const SlotDemandModel& model,
+                                        int count, Rng& rng);
+
+// The three production clusters of Fig 2: 75%, 87% and 95% of jobs below
+// one rack of 240 slots.
+std::vector<SlotDemandModel> fig2_clusters();
+
+}  // namespace corral
+
+#endif  // CORRAL_WORKLOAD_SLOTS_H_

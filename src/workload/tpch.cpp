@@ -1,0 +1,203 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+// TPC-H table sizes as fractions of the total database size (derived from
+// the standard row counts and widths; lineitem dominates).
+constexpr double kLineitem = 0.70;
+constexpr double kOrders = 0.16;
+constexpr double kPartsupp = 0.08;
+constexpr double kPart = 0.026;
+constexpr double kCustomer = 0.022;
+constexpr double kSupplier = 0.002;
+constexpr double kNation = 0.0001;
+
+struct StageTemplate {
+  const char* name;
+  double input_fraction;    // of database size (for scans) or 0 (derived)
+  double shuffle_ratio;     // shuffle bytes / stage input bytes
+  double output_ratio;      // output bytes / stage input bytes
+};
+
+struct QueryTemplate {
+  const char* name;
+  std::vector<StageTemplate> stages;
+  std::vector<DagEdge> edges;
+};
+
+// Fifteen query skeletons. Scan-heavy stages (high input, small shuffle)
+// dominate, keeping shuffle under ~20% of query time as observed in §6.3.
+// Non-source stages read their parents' outputs; input_fraction 0 marks
+// them and their size is derived from the parents at build time.
+std::vector<QueryTemplate> query_templates() {
+  return {
+      // Q1: pricing summary — scan lineitem, aggregate.
+      {"q01",
+       {{"scan-lineitem", kLineitem, 0.02, 0.01},
+        {"aggregate", 0, 0.30, 0.10}},
+       {{0, 1}}},
+      // Q3: shipping priority — customer x orders x lineitem joins.
+      {"q03",
+       {{"scan-customer", kCustomer, 0.25, 0.20},
+        {"scan-orders", kOrders, 0.10, 0.08},
+        {"scan-lineitem", kLineitem, 0.04, 0.03},
+        {"join-cust-ord", 0, 0.50, 0.40},
+        {"join-lineitem", 0, 0.40, 0.10}},
+       {{0, 3}, {1, 3}, {3, 4}, {2, 4}}},
+      // Q5: local supplier volume — 5-way join then aggregate.
+      {"q05",
+       {{"scan-dims", kCustomer + kSupplier + kNation, 0.30, 0.25},
+        {"scan-orders", kOrders, 0.10, 0.08},
+        {"scan-lineitem", kLineitem, 0.05, 0.04},
+        {"join-all", 0, 0.45, 0.30},
+        {"aggregate", 0, 0.25, 0.05}},
+       {{0, 3}, {1, 3}, {2, 3}, {3, 4}}},
+      // Q6: forecasting revenue change — single filtered scan.
+      {"q06", {{"scan-lineitem", kLineitem, 0.005, 0.001}}, {}},
+      // Q7: volume shipping.
+      {"q07",
+       {{"scan-supplier-nation", kSupplier + kNation, 0.40, 0.35},
+        {"scan-lineitem", kLineitem, 0.06, 0.05},
+        {"scan-orders-cust", kOrders + kCustomer, 0.12, 0.10},
+        {"join", 0, 0.45, 0.25},
+        {"aggregate", 0, 0.20, 0.04}},
+       {{0, 3}, {1, 3}, {2, 3}, {3, 4}}},
+      // Q8: national market share.
+      {"q08",
+       {{"scan-part", kPart, 0.20, 0.15},
+        {"scan-lineitem", kLineitem, 0.05, 0.04},
+        {"scan-rest", kOrders + kCustomer + kSupplier, 0.12, 0.10},
+        {"join-part-li", 0, 0.40, 0.25},
+        {"join-rest", 0, 0.40, 0.20},
+        {"aggregate", 0, 0.20, 0.03}},
+       {{0, 3}, {1, 3}, {3, 4}, {2, 4}, {4, 5}}},
+      // Q9: product type profit.
+      {"q09",
+       {{"scan-part-supp", kPart + kPartsupp + kSupplier, 0.18, 0.15},
+        {"scan-lineitem", kLineitem, 0.07, 0.06},
+        {"join", 0, 0.50, 0.35},
+        {"join-orders", kOrders, 0.15, 0.10},
+        {"aggregate", 0, 0.25, 0.04}},
+       {{0, 2}, {1, 2}, {2, 3}, {3, 4}}},
+      // Q10: returned items.
+      {"q10",
+       {{"scan-customer", kCustomer, 0.30, 0.25},
+        {"scan-orders", kOrders, 0.10, 0.08},
+        {"scan-lineitem", kLineitem, 0.04, 0.03},
+        {"join", 0, 0.45, 0.25},
+        {"aggregate", 0, 0.20, 0.05}},
+       {{0, 3}, {1, 3}, {2, 3}, {3, 4}}},
+      // Q12: shipping modes — lineitem x orders.
+      {"q12",
+       {{"scan-lineitem", kLineitem, 0.03, 0.02},
+        {"scan-orders", kOrders, 0.08, 0.06},
+        {"join-aggregate", 0, 0.30, 0.02}},
+       {{0, 2}, {1, 2}}},
+      // Q14: promotion effect.
+      {"q14",
+       {{"scan-lineitem", kLineitem, 0.04, 0.03},
+        {"scan-part", kPart, 0.25, 0.20},
+        {"join-aggregate", 0, 0.30, 0.01}},
+       {{0, 2}, {1, 2}}},
+      // Q16: parts/supplier relationship.
+      {"q16",
+       {{"scan-partsupp", kPartsupp, 0.25, 0.20},
+        {"scan-part", kPart, 0.25, 0.20},
+        {"join", 0, 0.40, 0.25},
+        {"distinct-aggregate", 0, 0.35, 0.05}},
+       {{0, 2}, {1, 2}, {2, 3}}},
+      // Q17: small-quantity-order revenue.
+      {"q17",
+       {{"scan-lineitem", kLineitem, 0.05, 0.04},
+        {"scan-part", kPart, 0.15, 0.12},
+        {"join", 0, 0.35, 0.15},
+        {"aggregate", 0, 0.15, 0.01}},
+       {{0, 2}, {1, 2}, {2, 3}}},
+      // Q18: large volume customer.
+      {"q18",
+       {{"scan-lineitem", kLineitem, 0.05, 0.04},
+        {"group-lineitem", 0, 0.40, 0.25},
+        {"scan-orders-cust", kOrders + kCustomer, 0.12, 0.10},
+        {"join", 0, 0.35, 0.08}},
+       {{0, 1}, {1, 3}, {2, 3}}},
+      // Q19: discounted revenue — lineitem x part with rich predicates.
+      {"q19",
+       {{"scan-lineitem", kLineitem, 0.03, 0.02},
+        {"scan-part", kPart, 0.20, 0.15},
+        {"join-aggregate", 0, 0.25, 0.005}},
+       {{0, 2}, {1, 2}}},
+      // Q21: suppliers who kept orders waiting.
+      {"q21",
+       {{"scan-lineitem", kLineitem, 0.06, 0.05},
+        {"scan-supplier-nation", kSupplier + kNation, 0.40, 0.30},
+        {"scan-orders", kOrders, 0.08, 0.06},
+        {"join", 0, 0.45, 0.25},
+        {"aggregate", 0, 0.20, 0.03}},
+       {{0, 3}, {1, 3}, {2, 3}, {3, 4}}},
+  };
+}
+
+}  // namespace
+
+std::vector<JobSpec> make_tpch(const TpchConfig& config, Rng& rng,
+                               int first_id) {
+  require(config.database_bytes > 0, "make_tpch: database must be non-empty");
+  require(config.num_queries >= 1, "make_tpch: need at least one query");
+  const auto templates = query_templates();
+  require(config.num_queries <= static_cast<int>(templates.size()),
+          "make_tpch: at most 15 query skeletons available");
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(config.num_queries));
+  for (int q = 0; q < config.num_queries; ++q) {
+    const QueryTemplate& tmpl = templates[static_cast<std::size_t>(q)];
+    JobSpec job;
+    job.id = first_id + q;
+    job.name = std::string("tpch-") + tmpl.name;
+    job.edges = tmpl.edges;
+
+    // Parent output bytes accumulate into non-source stage inputs.
+    std::vector<Bytes> input(tmpl.stages.size(), 0.0);
+    std::vector<Bytes> output(tmpl.stages.size(), 0.0);
+    for (std::size_t s = 0; s < tmpl.stages.size(); ++s) {
+      const StageTemplate& st = tmpl.stages[s];
+      Bytes in = st.input_fraction > 0
+                     ? st.input_fraction * config.database_bytes *
+                           config.scan_column_fraction
+                     : 0.0;
+      for (const DagEdge& e : tmpl.edges) {
+        if (e.to == static_cast<int>(s)) {
+          in += output[static_cast<std::size_t>(e.from)];
+        }
+      }
+      input[s] = std::max(in, 16 * kMB);
+      output[s] = input[s] * st.output_ratio;
+
+      MapReduceSpec stage;
+      stage.name = st.name;
+      stage.input_bytes = input[s];
+      stage.shuffle_bytes = input[s] * st.shuffle_ratio;
+      stage.output_bytes = std::max(output[s], 1 * kMB);
+      stage.num_maps = std::max(
+          1, static_cast<int>(std::lround(input[s] / (256 * kMB))));
+      stage.num_reduces = std::clamp(
+          static_cast<int>(std::lround(stage.shuffle_bytes / (256 * kMB))),
+          1, std::max(1, stage.num_maps));
+      // ORC decode plus query processing: CPU-bound scans.
+      stage.map_rate = rng.uniform(25, 50) * kMB;
+      stage.reduce_rate = rng.uniform(20, 40) * kMB;
+      job.stages.push_back(stage);
+    }
+    job.validate();
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace corral

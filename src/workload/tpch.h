@@ -1,0 +1,35 @@
+// TPC-H-derived DAG workload (§6.3).
+//
+// The paper runs 15 TPC-H queries with Hive 0.14 against a 200 GB ORC
+// database and observes that "these queries spend only up to 20% of their
+// time in the shuffle stage". We reconstruct the workload as DAG jobs:
+// each query is a small DAG of MapReduce stages (scans feeding joins
+// feeding aggregations) whose stage input sizes derive from the TPC-H table
+// sizes at the 200 GB scale and whose shuffle volumes are kept small
+// relative to scan volumes, matching the observed CPU/disk-bound profile.
+#ifndef CORRAL_WORKLOAD_TPCH_H_
+#define CORRAL_WORKLOAD_TPCH_H_
+
+#include <vector>
+
+#include "jobs/job.h"
+#include "util/rng.h"
+
+namespace corral {
+
+struct TpchConfig {
+  // Total database size; stage inputs scale linearly with it.
+  Bytes database_bytes = 200 * kGB;
+  // ORC columnar projection: a scan reads only this fraction of its table.
+  double scan_column_fraction = 0.35;
+  int num_queries = 15;  // <= 15 distinct query skeletons
+};
+
+// Returns `num_queries` DAG jobs modeled on TPC-H queries (Q1, Q3, Q5, ...).
+// Job ids start at `first_id`.
+std::vector<JobSpec> make_tpch(const TpchConfig& config, Rng& rng,
+                               int first_id = 0);
+
+}  // namespace corral
+
+#endif  // CORRAL_WORKLOAD_TPCH_H_

@@ -1,0 +1,114 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+constexpr std::string_view kHeader = "corral-trace v1";
+
+std::string sanitize_name(const std::string& name) {
+  std::string out = name.empty() ? std::string("unnamed") : name;
+  for (char& c : out) {
+    if (c == ' ' || c == '\n' || c == '\t') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, std::span<const JobSpec> jobs) {
+  out << kHeader << "\n";
+  out << std::setprecision(17);
+  for (const JobSpec& job : jobs) {
+    job.validate();
+    out << "job " << job.id << ' ' << job.arrival << ' '
+        << (job.recurring ? 1 : 0) << ' ' << job.stages.size() << ' '
+        << sanitize_name(job.name) << "\n";
+    for (const MapReduceSpec& stage : job.stages) {
+      out << "stage " << stage.input_bytes << ' ' << stage.shuffle_bytes
+          << ' ' << stage.output_bytes << ' ' << stage.num_maps << ' '
+          << stage.num_reduces << ' ' << stage.map_rate << ' '
+          << stage.reduce_rate << ' ' << sanitize_name(stage.name) << "\n";
+    }
+    for (const DagEdge& edge : job.edges) {
+      out << "edge " << edge.from << ' ' << edge.to << "\n";
+    }
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      std::span<const JobSpec> jobs) {
+  std::ofstream out(path);
+  require(out.good(), "write_trace_file: cannot open output file");
+  write_trace(out, jobs);
+  require(out.good(), "write_trace_file: write failed");
+}
+
+std::vector<JobSpec> read_trace(std::istream& in) {
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)),
+          "read_trace: empty input");
+  require(line == kHeader, "read_trace: missing 'corral-trace v1' header");
+
+  std::vector<JobSpec> jobs;
+  int expected_stages = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string directive;
+    tokens >> directive;
+    if (directive == "job") {
+      if (!jobs.empty()) {
+        require(static_cast<int>(jobs.back().stages.size()) ==
+                    expected_stages,
+                "read_trace: stage count mismatch for previous job");
+        jobs.back().validate();
+      }
+      JobSpec job;
+      int recurring = 1;
+      tokens >> job.id >> job.arrival >> recurring >> expected_stages >>
+          job.name;
+      require(!tokens.fail(), "read_trace: malformed job line");
+      require(expected_stages >= 1, "read_trace: job needs >= 1 stage");
+      job.recurring = recurring != 0;
+      jobs.push_back(std::move(job));
+    } else if (directive == "stage") {
+      require(!jobs.empty(), "read_trace: stage before any job");
+      require(static_cast<int>(jobs.back().stages.size()) < expected_stages,
+              "read_trace: more stages than declared");
+      MapReduceSpec stage;
+      tokens >> stage.input_bytes >> stage.shuffle_bytes >>
+          stage.output_bytes >> stage.num_maps >> stage.num_reduces >>
+          stage.map_rate >> stage.reduce_rate >> stage.name;
+      require(!tokens.fail(), "read_trace: malformed stage line");
+      jobs.back().stages.push_back(std::move(stage));
+    } else if (directive == "edge") {
+      require(!jobs.empty(), "read_trace: edge before any job");
+      DagEdge edge;
+      tokens >> edge.from >> edge.to;
+      require(!tokens.fail(), "read_trace: malformed edge line");
+      jobs.back().edges.push_back(edge);
+    } else {
+      require(false, "read_trace: unknown directive");
+    }
+  }
+  if (!jobs.empty()) {
+    require(static_cast<int>(jobs.back().stages.size()) == expected_stages,
+            "read_trace: stage count mismatch for last job");
+    jobs.back().validate();
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "read_trace_file: cannot open input file");
+  return read_trace(in);
+}
+
+}  // namespace corral

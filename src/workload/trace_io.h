@@ -1,0 +1,39 @@
+// Trace import/export.
+//
+// A plain-text trace format for job specifications so workloads can be
+// captured from production logs, versioned, and replayed through the
+// planner and simulator. The matching
+// CSV exporter for simulation results lives in sim/result_io.h.
+//
+// Trace format (line oriented, '#' comments):
+//   corral-trace v1
+//   job <id> <arrival_seconds> <recurring:0|1> <num_stages> <name>
+//   stage <input_bytes> <shuffle_bytes> <output_bytes> <maps> <reduces>
+//     <map_rate> <reduce_rate> <name>   (one physical line in the file)
+//   edge <from_stage> <to_stage>
+// Stages and edges belong to the most recent `job` line.
+#ifndef CORRAL_WORKLOAD_TRACE_IO_H_
+#define CORRAL_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "jobs/job.h"
+
+namespace corral {
+
+// Serializes jobs into the trace format.
+void write_trace(std::ostream& out, std::span<const JobSpec> jobs);
+void write_trace_file(const std::string& path,
+                      std::span<const JobSpec> jobs);
+
+// Parses a trace. Throws std::invalid_argument on malformed input
+// (unknown directives, missing header, stage/edge outside a job, counts
+// that do not match, or specs that fail JobSpec::validate()).
+std::vector<JobSpec> read_trace(std::istream& in);
+std::vector<JobSpec> read_trace_file(const std::string& path);
+
+}  // namespace corral
+
+#endif  // CORRAL_WORKLOAD_TRACE_IO_H_

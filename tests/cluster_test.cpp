@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+
+namespace corral {
+namespace {
+
+TEST(ClusterConfig, PaperTestbedMatchesSection61) {
+  const ClusterConfig config = ClusterConfig::paper_testbed();
+  EXPECT_EQ(config.total_machines(), 210);
+  EXPECT_EQ(config.racks, 7);
+  EXPECT_EQ(config.machines_per_rack, 30);
+  // "each rack has a 60Gbps connection to the core" (5:1 oversubscription
+  // of 30 x 10 Gbps).
+  EXPECT_NEAR(config.rack_uplink_bandwidth(), 60 * kGbps, 1e-6);
+}
+
+TEST(ClusterConfig, PaperSimulationMatchesSection66) {
+  const ClusterConfig config = ClusterConfig::paper_simulation();
+  EXPECT_EQ(config.total_machines(), 2000);
+  EXPECT_EQ(config.racks, 50);
+  EXPECT_EQ(config.slots_per_machine, 20);
+  EXPECT_NEAR(config.nic_bandwidth, 1 * kGbps, 1e-9);
+}
+
+TEST(ClusterConfig, BackgroundTrafficReducesUplink) {
+  ClusterConfig config = ClusterConfig::paper_testbed();
+  config.background_core_fraction = 0.5;
+  EXPECT_NEAR(config.effective_rack_uplink(), 30 * kGbps, 1e-6);
+}
+
+TEST(ClusterTopology, RackOfMapsMachinesToRacks) {
+  ClusterTopology topology(ClusterConfig::paper_testbed());
+  EXPECT_EQ(topology.rack_of(0), 0);
+  EXPECT_EQ(topology.rack_of(29), 0);
+  EXPECT_EQ(topology.rack_of(30), 1);
+  EXPECT_EQ(topology.rack_of(209), 6);
+  EXPECT_THROW(topology.rack_of(210), std::invalid_argument);
+  EXPECT_THROW(topology.rack_of(-1), std::invalid_argument);
+}
+
+TEST(ClusterTopology, MachinesInRackAreContiguous) {
+  ClusterTopology topology(ClusterConfig::paper_testbed());
+  const auto machines = topology.machines_in_rack(2);
+  ASSERT_EQ(machines.size(), 30u);
+  EXPECT_EQ(machines.front(), 60);
+  EXPECT_EQ(machines.back(), 89);
+  EXPECT_EQ(topology.first_machine_of_rack(2), 60);
+}
+
+TEST(ClusterTopology, FailureTracking) {
+  ClusterTopology topology(ClusterConfig::paper_testbed());
+  EXPECT_TRUE(topology.is_up(5));
+  EXPECT_EQ(topology.healthy_in_rack(0), 30);
+
+  topology.fail_machine(5);
+  EXPECT_FALSE(topology.is_up(5));
+  EXPECT_EQ(topology.healthy_in_rack(0), 29);
+
+  // Idempotent failure.
+  topology.fail_machine(5);
+  EXPECT_EQ(topology.healthy_in_rack(0), 29);
+
+  topology.restore_machine(5);
+  EXPECT_TRUE(topology.is_up(5));
+  EXPECT_EQ(topology.healthy_in_rack(0), 30);
+}
+
+TEST(ClusterTopology, RackUsableThreshold) {
+  ClusterTopology topology(ClusterConfig::paper_testbed());
+  for (int m = 0; m < 15; ++m) topology.fail_machine(m);
+  EXPECT_TRUE(topology.rack_usable(0, 0.5));   // exactly at the threshold
+  topology.fail_machine(15);
+  EXPECT_FALSE(topology.rack_usable(0, 0.5));  // below it
+  EXPECT_TRUE(topology.rack_usable(1, 0.5));
+}
+
+TEST(ClusterTopology, RejectsInvalidConfig) {
+  ClusterConfig config = ClusterConfig::paper_testbed();
+  config.racks = 0;
+  EXPECT_THROW(ClusterTopology{config}, std::invalid_argument);
+  config = ClusterConfig::paper_testbed();
+  config.oversubscription = 0.5;
+  EXPECT_THROW(ClusterTopology{config}, std::invalid_argument);
+  config = ClusterConfig::paper_testbed();
+  config.background_core_fraction = 1.0;
+  EXPECT_THROW(ClusterTopology{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corral

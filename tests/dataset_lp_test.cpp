@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "corral/dataset_lp.h"
+
+namespace corral {
+namespace {
+
+TEST(DatasetLp, SingleDatasetSingleJobGoesToItsRack) {
+  DatasetPlacementProblem problem;
+  problem.num_racks = 4;
+  problem.datasets = {{"logs", 10 * kGB}};
+  problem.reads = {{0}};
+  problem.job_racks = {{2}};
+  problem.balance_slack = 10.0;  // capacity not binding
+
+  const auto result = place_datasets(problem);
+  ASSERT_TRUE(result.optimal);
+  EXPECT_NEAR(result.fraction[0][2], 1.0, 1e-6);
+  EXPECT_NEAR(result.expected_cross_rack_bytes, 0.0, 1.0);
+}
+
+TEST(DatasetLp, SharedDatasetPrefersTheRackBothJobsUse) {
+  // Jobs 0 and 1 share rack 1; placing the dataset there serves both.
+  DatasetPlacementProblem problem;
+  problem.num_racks = 3;
+  problem.datasets = {{"shared", 6 * kGB}};
+  problem.reads = {{0}, {0}};
+  problem.job_racks = {{0, 1}, {1, 2}};
+  problem.balance_slack = 10.0;
+
+  const auto result = place_datasets(problem);
+  ASSERT_TRUE(result.optimal);
+  EXPECT_NEAR(result.fraction[0][1], 1.0, 1e-6);
+  EXPECT_NEAR(result.expected_cross_rack_bytes, 0.0, 1.0);
+}
+
+TEST(DatasetLp, CapacityForcesSpillAndCountsCost) {
+  // Two 10 GB datasets, both read by jobs pinned to rack 0, but rack 0 can
+  // hold only (20/2)*(1+0) = 10 GB: one dataset must move off and its
+  // reader pays the cross-rack cost.
+  DatasetPlacementProblem problem;
+  problem.num_racks = 2;
+  problem.datasets = {{"a", 10 * kGB}, {"b", 10 * kGB}};
+  problem.reads = {{0}, {1}};
+  problem.job_racks = {{0}, {0}};
+  problem.balance_slack = 0.0;
+
+  const auto result = place_datasets(problem);
+  ASSERT_TRUE(result.optimal);
+  // Exactly one dataset's worth of bytes ends up remote.
+  EXPECT_NEAR(result.expected_cross_rack_bytes, 10 * kGB, 1e3);
+  for (const auto& row : result.fraction) {
+    EXPECT_NEAR(row[0] + row[1], 1.0, 1e-6);
+  }
+  EXPECT_NEAR(result.fraction[0][0] + result.fraction[1][0], 1.0, 1e-6);
+}
+
+TEST(DatasetLp, FractionalSplitServesDisjointReaders) {
+  // One dataset read by two jobs on disjoint racks with tight balance: the
+  // LP may split it, covering each reader partially.
+  DatasetPlacementProblem problem;
+  problem.num_racks = 2;
+  problem.datasets = {{"hot", 8 * kGB}, {"cold", 8 * kGB}};
+  problem.reads = {{0}, {0}};
+  problem.job_racks = {{0}, {1}};
+  problem.balance_slack = 0.0;
+
+  const auto result = place_datasets(problem);
+  ASSERT_TRUE(result.optimal);
+  // "hot" is worth covering on both racks; the uncovered share is what the
+  // two readers miss in total: with a 50/50 split each job misses half.
+  EXPECT_NEAR(result.expected_cross_rack_bytes, 8 * kGB, 1e3);
+}
+
+TEST(DatasetLp, UnreadDatasetsPlaceAnywhereFeasibly) {
+  DatasetPlacementProblem problem;
+  problem.num_racks = 2;
+  problem.datasets = {{"archive", 4 * kGB}};
+  problem.reads = {};
+  problem.job_racks = {};
+  const auto result = place_datasets(problem);
+  ASSERT_TRUE(result.optimal);
+  EXPECT_NEAR(result.fraction[0][0] + result.fraction[0][1], 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(result.expected_cross_rack_bytes, 0.0);
+}
+
+TEST(DatasetLp, EmptyProblemIsOptimal) {
+  DatasetPlacementProblem problem;
+  problem.num_racks = 3;
+  const auto result = place_datasets(problem);
+  EXPECT_TRUE(result.optimal);
+  EXPECT_TRUE(result.fraction.empty());
+}
+
+TEST(DatasetLp, ValidatesInput) {
+  DatasetPlacementProblem problem;
+  problem.num_racks = 0;
+  EXPECT_THROW(place_datasets(problem), std::invalid_argument);
+
+  problem.num_racks = 2;
+  problem.datasets = {{"a", -1.0}};
+  EXPECT_THROW(place_datasets(problem), std::invalid_argument);
+
+  problem.datasets = {{"a", 1 * kGB}};
+  problem.reads = {{5}};
+  problem.job_racks = {{0}};
+  EXPECT_THROW(place_datasets(problem), std::invalid_argument);
+
+  problem.reads = {{0}};
+  problem.job_racks = {{7}};
+  EXPECT_THROW(place_datasets(problem), std::invalid_argument);
+
+  problem.job_racks = {{0}, {1}};  // length mismatch with reads
+  EXPECT_THROW(place_datasets(problem), std::invalid_argument);
+}
+
+TEST(DatasetLp, BalanceSlackTradesLocalityForBalance) {
+  // Four datasets all read on rack 0. With generous slack everything lands
+  // on rack 0 (perfect locality, bad balance); with zero slack only a
+  // quarter can.
+  DatasetPlacementProblem problem;
+  problem.num_racks = 4;
+  problem.datasets = {{"a", 4 * kGB}, {"b", 4 * kGB}, {"c", 4 * kGB},
+                      {"d", 4 * kGB}};
+  problem.reads = {{0}, {1}, {2}, {3}};
+  problem.job_racks = {{0}, {0}, {0}, {0}};
+
+  problem.balance_slack = 3.0;  // rack capacity = 4x average: all fit
+  const auto loose = place_datasets(problem);
+  ASSERT_TRUE(loose.optimal);
+  EXPECT_NEAR(loose.expected_cross_rack_bytes, 0.0, 1e3);
+
+  problem.balance_slack = 0.0;  // rack capacity = average: quarter fits
+  const auto tight = place_datasets(problem);
+  ASSERT_TRUE(tight.optimal);
+  EXPECT_NEAR(tight.expected_cross_rack_bytes, 12 * kGB, 1e3);
+}
+
+}  // namespace
+}  // namespace corral

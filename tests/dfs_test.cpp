@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dfs/dfs.h"
+#include "dfs/placement.h"
+
+namespace corral {
+namespace {
+
+class DfsTest : public ::testing::Test {
+ protected:
+  DfsTest()
+      : topology_(ClusterConfig::paper_testbed()), dfs_(&topology_, {}) {}
+
+  ClusterTopology topology_;
+  Dfs dfs_;
+  Rng rng_{17};
+};
+
+TEST_F(DfsTest, WriteFileSplitsIntoChunks) {
+  DefaultPlacement policy;
+  const FileLayout& layout =
+      dfs_.write_file("f", 10 * kGB, 40, policy, rng_);
+  ASSERT_EQ(layout.chunks.size(), 40u);
+  for (const auto& chunk : layout.chunks) {
+    EXPECT_DOUBLE_EQ(chunk.bytes, 0.25 * kGB);
+    EXPECT_EQ(chunk.machines.size(), 3u);
+  }
+  EXPECT_TRUE(dfs_.has_file("f"));
+  EXPECT_THROW(dfs_.file("missing"), std::invalid_argument);
+}
+
+TEST_F(DfsTest, DefaultPlacementFollowsHdfsRackRule) {
+  DefaultPlacement policy;
+  const FileLayout& layout =
+      dfs_.write_file("f", 100 * kGB, 400, policy, rng_);
+  for (const auto& chunk : layout.chunks) {
+    const int r0 = topology_.rack_of(chunk.machines[0]);
+    const int r1 = topology_.rack_of(chunk.machines[1]);
+    const int r2 = topology_.rack_of(chunk.machines[2]);
+    // Two replicas in one rack on distinct machines, the third elsewhere.
+    EXPECT_EQ(r0, r1);
+    EXPECT_NE(chunk.machines[0], chunk.machines[1]);
+    EXPECT_NE(r2, r0);
+  }
+}
+
+TEST_F(DfsTest, DefaultPlacementSpreadsAcrossRacks) {
+  DefaultPlacement policy;
+  const FileLayout& layout =
+      dfs_.write_file("f", 100 * kGB, 1000, policy, rng_);
+  std::set<int> primary_racks;
+  for (const auto& chunk : layout.chunks) {
+    primary_racks.insert(topology_.rack_of(chunk.machines[0]));
+  }
+  EXPECT_EQ(primary_racks.size(), 7u);  // every rack gets primaries
+}
+
+TEST_F(DfsTest, CorralPlacementPinsPrimaryInsideTargetRacks) {
+  CorralPlacement policy({2, 5});
+  const FileLayout& layout =
+      dfs_.write_file("f", 50 * kGB, 200, policy, rng_);
+  std::set<int> primary_racks;
+  for (const auto& chunk : layout.chunks) {
+    const int rack = topology_.rack_of(chunk.machines[0]);
+    primary_racks.insert(rack);
+    EXPECT_TRUE(rack == 2 || rack == 5);
+    // Fault tolerance: replicas span at least two racks.
+    std::set<int> racks;
+    for (int m : chunk.machines) racks.insert(topology_.rack_of(m));
+    EXPECT_GE(racks.size(), 2u);
+  }
+  EXPECT_EQ(primary_racks.size(), 2u);  // both target racks used
+}
+
+TEST_F(DfsTest, CorralPlacementFallsBackWhenTargetsDead) {
+  for (int m : topology_.machines_in_rack(3)) topology_.fail_machine(m);
+  CorralPlacement policy({3});
+  const FileLayout& layout = dfs_.write_file("f", 1 * kGB, 10, policy, rng_);
+  for (const auto& chunk : layout.chunks) {
+    for (int m : chunk.machines) EXPECT_TRUE(topology_.is_up(m));
+  }
+}
+
+TEST_F(DfsTest, CorralPlacementRejectsBadRack) {
+  CorralPlacement policy({99});
+  EXPECT_THROW(dfs_.write_file("f", 1 * kGB, 1, policy, rng_),
+               std::invalid_argument);
+  EXPECT_THROW(CorralPlacement{std::vector<int>{}}, std::invalid_argument);
+}
+
+TEST_F(DfsTest, LoadAccountingAndRemove) {
+  DefaultPlacement policy;
+  dfs_.write_file("f", 30 * kGB, 30, policy, rng_);
+  double machine_total = 0;
+  for (int m = 0; m < topology_.machines(); ++m) {
+    machine_total += dfs_.machine_bytes(m);
+  }
+  EXPECT_NEAR(machine_total, 90 * kGB, 1);  // 3 replicas of 30 GB
+  double rack_total = 0;
+  for (int r = 0; r < topology_.racks(); ++r) rack_total += dfs_.rack_bytes(r);
+  EXPECT_NEAR(rack_total, 90 * kGB, 1);
+
+  dfs_.remove_file("f");
+  for (int m = 0; m < topology_.machines(); ++m) {
+    EXPECT_DOUBLE_EQ(dfs_.machine_bytes(m), 0.0);
+  }
+  EXPECT_FALSE(dfs_.has_file("f"));
+  EXPECT_THROW(dfs_.remove_file("f"), std::invalid_argument);
+}
+
+TEST_F(DfsTest, DuplicateFileNameRejected) {
+  DefaultPlacement policy;
+  dfs_.write_file("f", 1 * kGB, 4, policy, rng_);
+  EXPECT_THROW(dfs_.write_file("f", 1 * kGB, 4, policy, rng_),
+               std::invalid_argument);
+}
+
+TEST_F(DfsTest, CorralBalancesBetterThanRandom) {
+  // The §6.2 data-balance claim in miniature: planner-guided placement with
+  // least-loaded spare racks yields lower CoV than random HDFS placement.
+  Dfs random_dfs(&topology_, {});
+  Dfs corral_dfs(&topology_, {});
+  Rng rng_a(42), rng_b(42);
+  DefaultPlacement random_policy;
+  for (int f = 0; f < 70; ++f) {
+    random_dfs.write_file("r" + std::to_string(f), 10 * kGB, 40,
+                          random_policy, rng_a);
+    CorralPlacement corral_policy({f % 7});
+    corral_dfs.write_file("c" + std::to_string(f), 10 * kGB, 40,
+                          corral_policy, rng_b);
+  }
+  EXPECT_LT(corral_dfs.rack_balance_cov(), random_dfs.rack_balance_cov());
+}
+
+TEST_F(DfsTest, ClosestReplicaPrefersMachineThenRack) {
+  DefaultPlacement policy;
+  const FileLayout& layout = dfs_.write_file("f", 1 * kGB, 1, policy, rng_);
+  const auto& machines = layout.chunks[0].machines;
+  // Exact machine.
+  EXPECT_EQ(layout.closest_replica(0, machines[0], topology_), machines[0]);
+  // Same rack as replica 0/1 but a different machine: rack-local replica.
+  const int rack = topology_.rack_of(machines[0]);
+  int other = -1;
+  for (int m : topology_.machines_in_rack(rack)) {
+    if (m != machines[0] && m != machines[1]) {
+      other = m;
+      break;
+    }
+  }
+  ASSERT_GE(other, 0);
+  const int chosen = layout.closest_replica(0, other, topology_);
+  EXPECT_EQ(topology_.rack_of(chosen), rack);
+}
+
+TEST_F(DfsTest, ChunkQueriesWork) {
+  DefaultPlacement policy;
+  const FileLayout& layout = dfs_.write_file("f", 1 * kGB, 2, policy, rng_);
+  const int m = layout.chunks[0].machines[0];
+  EXPECT_TRUE(layout.chunk_on_machine(0, m));
+  EXPECT_TRUE(layout.chunk_in_rack(0, topology_.rack_of(m), topology_));
+}
+
+}  // namespace
+}  // namespace corral

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/flags.h"
+
+namespace corral {
+namespace {
+
+FlagParser make_parser() {
+  FlagParser flags("test tool");
+  flags.add_string("name", "default", "a string");
+  flags.add_int("count", 7, "an int");
+  flags.add_double("ratio", 0.5, "a double");
+  flags.add_bool("verbose", false, "a bool");
+  return flags;
+}
+
+bool run(FlagParser& flags, std::vector<const char*> args,
+         std::string* output = nullptr) {
+  args.insert(args.begin(), "tool");
+  std::ostringstream out;
+  const bool ok =
+      flags.parse(static_cast<int>(args.size()), args.data(), out);
+  if (output != nullptr) *output = out.str();
+  return ok;
+}
+
+TEST(Flags, DefaultsApplyWithoutArguments) {
+  FlagParser flags = make_parser();
+  ASSERT_TRUE(run(flags, {}));
+  EXPECT_EQ(flags.get_string("name"), "default");
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.5);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+  EXPECT_FALSE(flags.provided("name"));
+}
+
+TEST(Flags, EqualsAndSpaceSyntax) {
+  FlagParser flags = make_parser();
+  ASSERT_TRUE(run(flags, {"--name=alpha", "--count", "42", "--ratio=1.25"}));
+  EXPECT_EQ(flags.get_string("name"), "alpha");
+  EXPECT_EQ(flags.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 1.25);
+  EXPECT_TRUE(flags.provided("count"));
+}
+
+TEST(Flags, BooleanForms) {
+  {
+    FlagParser flags = make_parser();
+    ASSERT_TRUE(run(flags, {"--verbose"}));
+    EXPECT_TRUE(flags.get_bool("verbose"));
+  }
+  {
+    FlagParser flags = make_parser();
+    ASSERT_TRUE(run(flags, {"--verbose=false"}));
+    EXPECT_FALSE(flags.get_bool("verbose"));
+  }
+  {
+    FlagParser flags = make_parser();
+    ASSERT_TRUE(run(flags, {"--verbose=1"}));
+    EXPECT_TRUE(flags.get_bool("verbose"));
+  }
+}
+
+TEST(Flags, HelpPrintsUsageAndFails) {
+  FlagParser flags = make_parser();
+  std::string output;
+  EXPECT_FALSE(run(flags, {"--help"}, &output));
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+  EXPECT_NE(output.find("--count"), std::string::npos);
+  EXPECT_NE(output.find("a double"), std::string::npos);
+}
+
+TEST(Flags, RejectsUnknownFlag) {
+  FlagParser flags = make_parser();
+  std::string output;
+  EXPECT_FALSE(run(flags, {"--bogus=1"}, &output));
+  EXPECT_NE(output.find("unknown flag"), std::string::npos);
+}
+
+TEST(Flags, RejectsBadValues) {
+  {
+    FlagParser flags = make_parser();
+    EXPECT_FALSE(run(flags, {"--count=abc"}));
+  }
+  {
+    FlagParser flags = make_parser();
+    EXPECT_FALSE(run(flags, {"--ratio=1.2.3"}));
+  }
+  {
+    FlagParser flags = make_parser();
+    EXPECT_FALSE(run(flags, {"--verbose=maybe"}));
+  }
+  {
+    FlagParser flags = make_parser();
+    EXPECT_FALSE(run(flags, {"--name"}));  // missing value
+  }
+  {
+    FlagParser flags = make_parser();
+    EXPECT_FALSE(run(flags, {"positional"}));
+  }
+}
+
+TEST(Flags, AccessorTypeChecking) {
+  FlagParser flags = make_parser();
+  ASSERT_TRUE(run(flags, {}));
+  EXPECT_THROW(flags.get_int("name"), std::invalid_argument);
+  EXPECT_THROW(flags.get_string("count"), std::invalid_argument);
+  EXPECT_THROW(flags.get_bool("missing"), std::invalid_argument);
+}
+
+TEST(Flags, RegistrationRules) {
+  FlagParser flags("x");
+  flags.add_int("n", 1, "n");
+  EXPECT_THROW(flags.add_int("n", 2, "dup"), std::invalid_argument);
+  EXPECT_THROW(flags.add_int("--dashed", 1, "bad"), std::invalid_argument);
+  std::ostringstream out;
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(flags.parse(1, argv, out));
+  EXPECT_THROW(flags.add_int("late", 1, "too late"), std::invalid_argument);
+}
+
+TEST(Flags, NegativeNumbersParse) {
+  FlagParser flags = make_parser();
+  ASSERT_TRUE(run(flags, {"--count=-5", "--ratio=-0.25"}));
+  EXPECT_EQ(flags.get_int("count"), -5);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), -0.25);
+}
+
+}  // namespace
+}  // namespace corral

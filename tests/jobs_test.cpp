@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "jobs/dag.h"
+#include "jobs/job.h"
+
+namespace corral {
+namespace {
+
+MapReduceSpec small_stage(Bytes in = 1 * kGB) {
+  MapReduceSpec stage;
+  stage.input_bytes = in;
+  stage.shuffle_bytes = in / 2;
+  stage.output_bytes = in / 4;
+  stage.num_maps = 8;
+  stage.num_reduces = 4;
+  return stage;
+}
+
+TEST(Dag, TopologicalOrderOfChain) {
+  const std::vector<DagEdge> edges = {{0, 1}, {1, 2}};
+  const auto order = topological_order(3, edges);
+  ASSERT_EQ(order.size(), 3u);
+  std::vector<int> position(3);
+  for (int i = 0; i < 3; ++i) position[static_cast<std::size_t>(order[i])] = i;
+  EXPECT_LT(position[0], position[1]);
+  EXPECT_LT(position[1], position[2]);
+}
+
+TEST(Dag, DetectsCycle) {
+  const std::vector<DagEdge> edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_THROW(topological_order(3, edges), std::invalid_argument);
+}
+
+TEST(Dag, RejectsSelfLoopAndBadIndex) {
+  EXPECT_THROW(topological_order(2, std::vector<DagEdge>{{0, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(topological_order(2, std::vector<DagEdge>{{0, 5}}),
+               std::invalid_argument);
+}
+
+TEST(Dag, CriticalPathOfDiamondPicksHeavierBranch) {
+  // 0 -> {1, 2} -> 3, branch 2 is heavier.
+  const std::vector<DagEdge> edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  const std::vector<double> weights = {1.0, 2.0, 5.0, 1.0};
+  const CriticalPath path = critical_path(4, edges, weights);
+  EXPECT_DOUBLE_EQ(path.length, 7.0);
+  EXPECT_EQ(path.nodes, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(Dag, CriticalPathOfIndependentNodesIsHeaviestNode) {
+  const std::vector<double> weights = {3.0, 9.0, 4.0};
+  const CriticalPath path = critical_path(3, {}, weights);
+  EXPECT_DOUBLE_EQ(path.length, 9.0);
+  EXPECT_EQ(path.nodes, (std::vector<int>{1}));
+}
+
+TEST(Dag, CriticalPathValidatesWeightCount) {
+  const std::vector<double> weights = {1.0};
+  EXPECT_THROW(critical_path(2, {}, weights), std::invalid_argument);
+}
+
+TEST(JobSpec, MapReduceFactoryBuildsSingleStage) {
+  const JobSpec job = JobSpec::map_reduce(7, "wordcount", small_stage(), 12.0);
+  EXPECT_EQ(job.id, 7);
+  EXPECT_TRUE(job.is_map_reduce());
+  EXPECT_DOUBLE_EQ(job.arrival, 12.0);
+  EXPECT_EQ(job.max_parallelism(), 8);
+  EXPECT_EQ(job.num_tasks(), 12);
+  EXPECT_NO_THROW(job.validate());
+}
+
+TEST(JobSpec, TotalsSumOverStages) {
+  JobSpec job;
+  job.id = 1;
+  job.name = "dag";
+  job.stages = {small_stage(2 * kGB), small_stage(1 * kGB)};
+  job.edges = {{0, 1}};
+  // Only stage 0 is a source; stage 1 reads stage 0's output.
+  EXPECT_DOUBLE_EQ(job.total_input(), 2 * kGB);
+  EXPECT_DOUBLE_EQ(job.total_shuffle(), 1.5 * kGB);
+  EXPECT_EQ(job.source_stages(), (std::vector<int>{0}));
+  EXPECT_NO_THROW(job.validate());
+}
+
+TEST(JobSpec, ValidateRejectsBadSpecs) {
+  JobSpec job = JobSpec::map_reduce(1, "bad", small_stage());
+  job.stages[0].num_maps = 0;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+
+  job = JobSpec::map_reduce(1, "bad", small_stage());
+  job.stages[0].input_bytes = -1;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+
+  job = JobSpec::map_reduce(1, "bad", small_stage());
+  job.arrival = -5;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+
+  JobSpec cyclic;
+  cyclic.stages = {small_stage(), small_stage()};
+  cyclic.edges = {{0, 1}, {1, 0}};
+  EXPECT_THROW(cyclic.validate(), std::invalid_argument);
+
+  JobSpec empty;
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+}
+
+TEST(JobSpec, MapOnlyStageIsValid) {
+  MapReduceSpec stage = small_stage();
+  stage.num_reduces = 0;
+  stage.shuffle_bytes = 0;
+  const JobSpec job = JobSpec::map_reduce(2, "map-only", stage);
+  EXPECT_NO_THROW(job.validate());
+  EXPECT_EQ(job.max_parallelism(), 8);
+}
+
+}  // namespace
+}  // namespace corral

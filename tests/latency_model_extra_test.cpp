@@ -1,0 +1,149 @@
+// Additional latency-model and response-function coverage: DAG shapes,
+// single-rack/multi-rack crossovers, and build_response_functions batches.
+#include <gtest/gtest.h>
+
+#include "corral/latency_model.h"
+#include "workload/tpch.h"
+#include "workload/workloads.h"
+
+namespace corral {
+namespace {
+
+LatencyModelParams params_of(const ClusterConfig& config) {
+  LatencyModelParams params = LatencyModelParams::from_cluster(config);
+  params.alpha = 0;
+  return params;
+}
+
+TEST(LatencyModelExtra, CrossoverRackCountMatchesClosedForm) {
+  // For a pure-shuffle job, L(r) ~ max over the two §4.3 terms; the r > 1
+  // core term beats the single-rack time only when (r-1)V/r^2 < (k-1)/k.
+  // With V = 5 and k = 30 that happens first at r = 4 (3/16*5 = 0.9375 <
+  // 29/30).
+  ClusterConfig config = ClusterConfig::paper_testbed();
+  const LatencyModelParams params = params_of(config);
+  MapReduceSpec stage;
+  stage.input_bytes = 1;  // negligible compute
+  stage.shuffle_bytes = 100 * kGB;
+  stage.output_bytes = 1;
+  stage.num_maps = 1;
+  stage.num_reduces = 1;
+  const double single = stage_latency(stage, 1, params).shuffle;
+  for (int r = 2; r <= 3; ++r) {
+    EXPECT_GT(stage_latency(stage, r, params).shuffle, single)
+        << "r=" << r << " should still lose to one rack";
+  }
+  EXPECT_LT(stage_latency(stage, 4, params).shuffle, single);
+}
+
+TEST(LatencyModelExtra, LinearChainLatencyIsSumOfStages) {
+  const LatencyModelParams params =
+      params_of(ClusterConfig::paper_testbed());
+  MapReduceSpec stage;
+  stage.input_bytes = 10 * kGB;
+  stage.shuffle_bytes = 5 * kGB;
+  stage.output_bytes = 2 * kGB;
+  stage.num_maps = 40;
+  stage.num_reduces = 20;
+
+  JobSpec chain;
+  chain.id = 1;
+  chain.name = "chain";
+  chain.stages = {stage, stage, stage};
+  chain.edges = {{0, 1}, {1, 2}};
+  const double each = stage_latency(stage, 2, params).total();
+  EXPECT_NEAR(job_latency(chain, 2, params), 3 * each, 1e-9);
+}
+
+TEST(LatencyModelExtra, WideFanoutTakesHeaviestBranchOnly) {
+  const LatencyModelParams params =
+      params_of(ClusterConfig::paper_testbed());
+  MapReduceSpec light;
+  light.input_bytes = 1 * kGB;
+  light.num_maps = 4;
+  light.num_reduces = 2;
+  light.shuffle_bytes = 0.5 * kGB;
+  light.output_bytes = 0.1 * kGB;
+  MapReduceSpec heavy = light;
+  heavy.input_bytes = 64 * kGB;
+  heavy.num_maps = 256;
+  heavy.shuffle_bytes = 32 * kGB;
+
+  JobSpec fanout;
+  fanout.id = 1;
+  fanout.name = "fanout";
+  // Source 0 feeds 5 parallel branches; only the heavy one matters.
+  fanout.stages = {light, light, light, light, heavy, light};
+  fanout.edges = {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}};
+  const double expected = stage_latency(light, 3, params).total() +
+                          stage_latency(heavy, 3, params).total();
+  EXPECT_NEAR(job_latency(fanout, 3, params), expected, 1e-9);
+}
+
+TEST(LatencyModelExtra, TpchQueriesHaveDecreasingEnvelopes) {
+  // Response functions of real DAG jobs: wider never increases the pure
+  // compute component, and the minimum over r exists and is attained.
+  Rng rng(3);
+  const auto queries = make_tpch(TpchConfig{}, rng);
+  const LatencyModelParams params =
+      params_of(ClusterConfig::paper_testbed());
+  for (const JobSpec& query : queries) {
+    const ResponseFunction f(query, 7, params);
+    const int best = f.best_racks();
+    EXPECT_GE(best, 1);
+    EXPECT_LE(best, 7);
+    EXPECT_LE(f.min_latency(), f.at(1));
+    EXPECT_LE(f.min_latency(), f.at(7));
+  }
+}
+
+TEST(LatencyModelExtra, BuildBatchMatchesIndividualConstruction) {
+  Rng rng(4);
+  W1Config config;
+  config.num_jobs = 25;
+  const auto jobs = make_w1(config, rng);
+  LatencyModelParams params =
+      LatencyModelParams::from_cluster(ClusterConfig::paper_testbed());
+  const auto batch = build_response_functions(jobs, 7, params);
+  ASSERT_EQ(batch.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ResponseFunction single(jobs[i], 7, params);
+    for (int r = 1; r <= 7; ++r) {
+      EXPECT_DOUBLE_EQ(batch[i].at(r), single.at(r));
+    }
+    EXPECT_DOUBLE_EQ(batch[i].arrival(), jobs[i].arrival);
+  }
+}
+
+TEST(LatencyModelExtra, ZeroShuffleWithReducesSkipsShuffleTerm) {
+  const LatencyModelParams params =
+      params_of(ClusterConfig::paper_testbed());
+  MapReduceSpec stage;
+  stage.input_bytes = 10 * kGB;
+  stage.shuffle_bytes = 0;
+  stage.output_bytes = 5 * kGB;
+  stage.num_maps = 100;
+  stage.num_reduces = 50;
+  const StageLatency l = stage_latency(stage, 3, params);
+  EXPECT_DOUBLE_EQ(l.shuffle, 0.0);
+  EXPECT_GT(l.reduce, 0.0);
+}
+
+TEST(LatencyModelExtra, LowOversubscriptionMakesSpreadingCheap) {
+  // With a mild V = 2, spreading to 4 racks already beats one rack for a
+  // pure shuffle — the crossover moves left as the core gets stronger.
+  ClusterConfig config = ClusterConfig::paper_testbed();
+  config.oversubscription = 2.0;
+  const LatencyModelParams params = params_of(config);
+  MapReduceSpec stage;
+  stage.input_bytes = 1;
+  stage.shuffle_bytes = 100 * kGB;
+  stage.output_bytes = 1;
+  stage.num_maps = 1;
+  stage.num_reduces = 1;
+  const double single = stage_latency(stage, 1, params).shuffle;
+  EXPECT_LT(stage_latency(stage, 4, params).shuffle, single);
+}
+
+}  // namespace
+}  // namespace corral

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace corral {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  x=2, y=6, obj=36.
+  LpProblem lp(2);
+  lp.maximize({3, 5});
+  lp.add_constraint({1, 0}, Relation::kLessEqual, 4);
+  lp.add_constraint({0, 2}, Relation::kLessEqual, 12);
+  lp.add_constraint({3, 2}, Relation::kLessEqual, 18);
+  const LpSolution solution = lp.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 36.0, 1e-9);
+  EXPECT_NEAR(solution.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, SolvesMinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  ->  x=4, y=0, obj=8.
+  LpProblem lp(2);
+  lp.minimize({2, 3});
+  lp.add_constraint({1, 1}, Relation::kGreaterEqual, 4);
+  lp.add_constraint({1, 0}, Relation::kGreaterEqual, 1);
+  const LpSolution solution = lp.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 8.0, 1e-9);
+}
+
+TEST(Simplex, HandlesEqualityConstraints) {
+  // min x + 2y s.t. x + y = 3, x <= 1  ->  x=1, y=2, obj=5.
+  LpProblem lp(2);
+  lp.minimize({1, 2});
+  lp.add_constraint({1, 1}, Relation::kEqual, 3);
+  lp.add_constraint({1, 0}, Relation::kLessEqual, 1);
+  const LpSolution solution = lp.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 5.0, 1e-9);
+  EXPECT_NEAR(solution.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LpProblem lp(1);
+  lp.minimize({1});
+  lp.add_constraint({1}, Relation::kLessEqual, 1);
+  lp.add_constraint({1}, Relation::kGreaterEqual, 2);
+  EXPECT_EQ(lp.solve().status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LpProblem lp(1);
+  lp.maximize({1});
+  lp.add_constraint({-1}, Relation::kLessEqual, 0);  // x >= 0, no upper bound
+  EXPECT_EQ(lp.solve().status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsIsNormalized) {
+  // min x s.t. -x <= -3 (i.e., x >= 3).
+  LpProblem lp(1);
+  lp.minimize({1});
+  lp.add_constraint({-1}, Relation::kLessEqual, -3);
+  const LpSolution solution = lp.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, SparseConstraintAccumulatesDuplicateTerms) {
+  LpProblem lp(2);
+  lp.maximize({1, 1});
+  // 0.5x + 0.5x + y <= 2 should behave as x + y <= 2.
+  lp.add_constraint_sparse({{0, 0.5}, {0, 0.5}, {1, 1.0}},
+                           Relation::kLessEqual, 2);
+  const LpSolution solution = lp.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // A classic degenerate vertex: multiple constraints meet at the optimum.
+  LpProblem lp(2);
+  lp.maximize({1, 1});
+  lp.add_constraint({1, 0}, Relation::kLessEqual, 1);
+  lp.add_constraint({0, 1}, Relation::kLessEqual, 1);
+  lp.add_constraint({1, 1}, Relation::kLessEqual, 2);
+  lp.add_constraint({1, 1}, Relation::kLessEqual, 2);
+  const LpSolution solution = lp.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, RejectsBadDimensions) {
+  EXPECT_THROW(LpProblem{0}, std::invalid_argument);
+  LpProblem lp(2);
+  EXPECT_THROW(lp.minimize({1.0}), std::invalid_argument);
+  EXPECT_THROW(lp.add_constraint({1.0}, Relation::kLessEqual, 1),
+               std::invalid_argument);
+  EXPECT_THROW(lp.add_constraint_sparse({{5, 1.0}}, Relation::kLessEqual, 1),
+               std::invalid_argument);
+}
+
+// Property check: on random transportation-style LPs, the simplex optimum
+// must match a brute-force search over the (small) vertex set implied by
+// assignment structure. We use random fractional knapsack instances where
+// the optimum has a closed form.
+TEST(Simplex, MatchesFractionalKnapsackClosedForm) {
+  Rng rng(123);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = rng.uniform_int(2, 6);
+    std::vector<double> value(static_cast<std::size_t>(n));
+    std::vector<double> weight(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      value[static_cast<std::size_t>(i)] = rng.uniform(1, 10);
+      weight[static_cast<std::size_t>(i)] = rng.uniform(1, 5);
+    }
+    const double budget = rng.uniform(1, 8);
+
+    LpProblem lp(n);
+    lp.maximize(value);
+    lp.add_constraint(weight, Relation::kLessEqual, budget);
+    for (int i = 0; i < n; ++i) {
+      std::vector<double> row(static_cast<std::size_t>(n), 0.0);
+      row[static_cast<std::size_t>(i)] = 1.0;
+      lp.add_constraint(row, Relation::kLessEqual, 1.0);  // x_i <= 1
+    }
+    const LpSolution solution = lp.solve();
+    ASSERT_TRUE(solution.optimal());
+
+    // Greedy fractional knapsack by density.
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return value[static_cast<std::size_t>(a)] /
+                 weight[static_cast<std::size_t>(a)] >
+             value[static_cast<std::size_t>(b)] /
+                 weight[static_cast<std::size_t>(b)];
+    });
+    double remaining = budget;
+    double expected = 0;
+    for (int i : order) {
+      const double take = std::min(1.0, remaining /
+                                            weight[static_cast<std::size_t>(
+                                                i)]);
+      expected += take * value[static_cast<std::size_t>(i)];
+      remaining -= take * weight[static_cast<std::size_t>(i)];
+      if (remaining <= 0) break;
+    }
+    EXPECT_NEAR(solution.objective, expected, 1e-6)
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace corral

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corral/planner.h"
+#include "util/rng.h"
+
+namespace corral {
+namespace {
+
+// A synthetic response function with perfect 1/r speedup from `base`.
+ResponseFunction perfect_speedup(double base, int max_racks,
+                                 Seconds arrival = 0) {
+  std::vector<Seconds> latency;
+  for (int r = 1; r <= max_racks; ++r) latency.push_back(base / r);
+  return ResponseFunction(std::move(latency), arrival);
+}
+
+// A job that only runs well on one rack (latency grows with r).
+ResponseFunction rack_local_job(double base, int max_racks,
+                                Seconds arrival = 0) {
+  std::vector<Seconds> latency;
+  for (int r = 1; r <= max_racks; ++r) latency.push_back(base * (1 + 0.5 * (r - 1)));
+  return ResponseFunction(std::move(latency), arrival);
+}
+
+TEST(Prioritize, SingleJobStartsAtArrivalOnEarliestRacks) {
+  const std::vector<ResponseFunction> jobs = {perfect_speedup(100, 4, 7.0)};
+  const std::vector<int> racks = {2};
+  PlannerConfig config;
+  config.objective = Objective::kAverageCompletionTime;
+  const Plan plan = prioritize(jobs, racks, 4, config);
+  ASSERT_EQ(plan.jobs.size(), 1u);
+  EXPECT_EQ(plan.jobs[0].num_racks, 2);
+  EXPECT_EQ(plan.jobs[0].racks.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.jobs[0].start_time, 7.0);
+  EXPECT_DOUBLE_EQ(plan.jobs[0].predicted_latency, 50.0);
+  EXPECT_DOUBLE_EQ(plan.predicted_makespan, 57.0);
+  EXPECT_DOUBLE_EQ(plan.predicted_avg_completion, 50.0);
+}
+
+TEST(Prioritize, WidestJobFirstAvoidsHoles) {
+  // One 2-rack job and two 1-rack jobs on a 2-rack cluster. Widest-first
+  // runs the wide job first (makespan 10 + 20 = 30); running a narrow job
+  // first would stagger rack finish times and delay the wide job.
+  const std::vector<ResponseFunction> jobs = {
+      ResponseFunction({20.0, 20.0}, 0),  // narrow (scheduled at r=1)
+      ResponseFunction({99.0, 10.0}, 0),  // wide
+      ResponseFunction({20.0, 20.0}, 0),  // narrow
+  };
+  const std::vector<int> racks = {1, 2, 1};
+  PlannerConfig config;
+  const Plan plan = prioritize(jobs, racks, 2, config);
+  // Wide job gets priority 0.
+  EXPECT_EQ(plan.jobs[1].priority, 0);
+  EXPECT_DOUBLE_EQ(plan.jobs[1].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(plan.predicted_makespan, 30.0);
+}
+
+TEST(Prioritize, TiesBrokenByLongestProcessingTime) {
+  const std::vector<ResponseFunction> jobs = {
+      ResponseFunction({5.0}, 0),
+      ResponseFunction({50.0}, 0),
+      ResponseFunction({20.0}, 0),
+  };
+  const std::vector<int> racks = {1, 1, 1};
+  PlannerConfig config;
+  const Plan plan = prioritize(jobs, racks, 1, config);
+  EXPECT_EQ(plan.jobs[1].priority, 0);  // longest first
+  EXPECT_EQ(plan.jobs[2].priority, 1);
+  EXPECT_EQ(plan.jobs[0].priority, 2);
+  EXPECT_DOUBLE_EQ(plan.predicted_makespan, 75.0);
+}
+
+TEST(Prioritize, PacksJobsAcrossRacks) {
+  // Two 1-rack jobs on a 2-rack cluster run concurrently on different racks.
+  const std::vector<ResponseFunction> jobs = {
+      ResponseFunction({30.0, 30.0}, 0),
+      ResponseFunction({30.0, 30.0}, 0),
+  };
+  const std::vector<int> racks = {1, 1};
+  PlannerConfig config;
+  const Plan plan = prioritize(jobs, racks, 2, config);
+  EXPECT_DOUBLE_EQ(plan.predicted_makespan, 30.0);
+  EXPECT_NE(plan.jobs[0].racks, plan.jobs[1].racks);
+}
+
+TEST(Prioritize, OnlineSortsByArrival) {
+  const std::vector<ResponseFunction> jobs = {
+      perfect_speedup(100, 2, /*arrival=*/50.0),
+      perfect_speedup(10, 2, /*arrival=*/0.0),
+  };
+  const std::vector<int> racks = {2, 2};
+  PlannerConfig config;
+  config.objective = Objective::kAverageCompletionTime;
+  const Plan plan = prioritize(jobs, racks, 2, config);
+  // The early arrival runs first even though it is shorter.
+  EXPECT_EQ(plan.jobs[1].priority, 0);
+  EXPECT_DOUBLE_EQ(plan.jobs[1].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(plan.jobs[0].start_time, 50.0);
+}
+
+TEST(Prioritize, JobWaitsForArrival) {
+  const std::vector<ResponseFunction> jobs = {
+      perfect_speedup(10, 1, /*arrival=*/100.0)};
+  const std::vector<int> racks = {1};
+  PlannerConfig config;
+  config.objective = Objective::kAverageCompletionTime;
+  const Plan plan = prioritize(jobs, racks, 1, config);
+  EXPECT_DOUBLE_EQ(plan.jobs[0].start_time, 100.0);
+  EXPECT_DOUBLE_EQ(plan.predicted_avg_completion, 10.0);
+}
+
+TEST(Prioritize, ValidatesInputs) {
+  const std::vector<ResponseFunction> jobs = {perfect_speedup(10, 2)};
+  PlannerConfig config;
+  EXPECT_THROW(prioritize(jobs, std::vector<int>{3}, 2, config),
+               std::invalid_argument);
+  EXPECT_THROW(prioritize(jobs, std::vector<int>{1, 1}, 2, config),
+               std::invalid_argument);
+  // Response function narrower than the cluster.
+  EXPECT_THROW(prioritize(jobs, std::vector<int>{1}, 3, config),
+               std::invalid_argument);
+}
+
+TEST(PlanOffline, GivesWholeClusterToASingleScalableJob) {
+  const std::vector<ResponseFunction> jobs = {perfect_speedup(100, 5)};
+  PlannerConfig config;
+  const Plan plan = plan_offline(jobs, 5, config);
+  EXPECT_EQ(plan.jobs[0].num_racks, 5);
+  EXPECT_DOUBLE_EQ(plan.predicted_makespan, 20.0);
+}
+
+TEST(PlanOffline, KeepsRackLocalJobsNarrow) {
+  const std::vector<ResponseFunction> jobs = {
+      rack_local_job(10, 4), rack_local_job(10, 4), rack_local_job(10, 4),
+      rack_local_job(10, 4)};
+  PlannerConfig config;
+  const Plan plan = plan_offline(jobs, 4, config);
+  std::set<int> used;
+  for (const PlannedJob& job : plan.jobs) {
+    EXPECT_EQ(job.num_racks, 1);
+    for (int r : job.racks) used.insert(r);
+  }
+  // Four 1-rack jobs spread over four racks, all running concurrently.
+  EXPECT_EQ(used.size(), 4u);
+  EXPECT_DOUBLE_EQ(plan.predicted_makespan, 10.0);
+}
+
+TEST(PlanOffline, MixesWideAndNarrowSensibly) {
+  // One perfectly scalable giant plus several rack-local jobs on 4 racks.
+  std::vector<ResponseFunction> jobs;
+  jobs.push_back(perfect_speedup(400, 4));
+  for (int i = 0; i < 4; ++i) jobs.push_back(rack_local_job(20, 4));
+  PlannerConfig config;
+  const Plan plan = plan_offline(jobs, 4, config);
+  // The giant should get multiple racks.
+  EXPECT_GE(plan.jobs[0].num_racks, 2);
+  // Makespan beats both extremes: everything serial on the full cluster
+  // (400/4 + 4*20 = 180) and the giant on one rack (400).
+  EXPECT_LT(plan.predicted_makespan, 180.0);
+}
+
+TEST(PlanOffline, ProvisioningNeverWorseThanAllOneRack) {
+  Rng rng(99);
+  std::vector<ResponseFunction> jobs;
+  std::vector<int> ones;
+  for (int i = 0; i < 20; ++i) {
+    const double base = rng.uniform(10, 500);
+    // Imperfect speedup with a random parallelizable fraction.
+    const double parallel = rng.uniform(0.3, 1.0);
+    std::vector<Seconds> latency;
+    for (int r = 1; r <= 6; ++r) {
+      latency.push_back(base * ((1 - parallel) + parallel / r));
+    }
+    jobs.emplace_back(std::move(latency), 0.0);
+    ones.push_back(1);
+  }
+  PlannerConfig config;
+  const Plan planned = plan_offline(jobs, 6, config);
+  const Plan naive = prioritize(jobs, ones, 6, config);
+  EXPECT_LE(planned.predicted_makespan, naive.predicted_makespan + 1e-9);
+}
+
+TEST(PlanOffline, OnlineObjectiveOptimizesAvgCompletion) {
+  Rng rng(7);
+  std::vector<ResponseFunction> jobs;
+  for (int i = 0; i < 15; ++i) {
+    jobs.push_back(perfect_speedup(rng.uniform(50, 300), 4,
+                                   rng.uniform(0, 100)));
+  }
+  PlannerConfig batch_config;
+  batch_config.objective = Objective::kMakespan;
+  PlannerConfig online_config;
+  online_config.objective = Objective::kAverageCompletionTime;
+  const Plan batch = plan_offline(jobs, 4, batch_config);
+  const Plan online = plan_offline(jobs, 4, online_config);
+  EXPECT_LE(online.predicted_avg_completion,
+            batch.predicted_avg_completion + 1e-9);
+}
+
+TEST(PlanOffline, EmptyJobListYieldsEmptyPlan) {
+  const std::vector<ResponseFunction> jobs;
+  PlannerConfig config;
+  const Plan plan = plan_offline(jobs, 3, config);
+  EXPECT_TRUE(plan.jobs.empty());
+  EXPECT_DOUBLE_EQ(plan.predicted_makespan, 0.0);
+}
+
+TEST(PlanOffline, StopRuleAblationExploresLess) {
+  // The [19]-style stop rule must never beat the full exploration (it
+  // evaluates a subset of the same candidate allocations).
+  Rng rng(31);
+  std::vector<ResponseFunction> jobs;
+  for (int i = 0; i < 12; ++i) {
+    jobs.push_back(perfect_speedup(rng.uniform(20, 400), 5));
+  }
+  PlannerConfig full;
+  PlannerConfig stopped;
+  stopped.explore_full_range = false;
+  const Plan a = plan_offline(jobs, 5, full);
+  const Plan b = plan_offline(jobs, 5, stopped);
+  EXPECT_LE(a.predicted_makespan, b.predicted_makespan + 1e-9);
+}
+
+TEST(PlanOffline, FromJobSpecsEndToEnd) {
+  MapReduceSpec stage;
+  stage.input_bytes = 50 * kGB;
+  stage.shuffle_bytes = 100 * kGB;
+  stage.output_bytes = 10 * kGB;
+  stage.num_maps = 200;
+  stage.num_reduces = 100;
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(JobSpec::map_reduce(i, "job" + std::to_string(i), stage));
+  }
+  PlannerConfig config;
+  const Plan plan = plan_offline(jobs, ClusterConfig::paper_testbed(), config);
+  ASSERT_EQ(plan.jobs.size(), 5u);
+  for (const PlannedJob& planned : plan.jobs) {
+    EXPECT_GE(planned.num_racks, 1);
+    EXPECT_LE(planned.num_racks, 7);
+    EXPECT_EQ(static_cast<int>(planned.racks.size()), planned.num_racks);
+  }
+  // Shuffle-heavy small jobs should stay narrow (the Corral story).
+  int narrow = 0;
+  for (const PlannedJob& planned : plan.jobs) {
+    if (planned.num_racks <= 2) ++narrow;
+  }
+  EXPECT_GE(narrow, 3);
+}
+
+TEST(PlanOffline, PrioritiesAreDenseAndUnique) {
+  Rng rng(5);
+  std::vector<ResponseFunction> jobs;
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back(perfect_speedup(rng.uniform(10, 100), 3));
+  }
+  PlannerConfig config;
+  const Plan plan = plan_offline(jobs, 3, config);
+  std::set<int> priorities;
+  for (const PlannedJob& job : plan.jobs) priorities.insert(job.priority);
+  EXPECT_EQ(priorities.size(), 10u);
+  EXPECT_EQ(*priorities.begin(), 0);
+  EXPECT_EQ(*priorities.rbegin(), 9);
+}
+
+
+TEST(PlanRolling, SingleWindowMatchesOfflinePlan) {
+  Rng rng(1);
+  std::vector<ResponseFunction> jobs;
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back(perfect_speedup(rng.uniform(20, 200), 4));
+  }
+  PlannerConfig config;
+  const Plan offline = plan_offline(jobs, 4, config);
+  // All arrivals are 0, so one window covers everything.
+  const Plan rolling = plan_rolling(jobs, 4, config, 100.0);
+  EXPECT_DOUBLE_EQ(rolling.predicted_makespan, offline.predicted_makespan);
+}
+
+TEST(PlanRolling, WindowsChainRackAvailability) {
+  // One long job in window 0 occupies its rack; the window-1 job must start
+  // after it even though it arrives earlier than the first job finishes.
+  const std::vector<ResponseFunction> jobs = {
+      ResponseFunction({100.0}, 0.0),
+      ResponseFunction({10.0}, 50.0),
+  };
+  PlannerConfig config;
+  config.objective = Objective::kAverageCompletionTime;
+  const Plan plan = plan_rolling(jobs, 1, config, 30.0);
+  EXPECT_DOUBLE_EQ(plan.jobs[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(plan.jobs[1].start_time, 100.0);
+  EXPECT_DOUBLE_EQ(plan.predicted_makespan, 110.0);
+}
+
+TEST(PlanRolling, PrioritiesGloballyUniqueAndWindowOrdered) {
+  Rng rng(2);
+  std::vector<ResponseFunction> jobs;
+  for (int i = 0; i < 12; ++i) {
+    jobs.push_back(perfect_speedup(rng.uniform(10, 50), 3,
+                                   rng.uniform(0, 300)));
+  }
+  PlannerConfig config;
+  config.objective = Objective::kAverageCompletionTime;
+  const Plan plan = plan_rolling(jobs, 3, config, 60.0);
+  std::set<int> priorities;
+  for (const PlannedJob& job : plan.jobs) priorities.insert(job.priority);
+  EXPECT_EQ(priorities.size(), 12u);
+  // Earlier windows hold strictly smaller priorities.
+  for (std::size_t a = 0; a < jobs.size(); ++a) {
+    for (std::size_t b = 0; b < jobs.size(); ++b) {
+      const int wa = static_cast<int>(jobs[a].arrival() / 60.0);
+      const int wb = static_cast<int>(jobs[b].arrival() / 60.0);
+      if (wa < wb) {
+        EXPECT_LT(plan.jobs[a].priority, plan.jobs[b].priority);
+      }
+    }
+  }
+}
+
+TEST(PlanRolling, JobIndicesPreserved) {
+  const std::vector<ResponseFunction> jobs = {
+      perfect_speedup(10, 2, 150.0),  // later window, listed first
+      perfect_speedup(10, 2, 0.0),
+  };
+  PlannerConfig config;
+  config.objective = Objective::kAverageCompletionTime;
+  const Plan plan = plan_rolling(jobs, 2, config, 60.0);
+  EXPECT_EQ(plan.jobs[0].job_index, 0);
+  EXPECT_EQ(plan.jobs[1].job_index, 1);
+  EXPECT_GE(plan.jobs[0].start_time, 150.0);
+  EXPECT_DOUBLE_EQ(plan.jobs[1].start_time, 0.0);
+}
+
+TEST(PlanRolling, RejectsBadPeriod) {
+  const std::vector<ResponseFunction> jobs = {perfect_speedup(10, 2)};
+  PlannerConfig config;
+  EXPECT_THROW(plan_rolling(jobs, 2, config, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corral

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "corral/planner.h"
+#include "sim/policy.h"
+
+namespace corral {
+namespace {
+
+ClusterConfig four_racks() {
+  ClusterConfig config;
+  config.racks = 4;
+  config.machines_per_rack = 8;
+  config.slots_per_machine = 2;
+  config.nic_bandwidth = 1 * kGbps;
+  config.oversubscription = 4.0;
+  return config;
+}
+
+MapReduceSpec stage(Bytes input, Bytes shuffle, int tasks) {
+  MapReduceSpec s;
+  s.input_bytes = input;
+  s.shuffle_bytes = shuffle;
+  s.output_bytes = input / 4;
+  s.num_maps = tasks;
+  s.num_reduces = std::max(1, tasks / 2);
+  return s;
+}
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest() : topology_(four_racks()), dfs_(&topology_, {}) {}
+
+  // Plans `jobs` pinned to one rack each and returns a lookup.
+  PlanLookup lookup_for(const std::vector<JobSpec>& jobs) {
+    const LatencyModelParams params =
+        LatencyModelParams::from_cluster(four_racks());
+    const auto functions = build_response_functions(jobs, 4, params);
+    const std::vector<int> ones(jobs.size(), 1);
+    plan_ = prioritize(functions, ones, 4, PlannerConfig{});
+    return PlanLookup(jobs, plan_);
+  }
+
+  ClusterTopology topology_;
+  Dfs dfs_;
+  Rng rng_{3};
+  Plan plan_;
+};
+
+TEST_F(PolicyTest, PlanLookupFindsPlannedJobsOnly) {
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(7, "a", stage(1 * kGB, 1 * kGB, 8))};
+  const PlanLookup lookup = lookup_for(jobs);
+  EXPECT_NE(lookup.find(7), nullptr);
+  EXPECT_EQ(lookup.find(8), nullptr);
+}
+
+TEST_F(PolicyTest, PlanLookupRejectsSizeMismatch) {
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(1, "a", stage(1 * kGB, 1 * kGB, 8)),
+      JobSpec::map_reduce(2, "b", stage(1 * kGB, 1 * kGB, 8))};
+  Plan plan;  // empty
+  EXPECT_THROW(PlanLookup(jobs, plan), std::invalid_argument);
+}
+
+TEST_F(PolicyTest, YarnPolicyIsUnconstrainedFifo) {
+  YarnCapacityPolicy policy;
+  JobSpec early = JobSpec::map_reduce(1, "a", stage(1 * kGB, 1 * kGB, 8));
+  early.arrival = 5;
+  JobSpec late = JobSpec::map_reduce(2, "b", stage(1 * kGB, 1 * kGB, 8));
+  late.arrival = 50;
+  EXPECT_TRUE(policy.allowed_racks(early, dfs_, {}, rng_).empty());
+  EXPECT_LT(policy.priority(early), policy.priority(late));
+  EXPECT_NE(policy.input_placement(early), nullptr);
+}
+
+TEST_F(PolicyTest, CorralPolicyUsesPlanRacksAndStartOrder) {
+  std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(1, "a", stage(8 * kGB, 8 * kGB, 16)),
+      JobSpec::map_reduce(2, "b", stage(8 * kGB, 8 * kGB, 16))};
+  const PlanLookup lookup = lookup_for(jobs);
+  CorralPolicy policy(&lookup);
+
+  const auto racks_a = policy.allowed_racks(jobs[0], dfs_, {}, rng_);
+  ASSERT_EQ(racks_a.size(), 1u);
+  EXPECT_EQ(racks_a, lookup.find(1)->racks);
+  // Priorities follow planned start times.
+  EXPECT_EQ(policy.priority(jobs[0]), lookup.find(1)->start_time);
+}
+
+TEST_F(PolicyTest, CorralPolicyTreatsAdHocByArrival) {
+  std::vector<JobSpec> planned = {
+      JobSpec::map_reduce(1, "a", stage(8 * kGB, 8 * kGB, 16))};
+  const PlanLookup lookup = lookup_for(planned);
+  CorralPolicy policy(&lookup);
+
+  JobSpec adhoc = JobSpec::map_reduce(99, "adhoc", stage(1 * kGB, 0, 4));
+  adhoc.recurring = false;
+  adhoc.arrival = 17.0;
+  EXPECT_TRUE(policy.allowed_racks(adhoc, dfs_, {}, rng_).empty());
+  EXPECT_DOUBLE_EQ(policy.priority(adhoc), 17.0);
+  // Ad hoc data placement falls back to the HDFS default.
+  auto placement = policy.input_placement(adhoc);
+  const auto machines = placement->place_chunk(dfs_, 3, rng_);
+  EXPECT_EQ(machines.size(), 3u);
+}
+
+TEST_F(PolicyTest, CorralPolicyRequiresPlan) {
+  EXPECT_THROW(CorralPolicy{nullptr}, std::invalid_argument);
+  EXPECT_THROW(LocalShufflePolicy{nullptr}, std::invalid_argument);
+}
+
+TEST_F(PolicyTest, LocalShuffleKeepsDefaultPlacementButPlanRacks) {
+  std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(1, "a", stage(8 * kGB, 8 * kGB, 16))};
+  const PlanLookup lookup = lookup_for(jobs);
+  LocalShufflePolicy policy(&lookup);
+  EXPECT_EQ(policy.allowed_racks(jobs[0], dfs_, {}, rng_),
+            lookup.find(1)->racks);
+  // Placement must be the default (random) policy: chunks land anywhere,
+  // not only in the plan's rack.
+  auto placement = policy.input_placement(jobs[0]);
+  std::set<int> racks;
+  for (int i = 0; i < 40; ++i) {
+    const auto machines = placement->place_chunk(dfs_, 3, rng_);
+    racks.insert(topology_.rack_of(machines[0]));
+  }
+  EXPECT_GT(racks.size(), 1u);
+}
+
+TEST_F(PolicyTest, ShuffleWatcherShrinksShuffleHeavyJobs) {
+  ShuffleWatcherPolicy policy(four_racks().slots_per_rack());
+  // Shuffle >> input: minimizing cross-rack bytes means one rack.
+  const JobSpec heavy =
+      JobSpec::map_reduce(1, "h", stage(1 * kGB, 64 * kGB, 16));
+  EXPECT_EQ(policy.allowed_racks(heavy, dfs_, {}, rng_).size(), 1u);
+  // Input >> shuffle: remote reads dominate, so use the whole cluster
+  // (empty constraint set).
+  const JobSpec scans =
+      JobSpec::map_reduce(2, "s", stage(64 * kGB, 1 * kMB, 16));
+  EXPECT_TRUE(policy.allowed_racks(scans, dfs_, {}, rng_).empty());
+}
+
+TEST_F(PolicyTest, ShuffleWatcherPrefersRacksHoldingItsInput) {
+  ShuffleWatcherPolicy policy(four_racks().slots_per_rack());
+  // Put the job's input mostly in rack 2.
+  CorralPlacement pinned({2});
+  const FileLayout& layout =
+      dfs_.write_file("input", 8 * kGB, 32, pinned, rng_);
+  const JobSpec job =
+      JobSpec::map_reduce(1, "j", stage(8 * kGB, 32 * kGB, 16));
+  const auto racks = policy.allowed_racks(job, dfs_, {&layout}, rng_);
+  ASSERT_EQ(racks.size(), 1u);
+  EXPECT_EQ(racks[0], 2);
+}
+
+TEST_F(PolicyTest, ShuffleWatcherValidatesSlots) {
+  EXPECT_THROW(ShuffleWatcherPolicy{0}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corral

@@ -1,0 +1,232 @@
+// Behavioral tests of the simulator's scheduling mechanics: delay
+// scheduling, plan priorities, quantum batching, and TPC-H DAG execution.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "workload/tpch.h"
+#include "workload/workloads.h"
+
+namespace corral {
+namespace {
+
+ClusterConfig cluster_4x8() {
+  ClusterConfig config;
+  config.racks = 4;
+  config.machines_per_rack = 8;
+  config.slots_per_machine = 2;
+  config.nic_bandwidth = 1 * kGbps;
+  config.oversubscription = 4.0;
+  return config;
+}
+
+MapReduceSpec rackful_stage() {
+  // Exactly one rack's worth of tasks (16 slots).
+  MapReduceSpec stage;
+  stage.input_bytes = 8 * kGB;
+  stage.shuffle_bytes = 8 * kGB;
+  stage.output_bytes = 1 * kGB;
+  stage.num_maps = 16;
+  stage.num_reduces = 16;
+  stage.map_rate = 50 * kMB;
+  stage.reduce_rate = 50 * kMB;
+  return stage;
+}
+
+// Builds a hand-crafted plan: job i constrained to `racks` with the given
+// priority and zero planned start (priorities drive the scheduler order).
+Plan manual_plan(const std::vector<std::vector<int>>& racks,
+                 const std::vector<int>& priorities) {
+  Plan plan;
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    PlannedJob job;
+    job.job_index = static_cast<int>(i);
+    job.racks = racks[i];
+    job.num_racks = static_cast<int>(racks[i].size());
+    // CorralPolicy orders by start_time; encode the priority there.
+    job.start_time = priorities[i];
+    job.priority = priorities[i];
+    plan.jobs.push_back(std::move(job));
+  }
+  return plan;
+}
+
+TEST(SimBehavior, PlanPriorityDecidesWhoRunsFirst) {
+  // Two identical jobs pinned to the same rack. Whichever has the lower
+  // priority value must finish first; flipping priorities flips the order.
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(0, "a", rackful_stage()),
+      JobSpec::map_reduce(1, "b", rackful_stage())};
+  SimConfig sim;
+  sim.cluster = cluster_4x8();
+
+  for (int first : {0, 1}) {
+    const Plan plan = manual_plan({{2}, {2}},
+                                  first == 0 ? std::vector<int>{0, 1}
+                                             : std::vector<int>{1, 0});
+    const PlanLookup lookup(jobs, plan);
+    CorralPolicy policy(&lookup);
+    const SimResult result = run_simulation(jobs, policy, sim);
+    EXPECT_LT(result.jobs[static_cast<std::size_t>(first)].finish,
+              result.jobs[static_cast<std::size_t>(1 - first)].finish)
+        << "priority order not respected (first=" << first << ")";
+  }
+}
+
+TEST(SimBehavior, DisjointRacksRunConcurrently) {
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(0, "a", rackful_stage()),
+      JobSpec::map_reduce(1, "b", rackful_stage())};
+  SimConfig sim;
+  sim.cluster = cluster_4x8();
+
+  // Same rack: the lower-priority job waits for slots. Different racks:
+  // both start immediately and the batch finishes sooner.
+  const Plan shared = manual_plan({{1}, {1}}, {0, 1});
+  const Plan disjoint = manual_plan({{1}, {3}}, {0, 1});
+  const PlanLookup shared_lookup(jobs, shared);
+  const PlanLookup disjoint_lookup(jobs, disjoint);
+
+  CorralPolicy shared_policy(&shared_lookup);
+  const SimResult serial = run_simulation(jobs, shared_policy, sim);
+  CorralPolicy disjoint_policy(&disjoint_lookup);
+  const SimResult parallel = run_simulation(jobs, disjoint_policy, sim);
+
+  // Job "b" (priority 1) is blocked behind "a" on the shared rack — its 16
+  // maps need the same 16 slots — but starts immediately on its own rack.
+  EXPECT_GT(serial.jobs[1].first_task_start, 5.0);
+  EXPECT_LT(parallel.jobs[1].first_task_start, 1.0);
+  EXPECT_LT(parallel.makespan, serial.makespan);
+}
+
+TEST(SimBehavior, DelaySchedulingImprovesMapLocality) {
+  // With zero patience, maps accept the first slot anywhere and pay remote
+  // reads; with patience they wait for node/rack-local slots.
+  std::vector<JobSpec> jobs;
+  Rng rng(5);
+  W1Config wconfig;
+  wconfig.num_jobs = 10;
+  wconfig.task_scale = 0.3;
+  jobs = make_w1(wconfig, rng);
+
+  SimConfig impatient;
+  impatient.cluster = cluster_4x8();
+  impatient.node_local_skips = 0;
+  impatient.rack_local_skips = 0;
+
+  SimConfig patient;
+  patient.cluster = cluster_4x8();
+  patient.node_local_skips = 4;
+  patient.rack_local_skips = 8;
+
+  YarnCapacityPolicy policy_a, policy_b;
+  const SimResult eager = run_simulation(jobs, policy_a, impatient);
+  const SimResult waited = run_simulation(jobs, policy_b, patient);
+  EXPECT_LT(waited.total_cross_rack_bytes,
+            eager.total_cross_rack_bytes * 1.001);
+}
+
+TEST(SimBehavior, QuantumOnlyDelaysSlightly) {
+  std::vector<JobSpec> jobs;
+  Rng rng(6);
+  W1Config wconfig;
+  wconfig.num_jobs = 8;
+  wconfig.task_scale = 0.3;
+  jobs = make_w1(wconfig, rng);
+
+  double previous = 0;
+  for (double quantum : {0.0, 0.5, 2.0}) {
+    SimConfig sim;
+    sim.cluster = cluster_4x8();
+    sim.time_quantum = quantum;
+    YarnCapacityPolicy policy;
+    const SimResult result = run_simulation(jobs, policy, sim);
+    if (quantum > 0) {
+      // Larger quanta can only push completions later, and the error stays
+      // bounded by a handful of quanta per task chain.
+      EXPECT_GE(result.makespan, previous - 1e-6);
+      EXPECT_LT(result.makespan, previous * 1.1 + 50 * quantum);
+    }
+    previous = result.makespan;
+  }
+}
+
+TEST(SimBehavior, TpchDagWorkloadRunsEndToEnd) {
+  Rng rng(7);
+  TpchConfig config;
+  config.database_bytes = 20 * kGB;  // scaled for a fast test
+  config.num_queries = 6;
+  const auto queries = make_tpch(config, rng);
+
+  SimConfig sim;
+  sim.cluster = cluster_4x8();
+  YarnCapacityPolicy policy;
+  const SimResult result = run_simulation(queries, policy, sim);
+  ASSERT_EQ(result.jobs.size(), 6u);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_GT(result.jobs[i].finish, 0);
+    // Every stage with reduces contributed reduce tasks.
+    std::size_t reduces = 0;
+    for (const auto& stage : queries[i].stages) {
+      reduces += static_cast<std::size_t>(stage.num_reduces);
+    }
+    EXPECT_EQ(result.jobs[i].reduce_durations.size(), reduces);
+  }
+}
+
+TEST(SimBehavior, CorralPlansImproveTpchToo) {
+  // The §6.3 claim in miniature: planning helps DAG queries as well.
+  Rng rng(8);
+  TpchConfig config;
+  config.database_bytes = 40 * kGB;
+  config.num_queries = 8;
+  const auto queries = make_tpch(config, rng);
+
+  SimConfig sim;
+  sim.cluster = cluster_4x8();
+  sim.cluster.background_core_fraction = 0.5;
+
+  PlannerConfig planner_config;
+  planner_config.objective = Objective::kAverageCompletionTime;
+  const Plan plan = plan_offline(queries, sim.cluster, planner_config);
+  const PlanLookup lookup(queries, plan);
+
+  CorralPolicy corral(&lookup);
+  const SimResult with_corral = run_simulation(queries, corral, sim);
+  YarnCapacityPolicy yarn;
+  const SimResult with_yarn = run_simulation(queries, yarn, sim);
+
+  EXPECT_LT(with_corral.total_cross_rack_bytes,
+            with_yarn.total_cross_rack_bytes);
+}
+
+TEST(SimBehavior, EmptyJobListYieldsEmptyResult) {
+  SimConfig sim;
+  sim.cluster = cluster_4x8();
+  YarnCapacityPolicy policy;
+  const SimResult result = run_simulation({}, policy, sim);
+  EXPECT_TRUE(result.jobs.empty());
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST(SimBehavior, ManyTinyJobsPackOntoSlots) {
+  // 64 one-map jobs over 64 slots: everything should finish in roughly one
+  // task time plus scheduling noise, not serially.
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 64; ++i) {
+    MapReduceSpec stage;
+    stage.input_bytes = 100 * kMB;
+    stage.num_maps = 1;
+    stage.num_reduces = 0;
+    stage.map_rate = 50 * kMB;
+    jobs.push_back(JobSpec::map_reduce(i, "tiny" + std::to_string(i), stage));
+  }
+  SimConfig sim;
+  sim.cluster = cluster_4x8();
+  YarnCapacityPolicy policy;
+  const SimResult result = run_simulation(jobs, policy, sim);
+  const double per_task = (100 * kMB) / (50 * kMB);  // 2 s
+  EXPECT_LT(result.makespan, 8 * per_task);
+}
+
+}  // namespace
+}  // namespace corral

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/result_io.h"
+#include "sim/simulator.h"
+#include "workload/trace_io.h"
+#include "workload/workloads.h"
+
+namespace corral {
+namespace {
+
+TEST(TraceIo, RoundTripsMapReduceJobs) {
+  Rng rng(1);
+  W1Config config;
+  config.num_jobs = 20;
+  auto jobs = make_w1(config, rng);
+  assign_uniform_arrivals(jobs, 100.0, rng);
+  jobs[3].recurring = false;
+
+  std::stringstream buffer;
+  write_trace(buffer, jobs);
+  const auto loaded = read_trace(buffer);
+
+  ASSERT_EQ(loaded.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, jobs[i].id);
+    EXPECT_EQ(loaded[i].name, jobs[i].name);
+    EXPECT_EQ(loaded[i].recurring, jobs[i].recurring);
+    EXPECT_DOUBLE_EQ(loaded[i].arrival, jobs[i].arrival);
+    ASSERT_EQ(loaded[i].stages.size(), jobs[i].stages.size());
+    EXPECT_DOUBLE_EQ(loaded[i].stages[0].input_bytes,
+                     jobs[i].stages[0].input_bytes);
+    EXPECT_DOUBLE_EQ(loaded[i].stages[0].shuffle_bytes,
+                     jobs[i].stages[0].shuffle_bytes);
+    EXPECT_EQ(loaded[i].stages[0].num_maps, jobs[i].stages[0].num_maps);
+    EXPECT_EQ(loaded[i].stages[0].num_reduces,
+              jobs[i].stages[0].num_reduces);
+  }
+}
+
+TEST(TraceIo, RoundTripsDagJobsWithEdges) {
+  JobSpec dag;
+  dag.id = 42;
+  dag.name = "query with spaces";  // sanitized to underscores
+  MapReduceSpec stage;
+  stage.input_bytes = 1 * kGB;
+  stage.shuffle_bytes = 0.5 * kGB;
+  stage.output_bytes = 0.1 * kGB;
+  stage.num_maps = 4;
+  stage.num_reduces = 2;
+  dag.stages = {stage, stage, stage};
+  dag.edges = {{0, 2}, {1, 2}};
+
+  std::stringstream buffer;
+  write_trace(buffer, std::vector<JobSpec>{dag});
+  const auto loaded = read_trace(buffer);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].name, "query_with_spaces");
+  ASSERT_EQ(loaded[0].stages.size(), 3u);
+  ASSERT_EQ(loaded[0].edges.size(), 2u);
+  EXPECT_EQ(loaded[0].edges[1].from, 1);
+  EXPECT_EQ(loaded[0].edges[1].to, 2);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream buffer;
+  buffer << "corral-trace v1\n\n# a comment\n"
+         << "job 1 0 1 1 tiny\n"
+         << "stage 1000 0 0 1 0 1000 1000 only\n";
+  const auto loaded = read_trace(buffer);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].stages[0].num_reduces, 0);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::stringstream buffer("not-a-trace\n");
+    EXPECT_THROW(read_trace(buffer), std::invalid_argument);
+  }
+  {
+    std::stringstream buffer("corral-trace v1\nstage 1 0 0 1 0 1 1 s\n");
+    EXPECT_THROW(read_trace(buffer), std::invalid_argument);
+  }
+  {
+    std::stringstream buffer(
+        "corral-trace v1\njob 1 0 1 2 j\nstage 1 0 0 1 0 1 1 s\n");
+    EXPECT_THROW(read_trace(buffer), std::invalid_argument);  // missing stage
+  }
+  {
+    std::stringstream buffer("corral-trace v1\nbogus 1 2 3\n");
+    EXPECT_THROW(read_trace(buffer), std::invalid_argument);
+  }
+  {
+    std::stringstream buffer("corral-trace v1\njob 1 0 1 1 j\nstage bad\n");
+    EXPECT_THROW(read_trace(buffer), std::invalid_argument);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  Rng rng(2);
+  W2Config config;
+  config.num_jobs = 10;
+  const auto jobs = make_w2(config, rng);
+  const std::string path = ::testing::TempDir() + "/trace_io_test.trace";
+  write_trace_file(path, jobs);
+  const auto loaded = read_trace_file(path);
+  EXPECT_EQ(loaded.size(), jobs.size());
+  EXPECT_THROW(read_trace_file(path + ".missing"), std::invalid_argument);
+}
+
+TEST(ResultIo, CsvHasHeaderAndOneRowPerJob) {
+  Rng rng(3);
+  W1Config config;
+  config.num_jobs = 5;
+  config.task_scale = 0.2;
+  const auto jobs = make_w1(config, rng);
+  SimConfig sim;
+  sim.cluster.racks = 3;
+  sim.cluster.machines_per_rack = 4;
+  sim.cluster.slots_per_machine = 4;
+  YarnCapacityPolicy policy;
+  const SimResult result = run_simulation(jobs, policy, sim);
+
+  std::stringstream buffer;
+  write_results_csv(buffer, result);
+  std::string line;
+  ASSERT_TRUE(std::getline(buffer, line));
+  EXPECT_NE(line.find("job_id,name,recurring"), std::string::npos);
+  int rows = 0;
+  while (std::getline(buffer, line)) {
+    if (!line.empty()) ++rows;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 8);
+  }
+  EXPECT_EQ(rows, 5);
+}
+
+}  // namespace
+}  // namespace corral

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace corral {
+namespace {
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "bad argument"), std::invalid_argument);
+}
+
+TEST(Check, EnsureThrowsLogicError) {
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  EXPECT_THROW(ensure(false, "broken invariant"), std::logic_error);
+}
+
+TEST(Units, ConversionsMatchDefinitions) {
+  EXPECT_DOUBLE_EQ(kGB, 1e9);
+  EXPECT_DOUBLE_EQ(kGbps, 1e9 / 8.0);
+  EXPECT_DOUBLE_EQ(kHour, 3600.0);
+  // 10 Gbps NIC moves 1 GB in 0.8 seconds.
+  EXPECT_NEAR(1 * kGB / (10 * kGbps), 0.8, 1e-12);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> values = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(values), 2.0);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(values), 0.4);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> values = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 25);
+}
+
+TEST(Stats, PercentileIgnoresInputOrder) {
+  const std::vector<double> values = {40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 25);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50), std::invalid_argument);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(percentile(one, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(one, 101), std::invalid_argument);
+}
+
+TEST(Stats, CovOfConstantIsZero) {
+  const std::vector<double> values = {3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(values), 0.0);
+}
+
+TEST(Cdf, EvaluatesFractions) {
+  Cdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.5);
+}
+
+TEST(Cdf, SamplePointsAreMonotone) {
+  Cdf cdf({5, 1, 9, 2, 7, 3});
+  const auto points = cdf.sample_points(5);
+  ASSERT_EQ(points.size(), 5u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].first, points[i - 1].first);
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(points.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+    const int n = rng.uniform_int(-3, 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(3);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  std::vector<bool> seen(50, false);
+  for (std::size_t v : sample) {
+    ASSERT_LT(v, 50u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, SampleRejectsOversizedCount) {
+  Rng rng(3);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(5);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.exponential(4.0);
+  EXPECT_NEAR(total / n, 4.0, 0.15);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng forked = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng b(9);
+  b.fork();
+  EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+  (void)forked;
+}
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "2.5"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("|"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, FormatsNumbers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.335, 1), "33.5%");
+}
+
+}  // namespace
+}  // namespace corral

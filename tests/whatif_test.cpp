@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "corral/whatif.h"
+#include "sim/simulator.h"
+#include "workload/recurring.h"
+#include "workload/workloads.h"
+
+namespace corral {
+namespace {
+
+ClusterConfig rack_shape() {
+  ClusterConfig config;
+  config.racks = 1;  // overridden by the sweep
+  config.machines_per_rack = 30;
+  config.slots_per_machine = 8;
+  config.nic_bandwidth = 2.5 * kGbps;
+  config.oversubscription = 5.0;
+  return config;
+}
+
+std::vector<JobSpec> batch(int jobs, Rng& rng) {
+  W3Config config;
+  config.num_jobs = jobs;
+  return make_w3(config, rng);
+}
+
+TEST(WhatIf, VerdictsPartitionTheDeadlineAxis) {
+  Rng rng(1);
+  const auto jobs = batch(60, rng);
+  ClusterConfig cluster = rack_shape();
+  cluster.racks = 4;
+  const DeadlineAssessment base =
+      assess_deadline(jobs, cluster, /*deadline=*/1.0);
+  ASSERT_GT(base.planned_makespan, base.lower_bound * 0.999);
+
+  // Generous deadline: fits.
+  EXPECT_EQ(assess_deadline(jobs, cluster, base.planned_makespan * 1.01)
+                .verdict,
+            DeadlineVerdict::kFits);
+  // Below the LP bound: provably impossible.
+  EXPECT_EQ(assess_deadline(jobs, cluster, base.lower_bound * 0.5).verdict,
+            DeadlineVerdict::kImpossible);
+  // Between bound and heuristic (when there is a gap): at risk.
+  if (base.planned_makespan > base.lower_bound * 1.001) {
+    const Seconds mid = 0.5 * (base.planned_makespan + base.lower_bound);
+    EXPECT_EQ(assess_deadline(jobs, cluster, mid).verdict,
+              DeadlineVerdict::kAtRisk);
+  }
+}
+
+TEST(WhatIf, CapacityPlanFindsTransition) {
+  Rng rng(2);
+  const auto jobs = batch(80, rng);
+  // Pick a deadline that 1 rack misses and some feasible count meets.
+  ClusterConfig one_rack = rack_shape();
+  const Seconds tight =
+      assess_deadline(jobs, one_rack, 1.0).planned_makespan / 3.0;
+
+  const CapacityPlan plan = plan_capacity(jobs, rack_shape(), tight, 16);
+  ASSERT_GT(plan.racks_needed, 1);
+  ASSERT_LE(plan.racks_needed, 16);
+  EXPECT_GE(plan.certified_floor, 1);
+  EXPECT_LE(plan.certified_floor, plan.racks_needed);
+
+  // The chosen count indeed fits and the one below it does not.
+  for (const DeadlineAssessment& assessment : plan.sweep) {
+    if (assessment.racks == plan.racks_needed) {
+      EXPECT_EQ(assessment.verdict, DeadlineVerdict::kFits);
+    }
+    if (assessment.racks == plan.racks_needed - 1) {
+      EXPECT_NE(assessment.verdict, DeadlineVerdict::kFits);
+    }
+  }
+}
+
+TEST(WhatIf, ImpossibleDeadlineYieldsNoAnswer) {
+  Rng rng(3);
+  const auto jobs = batch(40, rng);
+  const CapacityPlan plan =
+      plan_capacity(jobs, rack_shape(), /*deadline=*/0.001, 8);
+  EXPECT_EQ(plan.racks_needed, -1);
+}
+
+TEST(WhatIf, Validation) {
+  Rng rng(4);
+  const auto jobs = batch(5, rng);
+  EXPECT_THROW(plan_capacity(jobs, rack_shape(), 0.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(plan_capacity(jobs, rack_shape(), 100.0, 0),
+               std::invalid_argument);
+  ClusterConfig cluster = rack_shape();
+  EXPECT_THROW(assess_deadline(jobs, cluster, -1.0), std::invalid_argument);
+}
+
+TEST(Estimator, ScalesSpecWithPredictedInput) {
+  Rng rng(5);
+  RecurringJobTemplate tmpl;
+  tmpl.name = "etl";
+  tmpl.base_input = 100 * kGB;
+  tmpl.noise = 0.0;
+  tmpl.weekend_factor = 1.0;
+  tmpl.drift_per_day = 0.0;
+  tmpl.hourly_amplitude = 0.0;
+  const auto history = generate_history(tmpl, 10, rng);
+
+  MapReduceSpec stage;
+  stage.input_bytes = 50 * kGB;  // the reference run was a half-size day
+  stage.shuffle_bytes = 25 * kGB;
+  stage.output_bytes = 10 * kGB;
+  stage.num_maps = 200;
+  stage.num_reduces = 100;
+  const JobSpec reference = JobSpec::map_reduce(1, "etl", stage);
+
+  const JobSpecEstimate estimate =
+      estimate_job_spec(reference, history, /*day=*/9, /*run=*/0,
+                        /*new_id=*/77, /*arrival=*/123.0);
+  EXPECT_EQ(estimate.job.id, 77);
+  EXPECT_DOUBLE_EQ(estimate.job.arrival, 123.0);
+  EXPECT_NEAR(estimate.predicted_input, 100 * kGB, 1e3);
+  // Everything doubled; split size preserved.
+  EXPECT_NEAR(estimate.job.stages[0].input_bytes, 100 * kGB, 1e3);
+  EXPECT_NEAR(estimate.job.stages[0].shuffle_bytes, 50 * kGB, 1e3);
+  EXPECT_EQ(estimate.job.stages[0].num_maps, 400);
+  EXPECT_EQ(estimate.job.stages[0].num_reduces, 200);
+  EXPECT_NO_THROW(estimate.job.validate());
+}
+
+TEST(Estimator, NoHistoryKeepsReferenceSizes) {
+  MapReduceSpec stage;
+  stage.input_bytes = 4 * kGB;
+  stage.num_maps = 16;
+  stage.num_reduces = 4;
+  stage.shuffle_bytes = 1 * kGB;
+  const JobSpec reference = JobSpec::map_reduce(1, "x", stage);
+  const JobSpecEstimate estimate =
+      estimate_job_spec(reference, {}, 0, 0, 2, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.predicted_input, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.job.stages[0].input_bytes, 4 * kGB);
+  EXPECT_EQ(estimate.job.stages[0].num_maps, 16);
+}
+
+TEST(UplinkUtilization, CorralLeavesMoreCoreHeadroom) {
+  Rng rng(6);
+  W1Config wconfig;
+  wconfig.num_jobs = 12;
+  wconfig.task_scale = 0.25;
+  const auto jobs = make_w1(wconfig, rng);
+
+  SimConfig sim;
+  sim.cluster.racks = 4;
+  sim.cluster.machines_per_rack = 8;
+  sim.cluster.slots_per_machine = 4;
+  sim.cluster.nic_bandwidth = 1 * kGbps;
+  sim.cluster.oversubscription = 4.0;
+
+  YarnCapacityPolicy yarn;
+  const SimResult yarn_result = run_simulation(jobs, yarn, sim);
+  const auto planned =
+      plan_offline(jobs, sim.cluster, PlannerConfig{});
+  const PlanLookup lookup(jobs, planned);
+  CorralPolicy corral(&lookup);
+  const SimResult corral_result = run_simulation(jobs, corral, sim);
+
+  ASSERT_EQ(yarn_result.rack_uplink_utilization.size(), 4u);
+  for (double u : yarn_result.rack_uplink_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+  // The headline claim: Corral frees core bandwidth for other tenants.
+  EXPECT_LT(corral_result.avg_uplink_utilization(),
+            yarn_result.avg_uplink_utilization());
+}
+
+}  // namespace
+}  // namespace corral

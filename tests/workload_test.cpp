@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/stats.h"
+#include "workload/recurring.h"
+#include "workload/slots.h"
+#include "workload/tpch.h"
+#include "workload/workloads.h"
+
+namespace corral {
+namespace {
+
+TEST(W1, SizeClassesAndSelectivities) {
+  Rng rng(1);
+  W1Config config;
+  config.num_jobs = 400;
+  const auto jobs = make_w1(config, rng);
+  ASSERT_EQ(jobs.size(), 400u);
+  int small = 0, medium = 0, large = 0;
+  for (const JobSpec& job : jobs) {
+    EXPECT_NO_THROW(job.validate());
+    EXPECT_TRUE(job.is_map_reduce());
+    const MapReduceSpec& stage = job.stages[0];
+    switch (classify_w1(job)) {
+      case JobSizeClass::kSmall:
+        ++small;
+        EXPECT_LE(stage.num_maps, 50);
+        break;
+      case JobSizeClass::kMedium:
+        ++medium;
+        break;
+      case JobSizeClass::kLarge:
+        ++large;
+        EXPECT_GE(stage.num_maps, 1000);
+        break;
+    }
+    // Selectivities within [1:4, 4:1].
+    const double sel = stage.shuffle_bytes / stage.input_bytes;
+    EXPECT_GE(sel, 0.25 - 1e-9);
+    EXPECT_LE(sel, 4.0 + 1e-9);
+    EXPECT_LE(stage.num_reduces, stage.num_maps);
+  }
+  // The configured mix is roughly respected.
+  EXPECT_NEAR(small / 400.0, 0.50, 0.10);
+  EXPECT_NEAR(medium / 400.0, 0.35, 0.10);
+  EXPECT_NEAR(large / 400.0, 0.15, 0.08);
+}
+
+TEST(W1, TaskScaleShrinksJobs) {
+  Rng rng_a(9), rng_b(9);
+  W1Config full;
+  W1Config quarter;
+  quarter.task_scale = 0.25;
+  const auto a = make_w1(full, rng_a);
+  const auto b = make_w1(quarter, rng_b);
+  double tasks_a = 0, tasks_b = 0;
+  for (const auto& j : a) tasks_a += j.num_tasks();
+  for (const auto& j : b) tasks_b += j.num_tasks();
+  EXPECT_LT(tasks_b, 0.5 * tasks_a);
+}
+
+TEST(W2, SkewMatchesPaperDescription) {
+  Rng rng(2);
+  const auto jobs = make_w2(W2Config{}, rng);
+  ASSERT_EQ(jobs.size(), 400u);
+  int tiny = 0;
+  Bytes largest = 0;
+  for (const JobSpec& job : jobs) {
+    EXPECT_NO_THROW(job.validate());
+    const MapReduceSpec& stage = job.stages[0];
+    if (stage.input_bytes <= 200 * kMB && stage.shuffle_bytes <= 75 * kMB) {
+      ++tiny;
+    }
+    largest = std::max(largest, stage.input_bytes);
+  }
+  // "Almost 90% of the jobs are tiny".
+  EXPECT_GE(tiny, 320);
+  // Two ~5.5TB jobs with shuffle 1.8x input.
+  EXPECT_NEAR(largest, 5.5 * kTB, 0.5 * kTB);
+  EXPECT_NEAR(jobs[0].stages[0].shuffle_bytes / jobs[0].stages[0].input_bytes,
+              1.8, 1e-9);
+  EXPECT_NEAR(jobs[1].stages[0].input_bytes, 5.5 * kTB, 0.5 * kTB);
+}
+
+TEST(W3, PercentilesMatchTable1) {
+  Rng rng(3);
+  W3Config config;
+  config.num_jobs = 4000;  // large sample to pin the percentiles
+  const auto jobs = make_w3(config, rng);
+  std::vector<double> tasks, input, shuffle;
+  for (const JobSpec& job : jobs) {
+    EXPECT_NO_THROW(job.validate());
+    tasks.push_back(job.num_tasks());
+    input.push_back(job.total_input());
+    shuffle.push_back(job.total_shuffle());
+  }
+  // Table 1: medians 180 tasks / 7.1 GB / 6 GB; p95 2060 / 162.3 / 71.5.
+  EXPECT_NEAR(percentile(tasks, 50), 180, 60);
+  EXPECT_NEAR(percentile(input, 50), 7.1 * kGB, 2.5 * kGB);
+  EXPECT_NEAR(percentile(shuffle, 50), 6 * kGB, 2 * kGB);
+  EXPECT_NEAR(percentile(tasks, 95) / percentile(tasks, 50), 2060.0 / 180,
+              5.0);
+  EXPECT_NEAR(percentile(input, 95) / percentile(input, 50), 162.3 / 7.1,
+              9.0);
+}
+
+TEST(W3, TaskCountCorrelatesWithInput) {
+  Rng rng(4);
+  W3Config config;
+  config.num_jobs = 1000;
+  const auto jobs = make_w3(config, rng);
+  // Rank correlation proxy: big-input jobs should have more tasks.
+  std::vector<const JobSpec*> sorted;
+  for (const auto& j : jobs) sorted.push_back(&j);
+  std::sort(sorted.begin(), sorted.end(), [](auto a, auto b) {
+    return a->total_input() < b->total_input();
+  });
+  double small_avg = 0, big_avg = 0;
+  for (int i = 0; i < 200; ++i) {
+    small_avg += sorted[static_cast<std::size_t>(i)]->num_tasks();
+    big_avg += sorted[sorted.size() - 1 - i]->num_tasks();
+  }
+  EXPECT_GT(big_avg, 2 * small_avg);
+}
+
+TEST(Tpch, FifteenValidDags) {
+  Rng rng(5);
+  const auto jobs = make_tpch(TpchConfig{}, rng, /*first_id=*/100);
+  ASSERT_EQ(jobs.size(), 15u);
+  for (const JobSpec& job : jobs) {
+    EXPECT_NO_THROW(job.validate());
+    EXPECT_EQ(job.id >= 100, true);
+  }
+  // At least some queries are genuine multi-stage DAGs with joins.
+  int multi_stage = 0;
+  for (const JobSpec& job : jobs) {
+    if (job.stages.size() >= 3) ++multi_stage;
+  }
+  EXPECT_GE(multi_stage, 8);
+}
+
+TEST(Tpch, ShuffleIsSmallShareOfBytes) {
+  // §6.3: the queries are mostly CPU/disk bound; shuffle bytes stay well
+  // below scan bytes in aggregate.
+  Rng rng(6);
+  const auto jobs = make_tpch(TpchConfig{}, rng);
+  Bytes scan = 0, shuffle = 0;
+  for (const JobSpec& job : jobs) {
+    for (const MapReduceSpec& stage : job.stages) {
+      scan += stage.input_bytes;
+      shuffle += stage.shuffle_bytes;
+    }
+  }
+  EXPECT_LT(shuffle, 0.25 * scan);
+}
+
+TEST(Tpch, ScalesWithDatabaseSize) {
+  Rng rng_a(7), rng_b(7);
+  TpchConfig small;
+  TpchConfig big;
+  big.database_bytes = 400 * kGB;
+  const auto a = make_tpch(small, rng_a);
+  const auto b = make_tpch(big, rng_b);
+  EXPECT_NEAR(b[0].total_input() / a[0].total_input(), 2.0, 0.1);
+}
+
+TEST(Arrivals, UniformWindowAndSorted) {
+  Rng rng(8);
+  auto jobs = make_w1(W1Config{.num_jobs = 100}, rng);
+  assign_uniform_arrivals(jobs, 60 * kMinute, rng);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+  }
+  EXPECT_GE(jobs.front().arrival, 0.0);
+  EXPECT_LE(jobs.back().arrival, 60 * kMinute);
+}
+
+TEST(Perturb, SizesStayWithinErrorBand) {
+  Rng rng(9);
+  auto jobs = make_w1(W1Config{.num_jobs = 50}, rng);
+  const auto perturbed = perturb_sizes(jobs, 0.5, rng);
+  ASSERT_EQ(perturbed.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const double ratio = perturbed[i].stages[0].input_bytes /
+                         jobs[i].stages[0].input_bytes;
+    EXPECT_GE(ratio, 0.5 - 1e-9);
+    EXPECT_LE(ratio, 1.5 + 1e-9);
+  }
+  EXPECT_THROW(perturb_sizes(jobs, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Perturb, ArrivalsShiftOnlyAFraction) {
+  Rng rng(10);
+  auto jobs = make_w1(W1Config{.num_jobs = 200}, rng);
+  assign_uniform_arrivals(jobs, 60 * kMinute, rng);
+  const auto perturbed = perturb_arrivals(jobs, 0.3, 4 * kMinute, rng);
+  int moved = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (perturbed[i].arrival != jobs[i].arrival) ++moved;
+    EXPECT_GE(perturbed[i].arrival, 0.0);
+    EXPECT_LE(std::abs(perturbed[i].arrival - jobs[i].arrival),
+              4 * kMinute + 1e-9);
+  }
+  EXPECT_NEAR(moved / 200.0, 0.3, 0.12);
+}
+
+TEST(Recurring, PredictionErrorNearPaperValue) {
+  // §2: "we can estimate the job input data size with a small error of
+  // 6.5% on average".
+  Rng rng(11);
+  double total_mape = 0;
+  int count = 0;
+  for (const RecurringJobTemplate& tmpl : fig1_templates()) {
+    const auto history = generate_history(tmpl, 30, rng);
+    total_mape += prediction_mape(history, /*warmup_days=*/14);
+    ++count;
+  }
+  const double avg = total_mape / count;
+  EXPECT_GT(avg, 0.02);
+  EXPECT_LT(avg, 0.12);
+}
+
+TEST(Recurring, WeekendsDifferFromWeekdays) {
+  Rng rng(12);
+  RecurringJobTemplate tmpl;
+  tmpl.name = "t";
+  tmpl.base_input = 10 * kGB;
+  tmpl.weekend_factor = 0.5;
+  tmpl.noise = 0.01;
+  const auto history = generate_history(tmpl, 28, rng);
+  double weekday = 0, weekend = 0;
+  int wd = 0, we = 0;
+  for (const JobInstance& inst : history) {
+    if (inst.day % 7 >= 5) {
+      weekend += inst.input_bytes;
+      ++we;
+    } else {
+      weekday += inst.input_bytes;
+      ++wd;
+    }
+  }
+  EXPECT_NEAR((weekend / we) / (weekday / wd), 0.5, 0.1);
+}
+
+TEST(Recurring, PredictorSeparatesDayKinds) {
+  Rng rng(13);
+  RecurringJobTemplate tmpl;
+  tmpl.name = "t";
+  tmpl.base_input = 10 * kGB;
+  tmpl.weekend_factor = 0.25;
+  tmpl.noise = 0.0;
+  tmpl.drift_per_day = 0.0;
+  tmpl.hourly_amplitude = 0.0;
+  const auto history = generate_history(tmpl, 28, rng);
+  // Day 26 (Friday-like weekday) vs day 27 (weekend).
+  EXPECT_NEAR(predict_input(history, 21, 0), 10 * kGB, 1e6);
+  EXPECT_NEAR(predict_input(history, 26, 0), 2.5 * kGB, 1e6);
+}
+
+TEST(Recurring, NoHistoryGivesZero) {
+  Rng rng(14);
+  const auto history = generate_history(fig1_templates()[0], 5, rng);
+  EXPECT_DOUBLE_EQ(predict_input(history, 0, 0), 0.0);
+}
+
+TEST(Slots, FitMatchesTargetFraction) {
+  for (double fraction : {0.75, 0.87, 0.95}) {
+    const SlotDemandModel model = fit_slot_demand(fraction);
+    EXPECT_NEAR(model.cdf(240), fraction, 1e-6);
+  }
+}
+
+TEST(Slots, SamplesMatchModel) {
+  Rng rng(15);
+  const SlotDemandModel model = fit_slot_demand(0.87);
+  const auto demands = sample_slot_demands(model, 20000, rng);
+  int below = 0;
+  for (double d : demands) {
+    EXPECT_GE(d, 1.0);
+    if (d <= 240) ++below;
+  }
+  EXPECT_NEAR(below / 20000.0, 0.87, 0.02);
+}
+
+TEST(Slots, InverseNormalCdfRoundTrips) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.9599, 1e-3);
+  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corral

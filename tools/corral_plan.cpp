@@ -1,0 +1,99 @@
+// corral_plan: run Corral's offline planner over a workload trace and print
+// the schedule {R_j, T_j, p_j} plus predicted metrics and the LP lower
+// bound.
+//
+//   corral_workload_gen --workload=w1 --out=w1.trace
+//   corral_plan --trace=w1.trace --objective=makespan
+#include <cstdio>
+#include <iostream>
+
+#include "corral/lp_bound.h"
+#include "corral/planner.h"
+#include "tool_common.h"
+#include "util/table.h"
+#include "workload/trace_io.h"
+
+using namespace corral;
+
+int main(int argc, char** argv) {
+  FlagParser flags("corral_plan: offline joint data/compute planning");
+  flags.add_string("trace", "", "input corral-trace file (required)");
+  flags.add_string("objective", "makespan",
+                   "makespan (batch) or avg-completion (online)");
+  flags.add_double("replan-period-min", 0,
+                   "rolling-horizon window in minutes; 0 = single shot");
+  flags.add_bool("bound", true, "also compute the LP relaxation bound");
+  flags.add_int("max-rows", 50, "plan rows to print (0 = all)");
+  tools::add_cluster_flags(flags);
+  if (!flags.parse(argc, argv, std::cerr)) return 2;
+
+  try {
+    const std::string path = flags.get_string("trace");
+    if (path.empty()) {
+      std::cerr << "--trace is required\n";
+      return 2;
+    }
+    const auto jobs = read_trace_file(path);
+    const ClusterConfig cluster = tools::cluster_from_flags(flags);
+
+    PlannerConfig config;
+    const std::string objective = flags.get_string("objective");
+    if (objective == "makespan") {
+      config.objective = Objective::kMakespan;
+    } else if (objective == "avg-completion") {
+      config.objective = Objective::kAverageCompletionTime;
+    } else {
+      std::cerr << "unknown --objective: " << objective << "\n";
+      return 2;
+    }
+
+    const LatencyModelParams params =
+        LatencyModelParams::from_cluster(cluster);
+    const auto functions =
+        build_response_functions(jobs, cluster.racks, params);
+    const double period = flags.get_double("replan-period-min") * kMinute;
+    const Plan plan =
+        period > 0 ? plan_rolling(functions, cluster.racks, config, period)
+                   : plan_offline(functions, cluster.racks, config);
+
+    std::printf("planned %zu jobs on %d racks (%s objective)\n", jobs.size(),
+                cluster.racks, objective.c_str());
+    std::printf("predicted makespan: %.1f s, avg completion: %.1f s\n",
+                plan.predicted_makespan, plan.predicted_avg_completion);
+    if (flags.get_bool("bound")) {
+      if (config.objective == Objective::kMakespan) {
+        const double bound =
+            lp_batch_makespan_bound(functions, cluster.racks);
+        std::printf("LP-Batch lower bound: %.1f s (gap %.1f%%)\n", bound,
+                    100 * (plan.predicted_makespan / bound - 1));
+      } else {
+        const double bound =
+            online_avg_completion_bound(functions, cluster.racks);
+        std::printf("online relaxation bound: %.1f s (gap <= %.1f%%)\n",
+                    bound,
+                    100 * (plan.predicted_avg_completion / bound - 1));
+      }
+    }
+
+    TextTable table({"job", "racks", "start (s)", "latency (s)", "priority"});
+    long max_rows = flags.get_int("max-rows");
+    if (max_rows == 0) max_rows = static_cast<long>(plan.jobs.size());
+    for (const PlannedJob& planned : plan.jobs) {
+      if (max_rows-- <= 0) break;
+      std::string racks;
+      for (std::size_t i = 0; i < planned.racks.size(); ++i) {
+        racks += (i ? "," : "") + std::to_string(planned.racks[i]);
+      }
+      table.add_row(
+          {jobs[static_cast<std::size_t>(planned.job_index)].name, racks,
+           TextTable::fmt(planned.start_time, 1),
+           TextTable::fmt(planned.predicted_latency, 1),
+           std::to_string(planned.priority)});
+    }
+    table.print(std::cout);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

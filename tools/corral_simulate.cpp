@@ -1,0 +1,110 @@
+// corral_simulate: execute a workload trace on the simulated cluster under
+// one of the four scheduling policies and report the §6 metrics (optionally
+// as CSV for plotting).
+//
+//   corral_workload_gen --workload=w1 --out=w1.trace
+//   corral_simulate --trace=w1.trace --policy=corral --csv=results.csv
+#include <cstdio>
+#include <iostream>
+
+#include "sim/result_io.h"
+#include "sim/simulator.h"
+#include "tool_common.h"
+#include "util/stats.h"
+#include "workload/trace_io.h"
+
+using namespace corral;
+
+int main(int argc, char** argv) {
+  FlagParser flags("corral_simulate: flow-level cluster simulation");
+  flags.add_string("trace", "", "input corral-trace file (required)");
+  flags.add_string("policy", "corral",
+                   "yarn | corral | local-shuffle | shufflewatcher");
+  flags.add_string("objective", "makespan",
+                   "planner objective for corral/local-shuffle: makespan | "
+                   "avg-completion");
+  flags.add_bool("varys", false, "use the Varys-like coflow scheduler");
+  flags.add_bool("writes", true, "replicate reduce outputs off-rack");
+  flags.add_bool("remote-storage", false,
+                 "stream input from an external storage cluster (§7)");
+  flags.add_double("storage-gbps", 0,
+                   "storage interconnect cap in Gbit/s; 0 = unlimited");
+  flags.add_int("seed", 2015, "simulation seed");
+  flags.add_string("csv", "", "write per-job results CSV to this file");
+  tools::add_cluster_flags(flags);
+  if (!flags.parse(argc, argv, std::cerr)) return 2;
+
+  try {
+    const std::string path = flags.get_string("trace");
+    if (path.empty()) {
+      std::cerr << "--trace is required\n";
+      return 2;
+    }
+    const auto jobs = read_trace_file(path);
+    const ClusterConfig cluster = tools::cluster_from_flags(flags);
+
+    SimConfig sim;
+    sim.cluster = cluster;
+    sim.use_varys = flags.get_bool("varys");
+    sim.write_output_replicas = flags.get_bool("writes");
+    sim.remote_input_storage = flags.get_bool("remote-storage");
+    if (flags.get_double("storage-gbps") > 0) {
+      sim.storage_bandwidth = flags.get_double("storage-gbps") * kGbps;
+    }
+    sim.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+    // Plan the recurring subset when the policy needs it.
+    PlannerConfig planner_config;
+    planner_config.objective =
+        flags.get_string("objective") == "avg-completion"
+            ? Objective::kAverageCompletionTime
+            : Objective::kMakespan;
+    std::vector<JobSpec> recurring;
+    for (const JobSpec& job : jobs) {
+      if (job.recurring) recurring.push_back(job);
+    }
+    const Plan plan = plan_offline(recurring, cluster, planner_config);
+    const PlanLookup lookup(recurring, plan);
+
+    const std::string policy_name = flags.get_string("policy");
+    SimResult result;
+    if (policy_name == "yarn") {
+      YarnCapacityPolicy policy;
+      result = run_simulation(jobs, policy, sim);
+    } else if (policy_name == "corral") {
+      CorralPolicy policy(&lookup);
+      result = run_simulation(jobs, policy, sim);
+    } else if (policy_name == "local-shuffle") {
+      LocalShufflePolicy policy(&lookup);
+      result = run_simulation(jobs, policy, sim);
+    } else if (policy_name == "shufflewatcher") {
+      ShuffleWatcherPolicy policy(cluster.slots_per_rack());
+      result = run_simulation(jobs, policy, sim);
+    } else {
+      std::cerr << "unknown --policy: " << policy_name << "\n";
+      return 2;
+    }
+
+    const auto jct = result.completion_times();
+    std::printf("policy:            %s\n", result.policy_name.c_str());
+    std::printf("jobs:              %zu\n", result.jobs.size());
+    std::printf("makespan:          %.1f s\n", result.makespan);
+    std::printf("avg completion:    %.1f s\n", result.avg_completion());
+    std::printf("median completion: %.1f s\n", result.median_completion());
+    std::printf("p90 completion:    %.1f s\n", percentile(jct, 90));
+    std::printf("cross-rack data:   %.2f TB\n",
+                result.total_cross_rack_bytes / kTB);
+    std::printf("compute hours:     %.1f h\n", result.total_compute_hours);
+    std::printf("input balance CoV: %.4f\n", result.input_balance_cov);
+
+    const std::string csv = flags.get_string("csv");
+    if (!csv.empty()) {
+      write_results_csv_file(csv, result);
+      std::printf("per-job results written to %s\n", csv.c_str());
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

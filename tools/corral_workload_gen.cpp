@@ -1,0 +1,75 @@
+// corral_workload_gen: synthesize one of the evaluation workloads (or a
+// TPC-H query batch) and emit it as a corral-trace file for corral_plan /
+// corral_simulate.
+//
+//   corral_workload_gen --workload=w1 --jobs=200 --window-min=60
+//       --out=w1.trace
+#include <iostream>
+
+#include "util/flags.h"
+#include "workload/tpch.h"
+#include "workload/trace_io.h"
+#include "workload/workloads.h"
+
+using namespace corral;
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "corral_workload_gen: generate W1/W2/W3/TPC-H workload traces");
+  flags.add_string("workload", "w1", "one of: w1, w2, w3, tpch");
+  flags.add_int("jobs", 200, "number of jobs (w1/w3) or queries (tpch<=15)");
+  flags.add_int("seed", 1, "random seed");
+  flags.add_double("window-min", 0,
+                   "arrival window in minutes; 0 = batch (all at t=0)");
+  flags.add_double("task-scale", 1.0, "scale factor on task counts (w1)");
+  flags.add_double("database-gb", 200, "TPC-H database size in GB");
+  flags.add_bool("ad-hoc", false, "mark all jobs ad hoc (not plannable)");
+  flags.add_string("out", "", "output trace file; empty = stdout");
+  if (!flags.parse(argc, argv, std::cerr)) return 2;
+
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const std::string kind = flags.get_string("workload");
+  std::vector<JobSpec> jobs;
+  try {
+    if (kind == "w1") {
+      W1Config config;
+      config.num_jobs = static_cast<int>(flags.get_int("jobs"));
+      config.task_scale = flags.get_double("task-scale");
+      jobs = make_w1(config, rng);
+    } else if (kind == "w2") {
+      W2Config config;
+      config.num_jobs = static_cast<int>(flags.get_int("jobs"));
+      jobs = make_w2(config, rng);
+    } else if (kind == "w3") {
+      W3Config config;
+      config.num_jobs = static_cast<int>(flags.get_int("jobs"));
+      jobs = make_w3(config, rng);
+    } else if (kind == "tpch") {
+      TpchConfig config;
+      config.num_queries = static_cast<int>(flags.get_int("jobs"));
+      config.database_bytes = flags.get_double("database-gb") * kGB;
+      jobs = make_tpch(config, rng);
+    } else {
+      std::cerr << "unknown --workload: " << kind << "\n";
+      return 2;
+    }
+
+    if (flags.get_double("window-min") > 0) {
+      assign_uniform_arrivals(jobs, flags.get_double("window-min") * kMinute,
+                              rng);
+    }
+    if (flags.get_bool("ad-hoc")) mark_ad_hoc(jobs);
+
+    const std::string out = flags.get_string("out");
+    if (out.empty()) {
+      write_trace(std::cout, jobs);
+    } else {
+      write_trace_file(out, jobs);
+      std::cerr << "wrote " << jobs.size() << " jobs to " << out << "\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "tool_common.h"
+
+#include "util/check.h"
+#include "util/units.h"
+
+namespace corral::tools {
+
+void add_cluster_flags(FlagParser& flags) {
+  flags.add_int("racks", 7, "number of racks");
+  flags.add_int("machines-per-rack", 30, "machines per rack");
+  flags.add_int("slots-per-machine", 8, "concurrent task slots per machine");
+  flags.add_double("nic-gbps", 2.5, "per-machine NIC bandwidth in Gbit/s");
+  flags.add_double("oversubscription", 5.0,
+                   "rack-to-core oversubscription ratio V");
+  flags.add_double("background", 0.5,
+                   "fraction of rack uplink consumed by background traffic");
+}
+
+ClusterConfig cluster_from_flags(const FlagParser& flags) {
+  ClusterConfig config;
+  config.racks = static_cast<int>(flags.get_int("racks"));
+  config.machines_per_rack =
+      static_cast<int>(flags.get_int("machines-per-rack"));
+  config.slots_per_machine =
+      static_cast<int>(flags.get_int("slots-per-machine"));
+  config.nic_bandwidth = flags.get_double("nic-gbps") * kGbps;
+  config.oversubscription = flags.get_double("oversubscription");
+  config.background_core_fraction = flags.get_double("background");
+  // Constructing a topology validates every field.
+  ClusterTopology validate(config);
+  (void)validate;
+  return config;
+}
+
+}  // namespace corral::tools

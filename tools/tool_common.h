@@ -1,0 +1,20 @@
+// Shared pieces of the CLI tools: the cluster flag block and its parsing.
+#ifndef CORRAL_TOOLS_TOOL_COMMON_H_
+#define CORRAL_TOOLS_TOOL_COMMON_H_
+
+#include "cluster/topology.h"
+#include "util/flags.h"
+
+namespace corral::tools {
+
+// Registers --racks / --machines-per-rack / --slots-per-machine /
+// --nic-gbps / --oversubscription / --background with testbed defaults.
+void add_cluster_flags(FlagParser& flags);
+
+// Builds a ClusterConfig from the registered flags; throws
+// std::invalid_argument on out-of-range combinations.
+ClusterConfig cluster_from_flags(const FlagParser& flags);
+
+}  // namespace corral::tools
+
+#endif  // CORRAL_TOOLS_TOOL_COMMON_H_
