@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_predictability"
+  "../bench/bench_fig01_predictability.pdb"
+  "CMakeFiles/bench_fig01_predictability.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig01_predictability.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig01_predictability.dir/bench_fig01_predictability.cpp.o"
+  "CMakeFiles/bench_fig01_predictability.dir/bench_fig01_predictability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_slots_cdf"
+  "../bench/bench_fig02_slots_cdf.pdb"
+  "CMakeFiles/bench_fig02_slots_cdf.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig02_slots_cdf.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig02_slots_cdf.dir/bench_fig02_slots_cdf.cpp.o"
+  "CMakeFiles/bench_fig02_slots_cdf.dir/bench_fig02_slots_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_slots_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

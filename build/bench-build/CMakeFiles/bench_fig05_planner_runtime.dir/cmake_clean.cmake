@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_planner_runtime"
+  "../bench/bench_fig05_planner_runtime.pdb"
+  "CMakeFiles/bench_fig05_planner_runtime.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig05_planner_runtime.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig05_planner_runtime.dir/bench_fig05_planner_runtime.cpp.o"
+  "CMakeFiles/bench_fig05_planner_runtime.dir/bench_fig05_planner_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_planner_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

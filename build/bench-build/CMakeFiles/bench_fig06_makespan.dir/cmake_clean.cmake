@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_makespan"
+  "../bench/bench_fig06_makespan.pdb"
+  "CMakeFiles/bench_fig06_makespan.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig06_makespan.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig06_makespan.dir/bench_fig06_makespan.cpp.o"
+  "CMakeFiles/bench_fig06_makespan.dir/bench_fig06_makespan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

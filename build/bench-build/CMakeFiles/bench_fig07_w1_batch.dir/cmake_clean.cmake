@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_w1_batch"
+  "../bench/bench_fig07_w1_batch.pdb"
+  "CMakeFiles/bench_fig07_w1_batch.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig07_w1_batch.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig07_w1_batch.dir/bench_fig07_w1_batch.cpp.o"
+  "CMakeFiles/bench_fig07_w1_batch.dir/bench_fig07_w1_batch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_w1_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

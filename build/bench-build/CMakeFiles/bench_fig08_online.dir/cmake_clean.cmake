@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_online"
+  "../bench/bench_fig08_online.pdb"
+  "CMakeFiles/bench_fig08_online.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig08_online.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig08_online.dir/bench_fig08_online.cpp.o"
+  "CMakeFiles/bench_fig08_online.dir/bench_fig08_online.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

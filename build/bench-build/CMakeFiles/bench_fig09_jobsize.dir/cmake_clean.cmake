@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_jobsize"
+  "../bench/bench_fig09_jobsize.pdb"
+  "CMakeFiles/bench_fig09_jobsize.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig09_jobsize.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig09_jobsize.dir/bench_fig09_jobsize.cpp.o"
+  "CMakeFiles/bench_fig09_jobsize.dir/bench_fig09_jobsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_jobsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_tpch"
+  "../bench/bench_fig10_tpch.pdb"
+  "CMakeFiles/bench_fig10_tpch.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig10_tpch.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig10_tpch.dir/bench_fig10_tpch.cpp.o"
+  "CMakeFiles/bench_fig10_tpch.dir/bench_fig10_tpch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

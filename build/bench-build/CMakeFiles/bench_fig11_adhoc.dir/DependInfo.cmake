@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench-build/CMakeFiles/bench_fig11_adhoc.dir/bench_common.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig11_adhoc.dir/bench_common.cpp.o.d"
+  "/root/repo/bench/bench_fig11_adhoc.cpp" "bench-build/CMakeFiles/bench_fig11_adhoc.dir/bench_fig11_adhoc.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig11_adhoc.dir/bench_fig11_adhoc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/corral_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/corral/CMakeFiles/corral_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/corral_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/corral_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/corral_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/corral_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/corral_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/corral_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/corral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_adhoc"
+  "../bench/bench_fig11_adhoc.pdb"
+  "CMakeFiles/bench_fig11_adhoc.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig11_adhoc.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig11_adhoc.dir/bench_fig11_adhoc.cpp.o"
+  "CMakeFiles/bench_fig11_adhoc.dir/bench_fig11_adhoc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_adhoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

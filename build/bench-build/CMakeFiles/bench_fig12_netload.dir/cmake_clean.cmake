@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_netload"
+  "../bench/bench_fig12_netload.pdb"
+  "CMakeFiles/bench_fig12_netload.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig12_netload.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig12_netload.dir/bench_fig12_netload.cpp.o"
+  "CMakeFiles/bench_fig12_netload.dir/bench_fig12_netload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_netload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_sensitivity"
+  "../bench/bench_fig13_sensitivity.pdb"
+  "CMakeFiles/bench_fig13_sensitivity.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig13_sensitivity.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig13_sensitivity.dir/bench_fig13_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig13_sensitivity.dir/bench_fig13_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

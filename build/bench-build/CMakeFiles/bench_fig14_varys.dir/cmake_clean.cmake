@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_varys"
+  "../bench/bench_fig14_varys.pdb"
+  "CMakeFiles/bench_fig14_varys.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig14_varys.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig14_varys.dir/bench_fig14_varys.cpp.o"
+  "CMakeFiles/bench_fig14_varys.dir/bench_fig14_varys.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_varys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lp_gap"
+  "../bench/bench_lp_gap.pdb"
+  "CMakeFiles/bench_lp_gap.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_lp_gap.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_lp_gap.dir/bench_lp_gap.cpp.o"
+  "CMakeFiles/bench_lp_gap.dir/bench_lp_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

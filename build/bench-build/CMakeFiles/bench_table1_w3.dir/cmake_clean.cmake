@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_w3"
+  "../bench/bench_table1_w3.pdb"
+  "CMakeFiles/bench_table1_w3.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table1_w3.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table1_w3.dir/bench_table1_w3.cpp.o"
+  "CMakeFiles/bench_table1_w3.dir/bench_table1_w3.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_w3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_recurring_pipeline.dir/recurring_pipeline.cpp.o"
+  "CMakeFiles/example_recurring_pipeline.dir/recurring_pipeline.cpp.o.d"
+  "example_recurring_pipeline"
+  "example_recurring_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_recurring_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_whatif_network.dir/whatif_network.cpp.o"
+  "CMakeFiles/example_whatif_network.dir/whatif_network.cpp.o.d"
+  "example_whatif_network"
+  "example_whatif_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_whatif_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_cluster.dir/topology.cpp.o"
+  "CMakeFiles/corral_cluster.dir/topology.cpp.o.d"
+  "libcorral_cluster.a"
+  "libcorral_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

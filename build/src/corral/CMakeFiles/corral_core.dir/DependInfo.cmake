@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corral/dataset_lp.cpp" "src/corral/CMakeFiles/corral_core.dir/dataset_lp.cpp.o" "gcc" "src/corral/CMakeFiles/corral_core.dir/dataset_lp.cpp.o.d"
+  "/root/repo/src/corral/latency_model.cpp" "src/corral/CMakeFiles/corral_core.dir/latency_model.cpp.o" "gcc" "src/corral/CMakeFiles/corral_core.dir/latency_model.cpp.o.d"
+  "/root/repo/src/corral/lp_bound.cpp" "src/corral/CMakeFiles/corral_core.dir/lp_bound.cpp.o" "gcc" "src/corral/CMakeFiles/corral_core.dir/lp_bound.cpp.o.d"
+  "/root/repo/src/corral/planner.cpp" "src/corral/CMakeFiles/corral_core.dir/planner.cpp.o" "gcc" "src/corral/CMakeFiles/corral_core.dir/planner.cpp.o.d"
+  "/root/repo/src/corral/whatif.cpp" "src/corral/CMakeFiles/corral_core.dir/whatif.cpp.o" "gcc" "src/corral/CMakeFiles/corral_core.dir/whatif.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jobs/CMakeFiles/corral_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/corral_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/corral_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/corral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_core.dir/dataset_lp.cpp.o"
+  "CMakeFiles/corral_core.dir/dataset_lp.cpp.o.d"
+  "CMakeFiles/corral_core.dir/latency_model.cpp.o"
+  "CMakeFiles/corral_core.dir/latency_model.cpp.o.d"
+  "CMakeFiles/corral_core.dir/lp_bound.cpp.o"
+  "CMakeFiles/corral_core.dir/lp_bound.cpp.o.d"
+  "CMakeFiles/corral_core.dir/planner.cpp.o"
+  "CMakeFiles/corral_core.dir/planner.cpp.o.d"
+  "CMakeFiles/corral_core.dir/whatif.cpp.o"
+  "CMakeFiles/corral_core.dir/whatif.cpp.o.d"
+  "libcorral_core.a"
+  "libcorral_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_dfs.dir/dfs.cpp.o"
+  "CMakeFiles/corral_dfs.dir/dfs.cpp.o.d"
+  "CMakeFiles/corral_dfs.dir/placement.cpp.o"
+  "CMakeFiles/corral_dfs.dir/placement.cpp.o.d"
+  "libcorral_dfs.a"
+  "libcorral_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcorral_dfs.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_jobs.dir/dag.cpp.o"
+  "CMakeFiles/corral_jobs.dir/dag.cpp.o.d"
+  "CMakeFiles/corral_jobs.dir/job.cpp.o"
+  "CMakeFiles/corral_jobs.dir/job.cpp.o.d"
+  "libcorral_jobs.a"
+  "libcorral_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

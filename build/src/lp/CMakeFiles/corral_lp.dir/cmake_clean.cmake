@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_lp.dir/simplex.cpp.o"
+  "CMakeFiles/corral_lp.dir/simplex.cpp.o.d"
+  "libcorral_lp.a"
+  "libcorral_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_net.dir/allocator.cpp.o"
+  "CMakeFiles/corral_net.dir/allocator.cpp.o.d"
+  "CMakeFiles/corral_net.dir/links.cpp.o"
+  "CMakeFiles/corral_net.dir/links.cpp.o.d"
+  "CMakeFiles/corral_net.dir/network.cpp.o"
+  "CMakeFiles/corral_net.dir/network.cpp.o.d"
+  "libcorral_net.a"
+  "libcorral_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/corral_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/corral_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/policy.cpp" "src/sim/CMakeFiles/corral_sim.dir/policy.cpp.o" "gcc" "src/sim/CMakeFiles/corral_sim.dir/policy.cpp.o.d"
+  "/root/repo/src/sim/result_io.cpp" "src/sim/CMakeFiles/corral_sim.dir/result_io.cpp.o" "gcc" "src/sim/CMakeFiles/corral_sim.dir/result_io.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/corral_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/corral_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corral/CMakeFiles/corral_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/corral_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/corral_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/corral_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/corral_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/corral_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/corral_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/corral_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

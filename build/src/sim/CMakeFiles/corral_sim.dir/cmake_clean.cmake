@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_sim.dir/metrics.cpp.o"
+  "CMakeFiles/corral_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/corral_sim.dir/policy.cpp.o"
+  "CMakeFiles/corral_sim.dir/policy.cpp.o.d"
+  "CMakeFiles/corral_sim.dir/result_io.cpp.o"
+  "CMakeFiles/corral_sim.dir/result_io.cpp.o.d"
+  "CMakeFiles/corral_sim.dir/simulator.cpp.o"
+  "CMakeFiles/corral_sim.dir/simulator.cpp.o.d"
+  "libcorral_sim.a"
+  "libcorral_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

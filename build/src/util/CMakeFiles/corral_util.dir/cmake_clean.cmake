@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_util.dir/check.cpp.o"
+  "CMakeFiles/corral_util.dir/check.cpp.o.d"
+  "CMakeFiles/corral_util.dir/flags.cpp.o"
+  "CMakeFiles/corral_util.dir/flags.cpp.o.d"
+  "CMakeFiles/corral_util.dir/rng.cpp.o"
+  "CMakeFiles/corral_util.dir/rng.cpp.o.d"
+  "CMakeFiles/corral_util.dir/stats.cpp.o"
+  "CMakeFiles/corral_util.dir/stats.cpp.o.d"
+  "CMakeFiles/corral_util.dir/table.cpp.o"
+  "CMakeFiles/corral_util.dir/table.cpp.o.d"
+  "libcorral_util.a"
+  "libcorral_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

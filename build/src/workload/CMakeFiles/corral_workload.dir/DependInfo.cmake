@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/recurring.cpp" "src/workload/CMakeFiles/corral_workload.dir/recurring.cpp.o" "gcc" "src/workload/CMakeFiles/corral_workload.dir/recurring.cpp.o.d"
+  "/root/repo/src/workload/slots.cpp" "src/workload/CMakeFiles/corral_workload.dir/slots.cpp.o" "gcc" "src/workload/CMakeFiles/corral_workload.dir/slots.cpp.o.d"
+  "/root/repo/src/workload/tpch.cpp" "src/workload/CMakeFiles/corral_workload.dir/tpch.cpp.o" "gcc" "src/workload/CMakeFiles/corral_workload.dir/tpch.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/corral_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/corral_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/workloads.cpp" "src/workload/CMakeFiles/corral_workload.dir/workloads.cpp.o" "gcc" "src/workload/CMakeFiles/corral_workload.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jobs/CMakeFiles/corral_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/corral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_workload.dir/recurring.cpp.o"
+  "CMakeFiles/corral_workload.dir/recurring.cpp.o.d"
+  "CMakeFiles/corral_workload.dir/slots.cpp.o"
+  "CMakeFiles/corral_workload.dir/slots.cpp.o.d"
+  "CMakeFiles/corral_workload.dir/tpch.cpp.o"
+  "CMakeFiles/corral_workload.dir/tpch.cpp.o.d"
+  "CMakeFiles/corral_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/corral_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/corral_workload.dir/workloads.cpp.o"
+  "CMakeFiles/corral_workload.dir/workloads.cpp.o.d"
+  "libcorral_workload.a"
+  "libcorral_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_lp_test.dir/dataset_lp_test.cpp.o"
+  "CMakeFiles/dataset_lp_test.dir/dataset_lp_test.cpp.o.d"
+  "dataset_lp_test"
+  "dataset_lp_test.pdb"
+  "dataset_lp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

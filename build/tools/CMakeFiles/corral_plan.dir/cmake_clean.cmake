@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_plan.dir/corral_plan.cpp.o"
+  "CMakeFiles/corral_plan.dir/corral_plan.cpp.o.d"
+  "CMakeFiles/corral_plan.dir/tool_common.cpp.o"
+  "CMakeFiles/corral_plan.dir/tool_common.cpp.o.d"
+  "corral_plan"
+  "corral_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

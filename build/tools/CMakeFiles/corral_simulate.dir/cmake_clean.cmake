@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_simulate.dir/corral_simulate.cpp.o"
+  "CMakeFiles/corral_simulate.dir/corral_simulate.cpp.o.d"
+  "CMakeFiles/corral_simulate.dir/tool_common.cpp.o"
+  "CMakeFiles/corral_simulate.dir/tool_common.cpp.o.d"
+  "corral_simulate"
+  "corral_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

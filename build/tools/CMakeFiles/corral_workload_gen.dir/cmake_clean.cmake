@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corral_workload_gen.dir/corral_workload_gen.cpp.o"
+  "CMakeFiles/corral_workload_gen.dir/corral_workload_gen.cpp.o.d"
+  "CMakeFiles/corral_workload_gen.dir/tool_common.cpp.o"
+  "CMakeFiles/corral_workload_gen.dir/tool_common.cpp.o.d"
+  "corral_workload_gen"
+  "corral_workload_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corral_workload_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
