@@ -1,0 +1,159 @@
+// Failure sweep (§7 "Dealing with failures"): how gracefully each policy
+// degrades as machine churn intensifies on W1, online arrivals.
+//
+// For each machine MTBF in the sweep the same generated fault schedule
+// (crash + recover events, 15 min MTTR, occasional whole-rack outages) is
+// replayed under Yarn-CS, Corral, and Corral with §7 plan repair, with
+// speculative execution enabled throughout. Reports makespan inflation
+// relative to each policy's own fault-free run plus the recovery counters,
+// and emits the series as BENCH_failures.json for plotting.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/faults.h"
+
+using namespace corral;
+
+namespace {
+
+struct SweepPoint {
+  double mtbf_hours = 0;  // 0 = no churn
+  SimResult yarn;
+  SimResult corral;
+  SimResult repair;
+};
+
+void emit_policy_json(std::ofstream& out, const std::string& name,
+                      const SimResult& result, double healthy_makespan) {
+  out << "    \"" << name << "\": {"
+      << "\"makespan_s\": " << result.makespan
+      << ", \"makespan_inflation\": "
+      << (healthy_makespan > 0 ? result.makespan / healthy_makespan : 1.0)
+      << ", \"avg_completion_s\": " << result.avg_completion()
+      << ", \"jobs_failed\": " << result.jobs_failed
+      << ", \"tasks_killed\": " << result.tasks_killed
+      << ", \"maps_rerun\": " << result.maps_rerun
+      << ", \"speculative_launched\": " << result.speculative_launched
+      << ", \"speculative_wasted_s\": " << result.speculative_wasted_seconds
+      << ", \"bytes_rereplicated\": " << result.bytes_rereplicated
+      << ", \"chunks_lost\": " << result.chunks_lost
+      << ", \"degraded_time_s\": " << result.degraded_time << "}";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Failure sweep - robustness under machine churn (W1, online)",
+      "graceful degradation: Corral+repair <= Corral <= Yarn-CS makespan "
+      "inflation as MTBF shrinks");
+
+  ClusterConfig cluster;
+  cluster.racks = 5;
+  cluster.machines_per_rack = 12;
+  cluster.slots_per_machine = 4;
+  cluster.nic_bandwidth = 2.5 * kGbps;
+  cluster.oversubscription = 5.0;
+
+  Rng rng(17);
+  W1Config wconfig;
+  wconfig.num_jobs = 24;
+  wconfig.task_scale = 0.4;
+  auto jobs = make_w1(wconfig, rng);
+  assign_uniform_arrivals(jobs, 60 * kMinute, rng);
+
+  PlannerConfig planner_config;
+  planner_config.objective = Objective::kAverageCompletionTime;
+  const Plan plan = plan_offline(jobs, cluster, planner_config);
+  const PlanLookup lookup(jobs, plan);
+
+  SimConfig base;
+  base.cluster = cluster;
+  base.cluster.background_core_fraction = 0.5;
+  base.write_output_replicas = true;
+  base.enable_speculation = true;
+
+  const std::vector<double> mtbf_hours = {0.0, 24.0, 6.0, 1.5};
+  std::vector<SweepPoint> sweep;
+  for (double mtbf : mtbf_hours) {
+    SweepPoint point;
+    point.mtbf_hours = mtbf;
+    SimConfig sim = base;
+    if (mtbf > 0) {
+      FaultModelConfig faults;
+      faults.machine_mtbf = mtbf * kHour;
+      faults.machine_mttr = 15 * kMinute;
+      // Whole-rack (ToR) outages an order of magnitude rarer than machine
+      // crashes; long enough to count as durable degradation and trigger
+      // §7 plan repair for the not-yet-submitted jobs.
+      faults.rack_mtbf = 10 * mtbf * kHour;
+      faults.rack_mttr = 30 * kMinute;
+      faults.horizon = 24 * kHour;
+      sim.faults = generate_fault_schedule(cluster, faults, /*seed=*/29);
+    }
+    {
+      YarnCapacityPolicy yarn;
+      point.yarn = run_simulation(jobs, yarn, sim);
+    }
+    {
+      CorralPolicy corral(&lookup);
+      point.corral = run_simulation(jobs, corral, sim);
+    }
+    {
+      CorralRepairPolicy repair(jobs, cluster, planner_config);
+      point.repair = run_simulation(jobs, repair, sim);
+    }
+    sweep.push_back(std::move(point));
+  }
+
+  const double yarn_healthy = sweep[0].yarn.makespan;
+  const double corral_healthy = sweep[0].corral.makespan;
+  const double repair_healthy = sweep[0].repair.makespan;
+
+  std::printf("\n%-12s %28s %28s\n", "",
+              "makespan inflation (x healthy)", "tasks killed / maps rerun");
+  std::printf("%-12s %9s %9s %9s %9s %9s %9s\n", "MTBF", "yarn", "corral",
+              "repair", "yarn", "corral", "repair");
+  for (const SweepPoint& point : sweep) {
+    char label[32];
+    if (point.mtbf_hours > 0) {
+      std::snprintf(label, sizeof(label), "%.1f h", point.mtbf_hours);
+    } else {
+      std::snprintf(label, sizeof(label), "none");
+    }
+    std::printf("%-12s %9.2f %9.2f %9.2f %4d/%-4d %4d/%-4d %4d/%-4d\n",
+                label, point.yarn.makespan / yarn_healthy,
+                point.corral.makespan / corral_healthy,
+                point.repair.makespan / repair_healthy,
+                point.yarn.tasks_killed, point.yarn.maps_rerun,
+                point.corral.tasks_killed, point.corral.maps_rerun,
+                point.repair.tasks_killed, point.repair.maps_rerun);
+  }
+  std::printf("\n(jobs failed at the harshest point: yarn %d, corral %d, "
+              "repair %d; re-replicated %.1f / %.1f / %.1f GB)\n",
+              sweep.back().yarn.jobs_failed, sweep.back().corral.jobs_failed,
+              sweep.back().repair.jobs_failed,
+              sweep.back().yarn.bytes_rereplicated / kGB,
+              sweep.back().corral.bytes_rereplicated / kGB,
+              sweep.back().repair.bytes_rereplicated / kGB);
+
+  std::ofstream out("BENCH_failures.json");
+  out << "{\n  \"bench\": \"failures\",\n  \"workload\": \"w1-online\",\n"
+      << "  \"machine_mttr_minutes\": 15,\n  \"rack_mttr_minutes\": 30,\n"
+      << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out << "   {\"mtbf_hours\": " << sweep[i].mtbf_hours << ",\n";
+    emit_policy_json(out, "yarn", sweep[i].yarn, yarn_healthy);
+    out << ",\n";
+    emit_policy_json(out, "corral", sweep[i].corral, corral_healthy);
+    out << ",\n";
+    emit_policy_json(out, "corral_repair", sweep[i].repair, repair_healthy);
+    out << "\n   }" << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nseries written to BENCH_failures.json\n");
+  return 0;
+}

@@ -1,16 +1,19 @@
 // Failure-drill example: what happens to a planned workload when machines
 // and then most of a rack die mid-run (§3.1, §7 "Dealing with failures").
 //
-// Shows three escalation levels on the same workload and plan:
+// Shows four escalation levels on the same workload and plan:
 //   healthy        — no failures,
 //   lose machines  — scattered machine deaths (tasks reschedule, lost map
-//                    outputs rerun),
+//                    outputs rerun, lost DFS replicas re-replicate),
 //   lose a rack    — most of one assigned rack dies; Corral drops the rack
 //                    constraint for the affected jobs and finishes
-//                    elsewhere.
+//                    elsewhere; when the rack heals the constraints re-arm,
+//   churn          — stochastic MTBF/MTTR machine churn plus stragglers,
+//                    with speculative execution cleaning up the tail.
 #include <cstdio>
 
 #include "corral/planner.h"
+#include "sim/faults.h"
 #include "sim/simulator.h"
 #include "workload/workloads.h"
 
@@ -34,41 +37,59 @@ int main() {
   const Plan plan = plan_offline(jobs, cluster, planner_config);
   const PlanLookup lookup(jobs, plan);
 
-  const auto run_with = [&](const char* label,
-                            std::vector<SimConfig::MachineFailure> failures) {
+  const auto run_with = [&](const char* label, const FaultSchedule& faults,
+                            bool speculation) {
     SimConfig sim;
     sim.cluster = cluster;
     sim.cluster.background_core_fraction = 0.5;
     sim.write_output_replicas = true;
-    sim.machine_failure_events = std::move(failures);
+    sim.faults = faults;
+    sim.enable_speculation = speculation;
     CorralPolicy policy(&lookup);
     const SimResult result = run_simulation(jobs, policy, sim);
-    int healthy_machines = cluster.total_machines() -
-                           static_cast<int>(sim.machine_failure_events.size());
-    std::printf("%-16s machines left %3d   makespan %7.0fs   avg JCT %6.0fs"
-                "   cross-rack %6.1f GB\n",
-                label, healthy_machines, result.makespan,
-                result.avg_completion(),
-                result.total_cross_rack_bytes / kGB);
+    std::printf("%-16s makespan %7.0fs   avg JCT %6.0fs   killed %3d   "
+                "reruns %3d   healed %5.1f GB   failed %d\n",
+                label, result.makespan, result.avg_completion(),
+                result.tasks_killed, result.maps_rerun,
+                result.bytes_rereplicated / kGB, result.jobs_failed);
     return result.makespan;
   };
 
   std::printf("Corral plan over %zu jobs on %d racks; failures injected "
               "mid-run:\n\n",
               jobs.size(), cluster.racks);
-  const Seconds healthy = run_with("healthy", {});
+  const Seconds healthy = run_with("healthy", {}, false);
 
-  // Scattered machine deaths across racks, early in the run.
-  std::vector<SimConfig::MachineFailure> scattered;
+  // Scattered machine deaths across racks, early in the run; each machine
+  // comes back ten minutes later with an empty disk.
+  FaultSchedule scattered;
   for (int i = 0; i < 6; ++i) {
-    scattered.push_back({20.0 + 5.0 * i, 7 * i % cluster.total_machines()});
+    const Seconds down = 20.0 + 5.0 * i;
+    const int machine = 7 * i % cluster.total_machines();
+    scattered.events.push_back({down, FaultType::kCrash, machine});
+    scattered.events.push_back(
+        {down + 10 * kMinute, FaultType::kRecover, machine});
   }
-  run_with("lose machines", scattered);
+  run_with("lose machines", scattered, false);
 
-  // Most of rack 0 dies: jobs assigned there fall back to the cluster.
-  std::vector<SimConfig::MachineFailure> rack_loss;
-  for (int m = 0; m < 10; ++m) rack_loss.push_back({30.0, m});
-  const Seconds degraded = run_with("lose a rack", rack_loss);
+  // Most of rack 0 dies: jobs assigned there fall back to the cluster, and
+  // once the rack heals their constraints re-arm for the remaining work.
+  FaultSchedule rack_loss;
+  for (int m = 0; m < 10; ++m) {
+    rack_loss.events.push_back({30.0, FaultType::kCrash, m});
+    rack_loss.events.push_back({30.0 + 20 * kMinute, FaultType::kRecover, m});
+  }
+  const Seconds degraded = run_with("lose a rack", rack_loss, false);
+
+  // Stochastic churn + stragglers, with speculation covering the tail.
+  FaultModelConfig churn_config;
+  churn_config.machine_mtbf = 2 * kHour;
+  churn_config.machine_mttr = 10 * kMinute;
+  churn_config.horizon = 12 * kHour;
+  churn_config.straggler_frac = 0.03;
+  const FaultSchedule churn =
+      generate_fault_schedule(cluster, churn_config, /*seed=*/7);
+  run_with("churn", churn, /*speculation=*/true);
 
   std::printf(
       "\nEvery job completed in every drill; the rack-loss run finished "

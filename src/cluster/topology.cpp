@@ -99,4 +99,12 @@ bool ClusterTopology::rack_usable(int rack, double min_fraction) const {
          min_fraction * static_cast<double>(config_.machines_per_rack);
 }
 
+std::vector<int> ClusterTopology::usable_racks(double min_fraction) const {
+  std::vector<int> usable;
+  for (int r = 0; r < racks(); ++r) {
+    if (rack_usable(r, min_fraction)) usable.push_back(r);
+  }
+  return usable;
+}
+
 }  // namespace corral

@@ -78,6 +78,9 @@ class ClusterTopology {
   int healthy_in_rack(int rack) const;
   // True when at least `min_fraction` of the rack's machines are healthy.
   bool rack_usable(int rack, double min_fraction) const;
+  // Ids of all racks passing rack_usable(min_fraction), ascending — the
+  // planning universe after failures (§7 plan repair).
+  std::vector<int> usable_racks(double min_fraction) const;
 
  private:
   ClusterConfig config_;

@@ -217,6 +217,34 @@ Plan plan_offline(std::span<const JobSpec> jobs, const ClusterConfig& cluster,
   return plan_offline(functions, cluster.racks, config);
 }
 
+Plan plan_offline(std::span<const JobSpec> jobs, const ClusterConfig& cluster,
+                  const PlannerConfig& config,
+                  std::span<const int> usable_racks) {
+  require(!usable_racks.empty(),
+          "plan_offline: need at least one usable rack");
+  std::vector<bool> seen(static_cast<std::size_t>(cluster.racks), false);
+  for (int r : usable_racks) {
+    require(r >= 0 && r < cluster.racks,
+            "plan_offline: usable rack id out of range");
+    require(!seen[static_cast<std::size_t>(r)],
+            "plan_offline: duplicate usable rack id");
+    seen[static_cast<std::size_t>(r)] = true;
+  }
+  // Plan on a virtual cluster of usable_racks.size() racks, then map the
+  // virtual rack ids back onto the surviving physical racks. The latency
+  // model's per-rack parameters are unchanged: a degraded cluster is a
+  // smaller cluster of whole racks.
+  const int virtual_racks = static_cast<int>(usable_racks.size());
+  const LatencyModelParams params = LatencyModelParams::from_cluster(cluster);
+  const std::vector<ResponseFunction> functions =
+      build_response_functions(jobs, virtual_racks, params);
+  Plan plan = plan_offline(functions, virtual_racks, config);
+  for (PlannedJob& job : plan.jobs) {
+    for (int& r : job.racks) r = usable_racks[static_cast<std::size_t>(r)];
+  }
+  return plan;
+}
+
 Plan plan_rolling(std::span<const ResponseFunction> jobs, int num_racks,
                   const PlannerConfig& config, Seconds period) {
   validate_inputs(jobs, num_racks);

@@ -71,6 +71,15 @@ Plan plan_offline(std::span<const ResponseFunction> jobs, int num_racks,
 Plan plan_offline(std::span<const JobSpec> jobs, const ClusterConfig& cluster,
                   const PlannerConfig& config);
 
+// Plan repair after failures (§7 "Dealing with failures"): plans on the
+// subcluster formed by `usable_racks` only (ids must be distinct, valid for
+// the cluster, non-empty) and returns rack assignments in physical rack
+// ids. Used to re-run provisioning/prioritization over not-yet-started jobs
+// when a rack durably degrades.
+Plan plan_offline(std::span<const JobSpec> jobs, const ClusterConfig& cluster,
+                  const PlannerConfig& config,
+                  std::span<const int> usable_racks);
+
 // Runs only the prioritization phase (Figure 4) for a fixed rack-count
 // vector; exposed for tests and for the LP-gap study.
 Plan prioritize(std::span<const ResponseFunction> jobs,

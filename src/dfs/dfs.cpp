@@ -97,6 +97,52 @@ void Dfs::remove_file(const std::string& name) {
   files_.erase(it);
 }
 
+std::vector<LostReplica> Dfs::drop_replicas_on(int machine) {
+  require(machine >= 0 && machine < topology_->machines(),
+          "drop_replicas_on: machine id out of range");
+  std::vector<LostReplica> lost;
+  const int rack = topology_->rack_of(machine);
+  for (auto& [name, layout] : files_) {
+    for (std::size_t c = 0; c < layout.chunks.size(); ++c) {
+      ChunkLocation& chunk = layout.chunks[c];
+      const auto it =
+          std::find(chunk.machines.begin(), chunk.machines.end(), machine);
+      if (it == chunk.machines.end()) continue;
+      chunk.machines.erase(it);
+      machine_bytes_[static_cast<std::size_t>(machine)] -= chunk.bytes;
+      rack_bytes_[static_cast<std::size_t>(rack)] -= chunk.bytes;
+      lost.push_back({name, static_cast<int>(c), chunk.bytes,
+                      static_cast<int>(chunk.machines.size())});
+    }
+  }
+  std::sort(lost.begin(), lost.end(),
+            [](const LostReplica& a, const LostReplica& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.chunk < b.chunk;
+            });
+  return lost;
+}
+
+void Dfs::add_replica(const std::string& name, int chunk, int machine) {
+  const auto it = files_.find(name);
+  require(it != files_.end(), "add_replica: no such file");
+  require(chunk >= 0 &&
+              chunk < static_cast<int>(it->second.chunks.size()),
+          "add_replica: chunk index out of range");
+  require(machine >= 0 && machine < topology_->machines(),
+          "add_replica: machine id out of range");
+  ChunkLocation& location =
+      it->second.chunks[static_cast<std::size_t>(chunk)];
+  if (std::find(location.machines.begin(), location.machines.end(),
+                machine) != location.machines.end()) {
+    return;
+  }
+  location.machines.push_back(machine);
+  machine_bytes_[static_cast<std::size_t>(machine)] += location.bytes;
+  rack_bytes_[static_cast<std::size_t>(topology_->rack_of(machine))] +=
+      location.bytes;
+}
+
 Bytes Dfs::machine_bytes(int machine) const {
   require(machine >= 0 && machine < topology_->machines(),
           "machine_bytes: id out of range");

@@ -48,6 +48,15 @@ struct FileLayout {
 
 class BlockPlacementPolicy;
 
+// A chunk that lost a replica to a machine crash (see drop_replicas_on).
+struct LostReplica {
+  std::string file;
+  int chunk = 0;
+  Bytes bytes = 0;
+  // Healthy replicas left after the drop; 0 means the data is gone.
+  int remaining = 0;
+};
+
 class Dfs {
  public:
   Dfs(const ClusterTopology* topology, DfsConfig config);
@@ -61,6 +70,17 @@ class Dfs {
   bool has_file(const std::string& name) const;
   const FileLayout& file(const std::string& name) const;
   void remove_file(const std::string& name);
+
+  // Failure handling (§7): drops every replica stored on `machine` across
+  // all files — a fail-stop crash loses the disk — and returns the chunks
+  // that lost one, sorted by (file, chunk) for deterministic iteration.
+  // Chunks whose last replica is dropped are left with an empty machine
+  // list; readers must treat them as lost.
+  std::vector<LostReplica> drop_replicas_on(int machine);
+
+  // Adds a replica of an existing chunk on `machine` (the completion of a
+  // re-replication transfer). No-op when the machine already holds one.
+  void add_replica(const std::string& name, int chunk, int machine);
 
   const ClusterTopology& topology() const { return *topology_; }
   const DfsConfig& config() const { return config_; }

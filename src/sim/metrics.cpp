@@ -7,7 +7,9 @@ namespace corral {
 std::vector<double> SimResult::completion_times() const {
   std::vector<double> out;
   out.reserve(jobs.size());
-  for (const JobResult& job : jobs) out.push_back(job.completion_time());
+  for (const JobResult& job : jobs) {
+    if (!job.failed) out.push_back(job.completion_time());
+  }
   return out;
 }
 

@@ -26,6 +26,19 @@ struct JobResult {
   // Per reduce-task execution times (fetch + compute + write), Fig 7c.
   std::vector<Seconds> reduce_durations;
 
+  // --- failure/recovery accounting (§7) ---
+  // True when the job was aborted because a task exhausted its retries or
+  // its input data was lost; `finish` is then the abort time.
+  bool failed = false;
+  // Running task attempts killed by machine failures.
+  int tasks_killed = 0;
+  // Completed maps rerun because their node-local outputs were lost.
+  int maps_rerun = 0;
+  // Speculative backup copies launched for this job's tasks, and the slot
+  // seconds spent on losing copies (the price of first-finisher-wins).
+  int speculative_launched = 0;
+  double speculative_wasted_seconds = 0;
+
   Seconds completion_time() const { return finish - arrival; }
 };
 
@@ -42,6 +55,25 @@ struct SimResult {
   // how much core bandwidth the scheduler left for other tenants.
   std::vector<double> rack_uplink_utilization;
 
+  // --- failure/recovery accounting (§7), aggregated over jobs ---
+  int tasks_killed = 0;
+  int maps_rerun = 0;
+  int speculative_launched = 0;
+  double speculative_wasted_seconds = 0;
+  // Task starts that were slowed by straggler injection.
+  int stragglers_injected = 0;
+  // DFS healing traffic: bytes copied to restore lost replicas, and chunks
+  // whose every replica was lost (permanent data loss).
+  Bytes bytes_rereplicated = 0;
+  int chunks_lost = 0;
+  // Jobs aborted by retry exhaustion or data loss (JobResult::failed).
+  int jobs_failed = 0;
+  // Virtual time during which at least one machine was down ("time in
+  // degraded mode"), accumulated until the last job finishes.
+  Seconds degraded_time = 0;
+
+  // Completion times of jobs that finished successfully (failed jobs would
+  // skew completion statistics with their early abort times).
   std::vector<double> completion_times() const;
   double avg_completion() const;
   double median_completion() const;

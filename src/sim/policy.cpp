@@ -69,6 +69,84 @@ double CorralPolicy::priority(const JobSpec& job) const {
   return planned->start_time;
 }
 
+CorralRepairPolicy::CorralRepairPolicy(std::vector<JobSpec> recurring_jobs,
+                                       const ClusterConfig& cluster,
+                                       const PlannerConfig& planner_config,
+                                       double rack_health_threshold)
+    : jobs_(std::move(recurring_jobs)),
+      cluster_(cluster),
+      planner_config_(planner_config),
+      rack_health_threshold_(rack_health_threshold) {
+  const Plan plan = plan_offline(jobs_, cluster_, planner_config_);
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    plan_.emplace(jobs_[i].id, plan.jobs[i]);
+  }
+}
+
+const PlannedJob* CorralRepairPolicy::find(const JobSpec& job) const {
+  if (!job.recurring) return nullptr;
+  const auto it = plan_.find(job.id);
+  return it == plan_.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<BlockPlacementPolicy> CorralRepairPolicy::input_placement(
+    const JobSpec& job) {
+  const PlannedJob* planned = find(job);
+  if (planned == nullptr) return std::make_unique<DefaultPlacement>();
+  return std::make_unique<CorralPlacement>(planned->racks);
+}
+
+std::vector<int> CorralRepairPolicy::allowed_racks(
+    const JobSpec& job, const Dfs&, const std::vector<const FileLayout*>&,
+    Rng&) {
+  submitted_[job.id] = true;
+  const PlannedJob* planned = find(job);
+  if (planned == nullptr) return {};
+  return planned->racks;
+}
+
+double CorralRepairPolicy::priority(const JobSpec& job) const {
+  const PlannedJob* planned = find(job);
+  if (planned == nullptr) return job.arrival;
+  return planned->start_time;
+}
+
+void CorralRepairPolicy::on_rack_degraded(int, const ClusterTopology& topology,
+                                          Seconds now) {
+  std::vector<JobSpec> pending;
+  for (const JobSpec& job : jobs_) {
+    const auto it = submitted_.find(job.id);
+    if (it == submitted_.end() || !it->second) pending.push_back(job);
+  }
+  if (pending.empty()) return;
+
+  const std::vector<int> healthy =
+      topology.usable_racks(rack_health_threshold_);
+  if (healthy.empty()) {
+    // Nothing left to plan on: release the pending jobs to run
+    // unconstrained wherever capacity survives.
+    for (const JobSpec& job : pending) plan_.erase(job.id);
+    ++repairs_;
+    return;
+  }
+  Plan repaired = plan_offline(pending, cluster_, planner_config_, healthy);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    PlannedJob entry = repaired.jobs[i];
+    // The repaired plan starts its clock at the repair instant; offsetting
+    // keeps repaired jobs prioritized after the already-dispatched prefix
+    // of the original plan.
+    entry.start_time += now;
+    plan_[pending[i].id] = entry;
+  }
+  ++repairs_;
+}
+
+void CorralRepairPolicy::on_rack_recovered(int, const ClusterTopology&,
+                                           Seconds) {
+  // Recovered racks re-enter the planning universe at the next repair; the
+  // simulator re-arms the constraints of already-planned jobs itself.
+}
+
 LocalShufflePolicy::LocalShufflePolicy(const PlanLookup* plan)
     : plan_(plan) {
   require(plan_ != nullptr, "LocalShufflePolicy: plan must not be null");

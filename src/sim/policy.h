@@ -63,6 +63,19 @@ class SchedulingPolicy {
 
   // Scheduling priority; lower value runs first.
   virtual double priority(const JobSpec& job) const = 0;
+
+  // Failure notifications (§7 "Dealing with failures"). The simulator calls
+  // these when a rack crosses the health threshold in either direction,
+  // giving planning policies a chance to repair their plan for jobs that
+  // have not started yet. Defaults are no-ops.
+  virtual void on_rack_degraded(int rack, const ClusterTopology& topology,
+                                Seconds now) {
+    (void)rack, (void)topology, (void)now;
+  }
+  virtual void on_rack_recovered(int rack, const ClusterTopology& topology,
+                                 Seconds now) {
+    (void)rack, (void)topology, (void)now;
+  }
 };
 
 class YarnCapacityPolicy : public SchedulingPolicy {
@@ -90,6 +103,49 @@ class CorralPolicy : public SchedulingPolicy {
 
  private:
   const PlanLookup* plan_;
+};
+
+// Corral with plan repair (§7): behaves exactly like CorralPolicy until a
+// rack durably degrades below the health threshold; then it re-runs the
+// two-phase planner over the recurring jobs that have not yet been
+// submitted, against the healthy racks only, and serves the repaired
+// allocations (placement, constraints, priorities) from that point on.
+// Jobs already running keep their original plan entries — the simulator's
+// constraint-fallback path handles them. Owns its plan, so it needs the
+// recurring job specs rather than a prebuilt PlanLookup.
+class CorralRepairPolicy : public SchedulingPolicy {
+ public:
+  CorralRepairPolicy(std::vector<JobSpec> recurring_jobs,
+                     const ClusterConfig& cluster,
+                     const PlannerConfig& planner_config,
+                     double rack_health_threshold = 0.5);
+
+  std::string_view name() const override { return "corral-repair"; }
+  std::unique_ptr<BlockPlacementPolicy> input_placement(
+      const JobSpec& job) override;
+  std::vector<int> allowed_racks(
+      const JobSpec& job, const Dfs& dfs,
+      const std::vector<const FileLayout*>& input_files, Rng& rng) override;
+  double priority(const JobSpec& job) const override;
+
+  void on_rack_degraded(int rack, const ClusterTopology& topology,
+                        Seconds now) override;
+  void on_rack_recovered(int rack, const ClusterTopology& topology,
+                         Seconds now) override;
+
+  // Number of repair replans performed so far.
+  int repairs() const { return repairs_; }
+
+ private:
+  const PlannedJob* find(const JobSpec& job) const;
+
+  std::vector<JobSpec> jobs_;
+  ClusterConfig cluster_;
+  PlannerConfig planner_config_;
+  double rack_health_threshold_;
+  std::unordered_map<int, PlannedJob> plan_;  // by job id
+  std::unordered_map<int, bool> submitted_;   // by job id
+  int repairs_ = 0;
 };
 
 class LocalShufflePolicy : public SchedulingPolicy {

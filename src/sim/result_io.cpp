@@ -20,13 +20,18 @@ std::string sanitize_name(const std::string& name) {
 
 void write_results_csv(std::ostream& out, const SimResult& result) {
   out << "job_id,name,recurring,arrival,finish,completion,"
-         "cross_rack_bytes,compute_seconds,num_reduce_tasks\n";
+         "cross_rack_bytes,compute_seconds,num_reduce_tasks,failed,"
+         "tasks_killed,maps_rerun,speculative_launched,"
+         "speculative_wasted_seconds\n";
   out << std::setprecision(17);
   for (const JobResult& job : result.jobs) {
     out << job.job_id << ',' << sanitize_name(job.name) << ','
         << (job.recurring ? 1 : 0) << ',' << job.arrival << ',' << job.finish
         << ',' << job.completion_time() << ',' << job.cross_rack_bytes << ','
-        << job.compute_seconds << ',' << job.reduce_durations.size() << "\n";
+        << job.compute_seconds << ',' << job.reduce_durations.size() << ','
+        << (job.failed ? 1 : 0) << ',' << job.tasks_killed << ','
+        << job.maps_rerun << ',' << job.speculative_launched << ','
+        << job.speculative_wasted_seconds << "\n";
   }
 }
 

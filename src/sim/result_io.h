@@ -13,7 +13,8 @@ namespace corral {
 
 // Writes per-job results as CSV with a header row:
 // job_id,name,recurring,arrival,finish,completion,cross_rack_bytes,
-// compute_seconds,num_reduce_tasks
+// compute_seconds,num_reduce_tasks,failed,tasks_killed,maps_rerun,
+// speculative_launched,speculative_wasted_seconds
 void write_results_csv(std::ostream& out, const SimResult& result);
 void write_results_csv_file(const std::string& path, const SimResult& result);
 

@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 #include <queue>
+#include <string>
 #include <unordered_set>
 
 #include "net/network.h"
@@ -23,6 +24,9 @@ enum class FlowKind : std::uint64_t {
   kMapFetch = 1,
   kReduceFetch = 2,
   kWriteRemote = 3,
+  // Background DFS healing traffic; not owned by any job. The non-kind tag
+  // bits carry a rereplication sequence number, not task coordinates.
+  kRereplicate = 4,
 };
 
 // Flow tags / task keys: kind(4) | attempt(8) | job(20) | stage(8) |
@@ -70,9 +74,11 @@ struct StageRuntime {
   int maps_pending = 0;  // queued, not yet assigned
   std::vector<bool> map_taken;
   std::vector<Seconds> map_start;
-  std::vector<int> map_attempt;       // re-execution counter per task
+  std::vector<int> map_attempt;       // current primary attempt per task
+  std::vector<int> map_issued;        // attempt ids handed out per task
   std::vector<int> map_assigned;      // machine running the map, or -1
   std::vector<int> map_exec_machine;  // machine of a completed map, or -1
+  Seconds map_duration_total = 0;     // sum of completed map durations
   // Chunk-level locality indices for source stages (lazy deletion).
   const FileLayout* input_file = nullptr;
   // Source stage reading from the external storage cluster (§7).
@@ -91,11 +97,12 @@ struct StageRuntime {
   std::deque<int> reduce_queue;
   int reduces_done = 0;
   int reduces_pending = 0;
-  std::vector<int> reduce_pending_flows;
   std::vector<Seconds> reduce_start;
-  std::vector<int> reduce_attempt;
+  std::vector<int> reduce_attempt;   // current primary attempt per task
+  std::vector<int> reduce_issued;    // attempt ids handed out per task
   std::vector<int> reduce_assigned;  // machine running the reduce, or -1
   std::vector<bool> reduce_done;
+  Seconds reduce_duration_total = 0;  // sum of completed reduce durations
 
   // Where this stage's output ended up (feeds child stages).
   std::vector<Bytes> output_by_rack;
@@ -109,23 +116,56 @@ struct JobRuntime {
   std::vector<std::vector<int>> children;  // stage -> child stages
   std::vector<int> allowed_racks;          // empty = whole cluster
   std::vector<bool> rack_allowed;          // always sized to racks
+  // The policy's original rack assignment, kept so constraints dropped
+  // during a rack outage (§3.1) can be re-armed when the rack heals (§7).
+  std::vector<int> planned_racks;
+  bool constraints_dropped = false;
   int stages_done = 0;
   bool finished = false;
   int delay_skips = 0;
   int pending_tasks = 0;  // queued map + reduce tasks across stages
+  int total_tasks = 0;    // maps + reduces over all stages (speculation cap)
   JobResult result;
 };
 
 struct Event {
   Seconds time = 0;
   long seq = 0;
-  enum class Type { kArrival, kMapCompute, kReduceCompute, kMachineFailure }
-      type = Type::kArrival;
+  enum class Type {
+    kArrival,
+    kMapCompute,
+    kReduceCompute,
+    kMachineFailure,
+    kMachineRecover,
+  } type = Type::kArrival;
   int job = 0;
   int stage = 0;
   int task = 0;
   int machine = 0;
   int attempt = 0;
+};
+
+// Work events drive jobs toward completion; fault events merely mutate the
+// cluster. Once every job is done and no work events remain, the run can
+// end even if the fault timeline stretches on for days.
+bool is_work_event(Event::Type type) {
+  return type == Event::Type::kArrival || type == Event::Type::kMapCompute ||
+         type == Event::Type::kReduceCompute;
+}
+
+// A speculative backup copy of a running task (Hadoop-style speculative
+// execution): at most one per task, first finisher wins.
+struct Backup {
+  int attempt = 0;
+  int machine = -1;
+  Seconds start = 0;
+};
+
+// An in-flight re-replication transfer restoring a lost DFS replica.
+struct Rerep {
+  std::string file;
+  int chunk = 0;
+  int dst = -1;
 };
 
 struct EventLater {
@@ -168,6 +208,29 @@ class Simulator {
                        Event::Type::kMachineFailure, 0, 0, 0,
                        failure.machine, 0});
     }
+    config_.faults.validate(topology_.machines());
+    require(config_.max_task_retries > 0 && config_.max_task_retries < 255,
+            "run_simulation: max_task_retries must be in [1, 254]");
+    require(config_.rereplication_width > 0,
+            "run_simulation: rereplication_width must be positive");
+    require(config_.speculation_slowdown >= 1.0,
+            "run_simulation: speculation_slowdown must be >= 1");
+    for (const FaultEvent& fault : config_.faults.events) {
+      push_event(Event{fault.time, next_seq_++,
+                       fault.type == FaultType::kCrash
+                           ? Event::Type::kMachineFailure
+                           : Event::Type::kMachineRecover,
+                       0, 0, 0, fault.machine, 0});
+    }
+    machines_down_ = 0;
+    for (int m = 0; m < topology_.machines(); ++m) {
+      if (!topology_.is_up(m)) ++machines_down_;
+    }
+    rack_usable_.assign(static_cast<std::size_t>(topology_.racks()), true);
+    for (int r = 0; r < topology_.racks(); ++r) {
+      rack_usable_[static_cast<std::size_t>(r)] =
+          topology_.rack_usable(r, config_.rack_health_threshold);
+    }
     jobs_.resize(jobs.size());
     std::unordered_set<int> seen_ids;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -185,6 +248,9 @@ class Simulator {
         J.children[static_cast<std::size_t>(e.from)].push_back(e.to);
         ++J.stages[static_cast<std::size_t>(e.to)].parents_pending;
       }
+      for (const MapReduceSpec& stage : jobs[i].stages) {
+        J.total_tasks += stage.num_maps + stage.num_reduces;
+      }
       J.result.job_id = jobs[i].id;
       J.result.name = jobs[i].name;
       J.result.recurring = jobs[i].recurring;
@@ -193,20 +259,34 @@ class Simulator {
       push_event(Event{jobs[i].arrival, next_seq_++, Event::Type::kArrival,
                        static_cast<int>(i), 0, 0, 0, 0});
     }
+    unfinished_count_ = static_cast<int>(jobs_.size());
   }
 
   SimResult run() {
     while (!events_.empty() || !network_.idle()) {
+      // Every job is settled and only fault events / background healing
+      // remain: nothing left to measure.
+      if (unfinished_count_ == 0 && pending_work_events_ == 0) break;
       const Seconds event_time =
           events_.empty() ? kInf : events_.top().time;
       const Seconds net_horizon = network_.time_to_next_completion();
       const Seconds net_time =
           net_horizon == kInf ? kInf : now_ + net_horizon;
       Seconds next = std::min(event_time, net_time);
-      if (next == kInf && unfinished_jobs() == 0) break;  // failure events only
-      ensure(next < kInf, "simulation stalled: no events, active flows");
+      if (next == kInf) {
+        // Nothing can ever make progress again. With machines down this is
+        // genuine starvation — pending tasks, no capacity, no recovery
+        // coming — so the stranded jobs fail cleanly. Otherwise it is a
+        // simulator bug and must stay loud.
+        ensure(machines_down_ > 0,
+               "simulation stalled: no events, no active flows");
+        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+          if (!jobs_[i].finished) fail_job(static_cast<int>(i));
+        }
+        break;
+      }
       ensure(next >= now_ - kTimeEps, "time went backwards");
-      ensure(next <= config_.max_time, "simulation exceeded max_time");
+      if (next > config_.max_time) throw SimulationTimeout(config_.max_time);
 
       // Batch flow completions within one quantum (never past an event):
       // staggered completions then share a single rate recomputation.
@@ -216,6 +296,9 @@ class Simulator {
       }
 
       if (next > now_) {
+        if (machines_down_ > 0 && unfinished_count_ > 0) {
+          degraded_time_ += next - now_;
+        }
         const auto completed = network_.advance(next - now_);
         now_ = next;
         for (const CompletedFlow& flow : completed) on_flow_complete(flow);
@@ -225,9 +308,17 @@ class Simulator {
       while (!events_.empty() && events_.top().time <= now_ + kTimeEps) {
         const Event event = events_.top();
         events_.pop();
+        if (is_work_event(event.type)) --pending_work_events_;
         process_event(event);
       }
       dispatch();
+    }
+    // The event queue can drain with jobs still stranded (e.g. the whole
+    // cluster died and no recovery was scheduled): fail them cleanly.
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (jobs_[i].finished) continue;
+      ensure(machines_down_ > 0, "run: job did not finish");
+      fail_job(static_cast<int>(i));
     }
 
     SimResult result;
@@ -250,8 +341,17 @@ class Simulator {
       result.makespan = std::max(result.makespan, J.result.finish);
       result.total_cross_rack_bytes += J.result.cross_rack_bytes;
       result.total_compute_hours += J.result.compute_seconds / kHour;
+      result.tasks_killed += J.result.tasks_killed;
+      result.maps_rerun += J.result.maps_rerun;
+      result.speculative_launched += J.result.speculative_launched;
+      result.speculative_wasted_seconds += J.result.speculative_wasted_seconds;
       result.jobs.push_back(std::move(J.result));
     }
+    result.stragglers_injected = stragglers_injected_;
+    result.bytes_rereplicated = bytes_rereplicated_;
+    result.chunks_lost = chunks_lost_;
+    result.jobs_failed = jobs_failed_;
+    result.degraded_time = degraded_time_;
     return result;
   }
 
@@ -265,14 +365,6 @@ class Simulator {
         .stages[static_cast<std::size_t>(stage)];
   }
 
-  int unfinished_jobs() const {
-    int count = 0;
-    for (const JobRuntime& J : jobs_) {
-      if (!J.finished) ++count;
-    }
-    return count;
-  }
-
   void push_event(Event event) {
     // Align event times to the batching quantum (rounding up preserves
     // causality: nothing ever completes early).
@@ -280,6 +372,7 @@ class Simulator {
       event.time = std::ceil(event.time / config_.time_quantum) *
                    config_.time_quantum;
     }
+    if (is_work_event(event.type)) ++pending_work_events_;
     events_.push(event);
   }
 
@@ -291,27 +384,34 @@ class Simulator {
         submit_job(event.job);
         break;
       case Event::Type::kMapCompute: {
+        if (jobs_[static_cast<std::size_t>(event.job)].finished) break;
         StageRuntime& S = stage_rt(event.job, event.stage);
-        // Stale events of a killed attempt are ignored.
-        if (!same_attempt(S.map_attempt[static_cast<std::size_t>(event.task)],
-                          event.attempt & 0xFF)) {
+        // Stale events of a killed attempt are ignored; both the primary
+        // and a live speculative backup count as current.
+        if (!live_map_attempt(event.job, event.stage, S, event.task,
+                              event.attempt & 0xFF)) {
           break;
         }
-        finish_map_task(event.job, event.stage, event.task, event.machine);
+        finish_map_task(event.job, event.stage, event.task, event.machine,
+                        event.attempt & 0xFF);
         break;
       }
       case Event::Type::kReduceCompute: {
+        if (jobs_[static_cast<std::size_t>(event.job)].finished) break;
         StageRuntime& S = stage_rt(event.job, event.stage);
-        if (!same_attempt(
-                S.reduce_attempt[static_cast<std::size_t>(event.task)],
-                event.attempt & 0xFF)) {
+        if (!live_reduce_attempt(event.job, event.stage, S, event.task,
+                                 event.attempt & 0xFF)) {
           break;
         }
-        on_reduce_computed(event.job, event.stage, event.task, event.machine);
+        on_reduce_computed(event.job, event.stage, event.task, event.machine,
+                           event.attempt & 0xFF);
         break;
       }
       case Event::Type::kMachineFailure:
         on_machine_failure(event.machine);
+        break;
+      case Event::Type::kMachineRecover:
+        on_machine_recover(event.machine);
         break;
     }
   }
@@ -339,6 +439,7 @@ class Simulator {
                                       "-input";
         const FileLayout& layout = dfs_.write_file(
             file_name, st.input_bytes, st.num_maps, *placement, rng_);
+        file_job_[file_name] = j;
         J.stages[static_cast<std::size_t>(s)].input_file = &layout;
         layouts.push_back(&layout);
       }
@@ -347,11 +448,15 @@ class Simulator {
     std::vector<int> racks = policy_.allowed_racks(spec, dfs_, layouts, rng_);
     // Fall back to the whole cluster when an assigned rack lost too many
     // machines (§3.1: the RM ignores locality guidelines in that case).
+    // The planned racks are remembered so the constraints can be re-armed
+    // if the rack heals before the job finishes (§7).
+    J.planned_racks = racks;
     for (int r : racks) {
       require(r >= 0 && r < topology_.racks(),
               "submit_job: policy returned bad rack");
       if (!topology_.rack_usable(r, config_.rack_health_threshold)) {
         racks.clear();
+        J.constraints_dropped = true;
         break;
       }
     }
@@ -386,9 +491,11 @@ class Simulator {
     S.map_taken.assign(maps, false);
     S.map_start.assign(maps, 0.0);
     S.map_attempt.assign(maps, 0);
+    S.map_issued.assign(maps, 0);
     S.map_assigned.assign(maps, -1);
     S.map_exec_machine.assign(maps, -1);
     S.reduce_attempt.assign(reduces, 0);
+    S.reduce_issued.assign(reduces, 0);
     S.reduce_assigned.assign(reduces, -1);
     S.reduce_done.assign(reduces, false);
     S.map_output_by_rack.assign(static_cast<std::size_t>(topology_.racks()),
@@ -431,7 +538,6 @@ class Simulator {
   void start_map_task(int j, int s, int task, int machine) {
     JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
     StageRuntime& S = stage_rt(j, s);
-    const MapReduceSpec& spec = stage_spec(j, s);
     const int attempt = S.map_attempt[static_cast<std::size_t>(task)];
     S.map_taken[static_cast<std::size_t>(task)] = true;
     S.map_assigned[static_cast<std::size_t>(task)] = machine;
@@ -440,14 +546,24 @@ class Simulator {
     --slots_free_[static_cast<std::size_t>(machine)];
     S.map_start[static_cast<std::size_t>(task)] = now_;
     if (J.result.first_task_start < 0) J.result.first_task_start = now_;
+    launch_map_attempt(j, s, task, machine, attempt);
+  }
 
+  // Issues the input transfer (or direct compute) of one map attempt —
+  // shared by primary starts and speculative backup launches, which differ
+  // only in their bookkeeping.
+  void launch_map_attempt(int j, int s, int task, int machine, int attempt) {
+    StageRuntime& S = stage_rt(j, s);
+    const MapReduceSpec& spec = stage_spec(j, s);
+    const std::uint64_t key = map_key(j, s, task, attempt);
     const Bytes input_share = spec.input_bytes / spec.num_maps;
-    const Seconds compute = input_share / spec.map_rate;
+    const double slow = draw_straggler();
+    if (slow > 1.0) straggler_factor_[key] = slow;
 
     if (S.remote_input && input_share >= kMinFlowBytes) {
       // Remote storage deployment (§7): stream the split over the storage
       // interconnect, then process.
-      map_machine_[map_key(j, s, task, attempt)] = machine;
+      map_machine_[key] = machine;
       network_.start_storage_flow(
           machine, input_share, 1.0, coflow_id(j, s),
           pack_tag(FlowKind::kMapFetch, attempt, j, s, task));
@@ -459,8 +575,15 @@ class Simulator {
         // then process. (Remote maps pay the transfer in full; locality is
         // exactly what delay scheduling and Corral's placement buy back.)
         const int src = pick_replica(*S.input_file, task, machine);
+        if (src < 0) {
+          // Every replica of the input chunk is gone: the job can never
+          // produce its output. Fail it cleanly.
+          straggler_factor_.erase(key);
+          fail_job(j);
+          return;
+        }
         if (src != machine) {
-          map_machine_[map_key(j, s, task, attempt)] = machine;
+          map_machine_[key] = machine;
           network_.start_flow(FlowDesc{
               src, machine, input_share, 1.0, /*coflow=*/-1,
               pack_tag(FlowKind::kMapFetch, attempt, j, s, task)});
@@ -483,23 +606,47 @@ class Simulator {
       }
       if (flows > 0) {
         // The compute event fires when the *last* fan-in flow finishes.
-        map_fetches_[map_key(j, s, task, attempt)] = flows;
-        map_machine_[map_key(j, s, task, attempt)] = machine;
+        map_fetches_[key] = flows;
+        map_machine_[key] = machine;
         return;
       }
     }
+    const Seconds compute =
+        take_straggler(key) * input_share / spec.map_rate;
     push_event(Event{now_ + compute, next_seq_++, Event::Type::kMapCompute,
                      j, s, task, machine, attempt});
   }
 
-  void finish_map_task(int j, int s, int task, int machine) {
+  void finish_map_task(int j, int s, int task, int machine, int attempt8) {
     JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
     StageRuntime& S = stage_rt(j, s);
     const MapReduceSpec& spec = stage_spec(j, s);
     const int rack = topology_.rack_of(machine);
+    const auto st = static_cast<std::size_t>(task);
+
+    // Speculation: the first finisher wins and the losing attempt is torn
+    // down, its slot time booked as wasted work.
+    const auto bit = map_backups_.find(map_key(j, s, task, 0));
+    if (bit != map_backups_.end()) {
+      const Backup backup = bit->second;
+      map_backups_.erase(bit);
+      if (same_attempt(backup.attempt, attempt8)) {
+        // The backup won: kill the primary and adopt the backup's
+        // bookkeeping as the task's canonical attempt.
+        kill_map_attempt(j, s, task, S.map_attempt[st], S.map_assigned[st],
+                         S.map_start[st]);
+        S.map_attempt[st] = backup.attempt;
+        S.map_assigned[st] = backup.machine;
+        S.map_start[st] = backup.start;
+      } else {
+        kill_map_attempt(j, s, task, backup.attempt, backup.machine,
+                         backup.start);
+      }
+    }
 
     J.result.compute_seconds +=
         now_ - S.map_start[static_cast<std::size_t>(task)];
+    S.map_duration_total += now_ - S.map_start[static_cast<std::size_t>(task)];
     S.map_assigned[static_cast<std::size_t>(task)] = -1;
     S.map_exec_machine[static_cast<std::size_t>(task)] = machine;
     ++S.maps_done;
@@ -537,8 +684,6 @@ class Simulator {
       return;
     }
     S.state = StageState::kReducing;
-    S.reduce_pending_flows.assign(
-        static_cast<std::size_t>(spec.num_reduces), 0);
     if (S.reduce_start.empty()) {
       S.reduce_start.assign(static_cast<std::size_t>(spec.num_reduces), 0.0);
     }
@@ -558,7 +703,6 @@ class Simulator {
   void start_reduce_task(int j, int s, int task, int machine) {
     JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
     StageRuntime& S = stage_rt(j, s);
-    const MapReduceSpec& spec = stage_spec(j, s);
     const int attempt = S.reduce_attempt[static_cast<std::size_t>(task)];
     --S.reduces_pending;
     --J.pending_tasks;
@@ -566,6 +710,18 @@ class Simulator {
     S.reduce_assigned[static_cast<std::size_t>(task)] = machine;
     S.reduce_start[static_cast<std::size_t>(task)] = now_;
     if (J.result.first_task_start < 0) J.result.first_task_start = now_;
+    launch_reduce_attempt(j, s, task, machine, attempt);
+  }
+
+  // Issues the shuffle fetch (or direct compute) of one reduce attempt —
+  // shared by primary starts and speculative backup launches.
+  void launch_reduce_attempt(int j, int s, int task, int machine,
+                             int attempt) {
+    StageRuntime& S = stage_rt(j, s);
+    const MapReduceSpec& spec = stage_spec(j, s);
+    const std::uint64_t key = reduce_key(j, s, task, attempt);
+    const double slow = draw_straggler();
+    if (slow > 1.0) straggler_factor_[key] = slow;
 
     // Fetch this reduce's share of every rack's map output. Width = number
     // of machines that produced map output there, approximating the
@@ -583,28 +739,47 @@ class Simulator {
           pack_tag(FlowKind::kReduceFetch, attempt, j, s, task));
       ++flows;
     }
-    S.reduce_pending_flows[static_cast<std::size_t>(task)] = flows;
     if (flows == 0) {
-      schedule_reduce_compute(j, s, task, machine);
+      schedule_reduce_compute(j, s, task, machine, attempt);
     } else {
-      reduce_machine_[reduce_key(j, s, task, attempt)] = machine;
+      reduce_fetches_[key] = flows;
+      reduce_machine_[key] = machine;
     }
   }
 
-  void schedule_reduce_compute(int j, int s, int task, int machine) {
-    StageRuntime& S = stage_rt(j, s);
+  void schedule_reduce_compute(int j, int s, int task, int machine,
+                               int attempt) {
     const MapReduceSpec& spec = stage_spec(j, s);
     const Seconds compute =
+        take_straggler(reduce_key(j, s, task, attempt)) *
         (spec.output_bytes / spec.num_reduces) / spec.reduce_rate;
     push_event(Event{now_ + compute, next_seq_++,
                      Event::Type::kReduceCompute, j, s, task, machine,
-                     S.reduce_attempt[static_cast<std::size_t>(task)]});
+                     attempt});
   }
 
-  void on_reduce_computed(int j, int s, int task, int machine) {
+  void on_reduce_computed(int j, int s, int task, int machine, int attempt8) {
     StageRuntime& S = stage_rt(j, s);
     const MapReduceSpec& spec = stage_spec(j, s);
     const int rack = topology_.rack_of(machine);
+    const auto st = static_cast<std::size_t>(task);
+
+    // Speculation winner resolution (see finish_map_task).
+    const auto bit = reduce_backups_.find(reduce_key(j, s, task, 0));
+    if (bit != reduce_backups_.end()) {
+      const Backup backup = bit->second;
+      reduce_backups_.erase(bit);
+      if (same_attempt(backup.attempt, attempt8)) {
+        kill_reduce_attempt(j, s, task, S.reduce_attempt[st],
+                            S.reduce_assigned[st], S.reduce_start[st]);
+        S.reduce_attempt[st] = backup.attempt;
+        S.reduce_assigned[st] = backup.machine;
+        S.reduce_start[st] = backup.start;
+      } else {
+        kill_reduce_attempt(j, s, task, backup.attempt, backup.machine,
+                            backup.start);
+      }
+    }
     // First output replica is written locally.
     S.output_by_rack[static_cast<std::size_t>(rack)] +=
         spec.output_bytes / spec.num_reduces;
@@ -635,6 +810,7 @@ class Simulator {
         now_ - S.reduce_start[static_cast<std::size_t>(task)];
     J.result.compute_seconds += duration;
     J.result.reduce_durations.push_back(duration);
+    S.reduce_duration_total += duration;
     S.reduce_assigned[static_cast<std::size_t>(task)] = -1;
     S.reduce_done[static_cast<std::size_t>(task)] = true;
     ++S.reduces_done;
@@ -654,41 +830,128 @@ class Simulator {
     if (J.stages_done == static_cast<int>(J.spec->stages.size())) {
       J.finished = true;
       J.result.finish = now_;
+      --unfinished_count_;
       active_jobs_.erase(
           std::find(active_jobs_.begin(), active_jobs_.end(), j));
     }
   }
 
+  // Aborts a job that can no longer finish (input data lost or a task out
+  // of retries): frees every slot its live attempts occupy, purges their
+  // bookkeeping, tears down its transfers, and records the failure.
+  void fail_job(int j) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    if (J.finished) return;
+    J.finished = true;
+    J.result.failed = true;
+    J.result.finish = now_;
+    ++jobs_failed_;
+    --unfinished_count_;
+    const auto pos = std::find(active_jobs_.begin(), active_jobs_.end(), j);
+    if (pos != active_jobs_.end()) active_jobs_.erase(pos);
+
+    for (std::size_t si = 0; si < J.stages.size(); ++si) {
+      StageRuntime& S = J.stages[si];
+      const int s = static_cast<int>(si);
+      for (std::size_t t = 0; t < S.map_assigned.size(); ++t) {
+        const int m = S.map_assigned[t];
+        if (m < 0) continue;
+        const std::uint64_t key =
+            map_key(j, s, static_cast<int>(t), S.map_attempt[t]);
+        map_fetches_.erase(key);
+        map_machine_.erase(key);
+        straggler_factor_.erase(key);
+        S.map_assigned[t] = -1;
+        if (topology_.is_up(m)) free_slot(m);
+      }
+      for (std::size_t t = 0; t < S.reduce_assigned.size(); ++t) {
+        const int m = S.reduce_assigned[t];
+        if (m < 0) continue;
+        const std::uint64_t key =
+            reduce_key(j, s, static_cast<int>(t), S.reduce_attempt[t]);
+        reduce_fetches_.erase(key);
+        reduce_machine_.erase(key);
+        straggler_factor_.erase(key);
+        S.reduce_assigned[t] = -1;
+        if (topology_.is_up(m)) free_slot(m);
+      }
+    }
+    // Backup attempts (their keys carry the owning job id).
+    for (auto it = map_backups_.begin(); it != map_backups_.end();) {
+      if (tag_job(it->first) != j) {
+        ++it;
+        continue;
+      }
+      const std::uint64_t key = map_key(j, tag_stage(it->first),
+                                        tag_task(it->first),
+                                        it->second.attempt);
+      map_fetches_.erase(key);
+      map_machine_.erase(key);
+      straggler_factor_.erase(key);
+      if (topology_.is_up(it->second.machine)) free_slot(it->second.machine);
+      it = map_backups_.erase(it);
+    }
+    for (auto it = reduce_backups_.begin(); it != reduce_backups_.end();) {
+      if (tag_job(it->first) != j) {
+        ++it;
+        continue;
+      }
+      const std::uint64_t key = reduce_key(j, tag_stage(it->first),
+                                           tag_task(it->first),
+                                           it->second.attempt);
+      reduce_fetches_.erase(key);
+      reduce_machine_.erase(key);
+      straggler_factor_.erase(key);
+      if (topology_.is_up(it->second.machine)) free_slot(it->second.machine);
+      it = reduce_backups_.erase(it);
+    }
+    J.pending_tasks = 0;
+    network_.cancel_flows_if([&](const Flow& flow) {
+      return tag_kind(flow.tag) != FlowKind::kRereplicate &&
+             tag_job(flow.tag) == j;
+    });
+    new_work_ = true;
+  }
+
   // ----------------------------------------------------------------- flows
 
   void on_flow_complete(const CompletedFlow& flow) {
+    if (tag_kind(flow.tag) == FlowKind::kRereplicate) {
+      // Background healing: the lost replica is whole again.
+      const auto it = rereps_.find(flow.tag);
+      if (it == rereps_.end()) return;
+      bytes_rereplicated_ += flow.bytes;
+      dfs_.add_replica(it->second.file, it->second.chunk, it->second.dst);
+      rereps_.erase(it);
+      return;
+    }
     const int j = tag_job(flow.tag);
     const int s = tag_stage(flow.tag);
     const int task = tag_task(flow.tag);
     const int attempt = tag_attempt(flow.tag);
     JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    if (J.finished) return;
     if (flow.cross_rack) J.result.cross_rack_bytes += flow.bytes;
 
     switch (tag_kind(flow.tag)) {
       case FlowKind::kMapFetch: {
         StageRuntime& S = stage_rt(j, s);
-        if (!same_attempt(S.map_attempt[static_cast<std::size_t>(task)],
-                          attempt)) {
-          break;
-        }
+        if (!live_map_attempt(j, s, S, task, attempt)) break;
         const MapReduceSpec& spec = stage_spec(j, s);
-        const auto fetch_it = map_fetches_.find(map_key(j, s, task, attempt));
+        const std::uint64_t key = map_key(j, s, task, attempt);
+        const auto fetch_it = map_fetches_.find(key);
         if (fetch_it != map_fetches_.end()) {
           if (--fetch_it->second > 0) return;  // fan-in flows outstanding
           map_fetches_.erase(fetch_it);
         }
         // The fetch is complete; the task now processes its input.
-        const auto it = map_machine_.find(map_key(j, s, task, attempt));
+        const auto it = map_machine_.find(key);
         ensure(it != map_machine_.end(), "unknown running map");
         const int machine = it->second;
         map_machine_.erase(it);
-        const Seconds compute =
-            (spec.input_bytes / spec.num_maps) / spec.map_rate;
+        const Seconds compute = take_straggler(key) *
+                                (spec.input_bytes / spec.num_maps) /
+                                spec.map_rate;
         push_event(Event{now_ + compute, next_seq_++,
                          Event::Type::kMapCompute, j, s, task, machine,
                          attempt});
@@ -696,19 +959,19 @@ class Simulator {
       }
       case FlowKind::kReduceFetch: {
         StageRuntime& S = stage_rt(j, s);
-        if (!same_attempt(
-                S.reduce_attempt[static_cast<std::size_t>(task)], attempt)) {
-          break;
-        }
-        if (--S.reduce_pending_flows[static_cast<std::size_t>(task)] == 0) {
-          const auto it =
-              reduce_machine_.find(reduce_key(j, s, task, attempt));
-          ensure(it != reduce_machine_.end(),
-                 "reduce fetch finished for unknown task");
-          const int machine = it->second;
-          reduce_machine_.erase(it);
-          schedule_reduce_compute(j, s, task, machine);
-        }
+        if (!live_reduce_attempt(j, s, S, task, attempt)) break;
+        const std::uint64_t key = reduce_key(j, s, task, attempt);
+        const auto fetch_it = reduce_fetches_.find(key);
+        ensure(fetch_it != reduce_fetches_.end(),
+               "reduce fetch finished for unknown task");
+        if (--fetch_it->second > 0) break;
+        reduce_fetches_.erase(fetch_it);
+        const auto it = reduce_machine_.find(key);
+        ensure(it != reduce_machine_.end(),
+               "reduce fetch finished for unknown task");
+        const int machine = it->second;
+        reduce_machine_.erase(it);
+        schedule_reduce_compute(j, s, task, machine, attempt);
         break;
       }
       case FlowKind::kWriteRemote: {
@@ -723,6 +986,8 @@ class Simulator {
         reduce_machine_.erase(it);
         break;
       }
+      case FlowKind::kRereplicate:
+        break;  // handled above
     }
   }
 
@@ -736,15 +1001,29 @@ class Simulator {
   void on_machine_failure(int machine) {
     if (!topology_.is_up(machine)) return;
     topology_.fail_machine(machine);
+    ++machines_down_;
     slots_free_[static_cast<std::size_t>(machine)] = 0;
     const int machine_rack = topology_.rack_of(machine);
+
+    // Durable rack degradation: notify the policy once per transition so
+    // planning policies can repair their plan for unstarted jobs (§7).
+    if (rack_usable_[static_cast<std::size_t>(machine_rack)] &&
+        !topology_.rack_usable(machine_rack, config_.rack_health_threshold)) {
+      rack_usable_[static_cast<std::size_t>(machine_rack)] = false;
+      policy_.on_rack_degraded(machine_rack, topology_, now_);
+    }
+
+    // Kill speculative backups running on the dead machine first, so the
+    // per-job scan below sees only live backups when deciding promotions.
+    kill_backups_on(machine, map_backups_, map_fetches_, true);
+    kill_backups_on(machine, reduce_backups_, reduce_fetches_, false);
 
     for (std::size_t ji = 0; ji < jobs_.size(); ++ji) {
       JobRuntime& J = jobs_[ji];
       if (J.finished) continue;
       const int j = static_cast<int>(ji);
 
-      // Constraint fallback (§3.1).
+      // Constraint fallback (§3.1); remembered for re-arming on recovery.
       if (!J.allowed_racks.empty() &&
           std::find(J.allowed_racks.begin(), J.allowed_racks.end(),
                     machine_rack) != J.allowed_racks.end() &&
@@ -753,9 +1032,10 @@ class Simulator {
         J.allowed_racks.clear();
         J.rack_allowed.assign(static_cast<std::size_t>(topology_.racks()),
                               true);
+        J.constraints_dropped = true;
       }
 
-      for (std::size_t si = 0; si < J.stages.size(); ++si) {
+      for (std::size_t si = 0; si < J.stages.size() && !J.finished; ++si) {
         StageRuntime& S = J.stages[si];
         if (S.state != StageState::kMapping &&
             S.state != StageState::kReducing) {
@@ -764,9 +1044,28 @@ class Simulator {
         const int s = static_cast<int>(si);
         const MapReduceSpec& spec = stage_spec(j, s);
 
-        // Kill maps running on the dead machine.
-        for (int t = 0; t < spec.num_maps; ++t) {
-          if (S.map_assigned[static_cast<std::size_t>(t)] == machine) {
+        // Kill maps running on the dead machine. A task whose backup
+        // survives elsewhere is not rescheduled: the backup is promoted to
+        // primary and keeps running.
+        for (int t = 0; t < spec.num_maps && !J.finished; ++t) {
+          if (S.map_assigned[static_cast<std::size_t>(t)] != machine) {
+            continue;
+          }
+          ++J.result.tasks_killed;
+          const auto bit = map_backups_.find(map_key(j, s, t, 0));
+          if (bit != map_backups_.end() &&
+              topology_.is_up(bit->second.machine)) {
+            const Backup backup = bit->second;
+            map_backups_.erase(bit);
+            const std::uint64_t key =
+                map_key(j, s, t, S.map_attempt[static_cast<std::size_t>(t)]);
+            map_fetches_.erase(key);
+            map_machine_.erase(key);
+            straggler_factor_.erase(key);
+            S.map_attempt[static_cast<std::size_t>(t)] = backup.attempt;
+            S.map_assigned[static_cast<std::size_t>(t)] = backup.machine;
+            S.map_start[static_cast<std::size_t>(t)] = backup.start;
+          } else {
             requeue_map(j, s, t, /*release_slot=*/false);
           }
         }
@@ -774,8 +1073,9 @@ class Simulator {
         // Lost map outputs: the machine held completed maps' intermediate
         // data that reduces have not fully consumed yet.
         const auto lost_it = S.maps_on_machine.find(machine);
-        if (lost_it != S.maps_on_machine.end() && lost_it->second > 0) {
-          for (int t = 0; t < spec.num_maps; ++t) {
+        if (!J.finished && lost_it != S.maps_on_machine.end() &&
+            lost_it->second > 0) {
+          for (int t = 0; t < spec.num_maps && !J.finished; ++t) {
             if (S.map_exec_machine[static_cast<std::size_t>(t)] != machine) {
               continue;
             }
@@ -785,27 +1085,66 @@ class Simulator {
               S.map_output_by_rack[static_cast<std::size_t>(machine_rack)] -=
                   spec.shuffle_bytes / spec.num_maps;
             }
+            ++J.result.maps_rerun;
             requeue_map(j, s, t, /*release_slot=*/false);
           }
-          S.maps_on_machine.erase(machine);
-          S.map_machines_by_rack[static_cast<std::size_t>(machine_rack)]
-              .erase(machine);
-
-          if (S.state == StageState::kReducing) {
-            demote_to_mapping(j, s);
+          if (!J.finished) {
+            S.maps_on_machine.erase(machine);
+            S.map_machines_by_rack[static_cast<std::size_t>(machine_rack)]
+                .erase(machine);
+            if (S.state == StageState::kReducing) {
+              demote_to_mapping(j, s);
+            }
           }
         }
 
         // Kill reduces running on the dead machine (if the stage is still
         // reducing after the possible demotion, or was untouched above).
-        if (S.state == StageState::kReducing) {
-          for (int t = 0; t < spec.num_reduces; ++t) {
-            if (S.reduce_assigned[static_cast<std::size_t>(t)] == machine) {
+        // Backup promotion works exactly as for maps.
+        if (!J.finished && S.state == StageState::kReducing) {
+          for (int t = 0; t < spec.num_reduces && !J.finished; ++t) {
+            if (S.reduce_assigned[static_cast<std::size_t>(t)] != machine) {
+              continue;
+            }
+            ++J.result.tasks_killed;
+            const auto bit = reduce_backups_.find(reduce_key(j, s, t, 0));
+            if (bit != reduce_backups_.end() &&
+                topology_.is_up(bit->second.machine)) {
+              const Backup backup = bit->second;
+              reduce_backups_.erase(bit);
+              const std::uint64_t key = reduce_key(
+                  j, s, t, S.reduce_attempt[static_cast<std::size_t>(t)]);
+              reduce_fetches_.erase(key);
+              reduce_machine_.erase(key);
+              straggler_factor_.erase(key);
+              S.reduce_attempt[static_cast<std::size_t>(t)] = backup.attempt;
+              S.reduce_assigned[static_cast<std::size_t>(t)] = backup.machine;
+              S.reduce_start[static_cast<std::size_t>(t)] = backup.start;
+            } else {
               requeue_reduce(j, s, t, /*release_slot=*/false);
             }
           }
         }
       }
+    }
+
+    // A fail-stop crash loses the disk: DFS replicas stored there are gone.
+    // Chunks left with surviving copies are queued for background healing;
+    // chunks losing their last copy are permanently lost (jobs depending on
+    // them fail when they next try to read).
+    const auto lost = dfs_.drop_replicas_on(machine);
+    for (const LostReplica& replica : lost) {
+      if (replica.remaining == 0) {
+        ++chunks_lost_;
+        continue;
+      }
+      if (!config_.enable_rereplication) continue;
+      const auto owner = file_job_.find(replica.file);
+      if (owner != file_job_.end() &&
+          jobs_[static_cast<std::size_t>(owner->second)].finished) {
+        continue;  // nobody will read this input again
+      }
+      schedule_rereplication(replica.file, replica.chunk, replica.bytes);
     }
 
     // Tear down every transfer touching the dead machine, plus any stale
@@ -824,19 +1163,94 @@ class Simulator {
     new_work_ = true;
   }
 
+  // A machine rejoins the cluster with an empty disk: its slots return to
+  // the pool, and Corral constraints dropped during the outage are re-armed
+  // for jobs whose assigned racks are all healthy again (§7).
+  void on_machine_recover(int machine) {
+    if (topology_.is_up(machine)) return;
+    topology_.restore_machine(machine);
+    --machines_down_;
+    slots_free_[static_cast<std::size_t>(machine)] =
+        config_.cluster.slots_per_machine;
+    const int rack = topology_.rack_of(machine);
+    if (!rack_usable_[static_cast<std::size_t>(rack)] &&
+        topology_.rack_usable(rack, config_.rack_health_threshold)) {
+      rack_usable_[static_cast<std::size_t>(rack)] = true;
+      rearm_constraints();
+      policy_.on_rack_recovered(rack, topology_, now_);
+    }
+    new_work_ = true;
+  }
+
+  void rearm_constraints() {
+    for (JobRuntime& J : jobs_) {
+      if (J.finished || !J.constraints_dropped || J.planned_racks.empty()) {
+        continue;
+      }
+      bool all_usable = true;
+      for (int r : J.planned_racks) {
+        all_usable =
+            all_usable &&
+            topology_.rack_usable(r, config_.rack_health_threshold);
+      }
+      if (!all_usable) continue;
+      J.allowed_racks = J.planned_racks;
+      J.rack_allowed.assign(static_cast<std::size_t>(topology_.racks()),
+                            false);
+      for (int r : J.allowed_racks) {
+        J.rack_allowed[static_cast<std::size_t>(r)] = true;
+      }
+      J.constraints_dropped = false;
+    }
+  }
+
+  // Kills every backup attempt hosted on a dead machine. The matching flows
+  // terminate at the machine and are torn down by the caller's path-based
+  // cancellation pass.
+  void kill_backups_on(int machine,
+                       std::unordered_map<std::uint64_t, Backup>& backups,
+                       std::unordered_map<std::uint64_t, int>& fetches,
+                       bool is_map) {
+    for (auto it = backups.begin(); it != backups.end();) {
+      if (it->second.machine != machine) {
+        ++it;
+        continue;
+      }
+      const int j = tag_job(it->first);
+      const int s = tag_stage(it->first);
+      const int t = tag_task(it->first);
+      JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+      J.result.speculative_wasted_seconds += now_ - it->second.start;
+      ++J.result.tasks_killed;
+      const std::uint64_t key = is_map
+                                    ? map_key(j, s, t, it->second.attempt)
+                                    : reduce_key(j, s, t, it->second.attempt);
+      fetches.erase(key);
+      map_machine_.erase(key);
+      reduce_machine_.erase(key);
+      straggler_factor_.erase(key);
+      it = backups.erase(it);
+    }
+  }
+
   // True when the flow belongs to a task attempt that has been superseded.
   bool is_stale(std::uint64_t tag) {
+    if (tag_kind(tag) == FlowKind::kRereplicate) return false;
     const int j = tag_job(tag);
     const int s = tag_stage(tag);
     const int task = tag_task(tag);
     const int attempt = tag_attempt(tag);
+    if (jobs_[static_cast<std::size_t>(j)].finished) return true;
     StageRuntime& S = stage_rt(j, s);
-    if (tag_kind(tag) == FlowKind::kMapFetch) {
-      return !same_attempt(S.map_attempt[static_cast<std::size_t>(task)],
-                           attempt);
+    switch (tag_kind(tag)) {
+      case FlowKind::kMapFetch:
+        return !live_map_attempt(j, s, S, task, attempt);
+      case FlowKind::kReduceFetch:
+        return !live_reduce_attempt(j, s, S, task, attempt);
+      default:
+        return !same_attempt(
+            S.reduce_attempt[static_cast<std::size_t>(task)], attempt);
     }
-    return !same_attempt(S.reduce_attempt[static_cast<std::size_t>(task)],
-                         attempt);
   }
 
   // Reacts to a flow the failure handler tore down. Flows of killed tasks
@@ -844,6 +1258,21 @@ class Simulator {
   // remote endpoint (a replica source or a write target) and the task is
   // restarted or its write re-issued.
   void on_flow_cancelled(const Flow& flow, int dead_machine) {
+    if (tag_kind(flow.tag) == FlowKind::kRereplicate) {
+      // A healing transfer lost its source or target: retry from the
+      // surviving replicas (with a fresh random target).
+      const auto it = rereps_.find(flow.tag);
+      if (it == rereps_.end()) return;
+      const Rerep info = it->second;
+      rereps_.erase(it);
+      const auto owner = file_job_.find(info.file);
+      if (owner != file_job_.end() &&
+          jobs_[static_cast<std::size_t>(owner->second)].finished) {
+        return;
+      }
+      schedule_rereplication(info.file, info.chunk, flow.total);
+      return;
+    }
     const int j = tag_job(flow.tag);
     const int s = tag_stage(flow.tag);
     const int task = tag_task(flow.tag);
@@ -851,30 +1280,50 @@ class Simulator {
     StageRuntime& S = stage_rt(j, s);
 
     switch (tag_kind(flow.tag)) {
+      case FlowKind::kRereplicate:
+        break;  // handled above
       case FlowKind::kMapFetch: {
-        map_fetches_.erase(map_key(j, s, task, attempt));
-        if (!same_attempt(S.map_attempt[static_cast<std::size_t>(task)],
-                          attempt)) {
-          map_machine_.erase(map_key(j, s, task, attempt));
-          break;  // task already killed
+        const std::uint64_t key = map_key(j, s, task, attempt);
+        map_fetches_.erase(key);
+        map_machine_.erase(key);
+        if (same_attempt(S.map_attempt[static_cast<std::size_t>(task)],
+                         attempt)) {
+          // The replica source died while a live map was streaming from
+          // it: restart the map (it re-picks a healthy replica), freeing
+          // its still-healthy slot.
+          ++jobs_[static_cast<std::size_t>(j)].result.tasks_killed;
+          requeue_map(j, s, task, /*release_slot=*/true);
+          break;
         }
-        // The replica source died while a live map was streaming from it:
-        // restart the map (it re-picks a healthy replica), freeing its
-        // still-healthy slot.
-        map_machine_.erase(map_key(j, s, task, attempt));
-        requeue_map(j, s, task, /*release_slot=*/true);
+        const auto bit = map_backups_.find(map_key(j, s, task, 0));
+        if (bit != map_backups_.end() &&
+            same_attempt(bit->second.attempt, attempt)) {
+          // A live backup lost its replica source: abandon the backup (the
+          // primary is still running).
+          JobRuntime& owner = jobs_[static_cast<std::size_t>(j)];
+          owner.result.speculative_wasted_seconds +=
+              now_ - bit->second.start;
+          ++owner.result.tasks_killed;
+          straggler_factor_.erase(key);
+          if (topology_.is_up(bit->second.machine)) {
+            free_slot(bit->second.machine);
+          }
+          map_backups_.erase(bit);
+        }
         break;
       }
       case FlowKind::kReduceFetch: {
+        const std::uint64_t key = reduce_key(j, s, task, attempt);
+        reduce_fetches_.erase(key);
         if (!same_attempt(
                 S.reduce_attempt[static_cast<std::size_t>(task)], attempt)) {
-          reduce_machine_.erase(reduce_key(j, s, task, attempt));
+          reduce_machine_.erase(key);
           break;
         }
         // Fan-in flows only die with their destination, so a live attempt
         // here means its machine just failed but the per-stage scan has not
         // killed it (ordering safety net).
-        reduce_machine_.erase(reduce_key(j, s, task, attempt));
+        reduce_machine_.erase(key);
         requeue_reduce(j, s, task, /*release_slot=*/false);
         break;
       }
@@ -905,40 +1354,57 @@ class Simulator {
 
   // Returns a killed or source-less task to the pending queue under a new
   // attempt number. `release_slot` frees the slot it occupied (only when
-  // the machine itself is still healthy).
+  // the machine itself is still healthy). Fails the job once the task has
+  // burned through its retry budget.
   void requeue_map(int j, int s, int task, bool release_slot) {
     JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    if (J.finished) return;
     StageRuntime& S = stage_rt(j, s);
-    const int machine = S.map_assigned[static_cast<std::size_t>(task)];
-    const int attempt = S.map_attempt[static_cast<std::size_t>(task)];
-    map_fetches_.erase(map_key(j, s, task, attempt));
-    map_machine_.erase(map_key(j, s, task, attempt));
-    S.map_assigned[static_cast<std::size_t>(task)] = -1;
-    ++S.map_attempt[static_cast<std::size_t>(task)];
-    S.map_taken[static_cast<std::size_t>(task)] = false;
-    S.map_queue.push_back(task);
-    ++S.maps_pending;
-    ++J.pending_tasks;
+    const std::size_t st = static_cast<std::size_t>(task);
+    const int machine = S.map_assigned[st];
+    const int attempt = S.map_attempt[st];
+    const std::uint64_t key = map_key(j, s, task, attempt);
+    map_fetches_.erase(key);
+    map_machine_.erase(key);
+    straggler_factor_.erase(key);
+    S.map_assigned[st] = -1;
     if (release_slot && machine >= 0 && topology_.is_up(machine)) {
       free_slot(machine);
     }
+    if (S.map_issued[st] >= config_.max_task_retries) {
+      fail_job(j);
+      return;
+    }
+    S.map_attempt[st] = ++S.map_issued[st];
+    S.map_taken[st] = false;
+    S.map_queue.push_back(task);
+    ++S.maps_pending;
+    ++J.pending_tasks;
   }
 
   void requeue_reduce(int j, int s, int task, bool release_slot) {
     JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    if (J.finished) return;
     StageRuntime& S = stage_rt(j, s);
-    const int machine = S.reduce_assigned[static_cast<std::size_t>(task)];
-    const int attempt = S.reduce_attempt[static_cast<std::size_t>(task)];
-    reduce_machine_.erase(reduce_key(j, s, task, attempt));
-    S.reduce_assigned[static_cast<std::size_t>(task)] = -1;
-    ++S.reduce_attempt[static_cast<std::size_t>(task)];
-    S.reduce_pending_flows[static_cast<std::size_t>(task)] = 0;
-    S.reduce_queue.push_back(task);
-    ++S.reduces_pending;
-    ++J.pending_tasks;
+    const std::size_t st = static_cast<std::size_t>(task);
+    const int machine = S.reduce_assigned[st];
+    const int attempt = S.reduce_attempt[st];
+    const std::uint64_t key = reduce_key(j, s, task, attempt);
+    reduce_machine_.erase(key);
+    reduce_fetches_.erase(key);
+    straggler_factor_.erase(key);
+    S.reduce_assigned[st] = -1;
     if (release_slot && machine >= 0 && topology_.is_up(machine)) {
       free_slot(machine);
     }
+    if (S.reduce_issued[st] >= config_.max_task_retries) {
+      fail_job(j);
+      return;
+    }
+    S.reduce_attempt[st] = ++S.reduce_issued[st];
+    S.reduce_queue.push_back(task);
+    ++S.reduces_pending;
+    ++J.pending_tasks;
   }
 
   // Sends a reducing stage back to the map phase after intermediate data
@@ -950,13 +1416,26 @@ class Simulator {
     StageRuntime& S = stage_rt(j, s);
     const MapReduceSpec& spec = stage_spec(j, s);
     for (int t = 0; t < spec.num_reduces; ++t) {
-      const int machine = S.reduce_assigned[static_cast<std::size_t>(t)];
+      const std::size_t st = static_cast<std::size_t>(t);
+      // Speculative backups fetch the same lost outputs: kill them too.
+      const auto bit = reduce_backups_.find(reduce_key(j, s, t, 0));
+      if (bit != reduce_backups_.end()) {
+        const Backup backup = bit->second;
+        reduce_backups_.erase(bit);
+        ++J.result.tasks_killed;
+        kill_reduce_attempt(j, s, t, backup.attempt, backup.machine,
+                            backup.start);
+      }
+      const int machine = S.reduce_assigned[st];
       if (machine >= 0) {
-        const int attempt = S.reduce_attempt[static_cast<std::size_t>(t)];
-        reduce_machine_.erase(reduce_key(j, s, t, attempt));
-        S.reduce_assigned[static_cast<std::size_t>(t)] = -1;
-        ++S.reduce_attempt[static_cast<std::size_t>(t)];
-        S.reduce_pending_flows[static_cast<std::size_t>(t)] = 0;
+        const int attempt = S.reduce_attempt[st];
+        const std::uint64_t key = reduce_key(j, s, t, attempt);
+        reduce_machine_.erase(key);
+        reduce_fetches_.erase(key);
+        straggler_factor_.erase(key);
+        S.reduce_assigned[st] = -1;
+        S.reduce_attempt[st] = ++S.reduce_issued[st];
+        ++J.result.tasks_killed;
         if (topology_.is_up(machine)) free_slot(machine);
       }
     }
@@ -1038,6 +1517,9 @@ class Simulator {
         // Fall through to the next job; this one is waiting for locality.
       }
     }
+    // No queued work wants this slot: consider a speculative backup for a
+    // straggling task (Hadoop-style, only on otherwise-idle capacity).
+    if (config_.enable_speculation && try_speculate(machine)) return true;
     return false;
   }
 
@@ -1076,6 +1558,8 @@ class Simulator {
     return pack_tag(FlowKind::kReduceFetch, attempt, j, s, task);
   }
 
+  // Returns a healthy replica host (rack-local preferred), or -1 when every
+  // replica of the chunk is gone — the caller fails the job.
   int pick_replica(const FileLayout& file, int chunk, int machine) const {
     const auto& replicas =
         file.chunks[static_cast<std::size_t>(chunk)].machines;
@@ -1086,7 +1570,6 @@ class Simulator {
       if (topology_.rack_of(m) == rack) return m;
       if (any_healthy < 0) any_healthy = m;
     }
-    require(any_healthy >= 0, "pick_replica: all replicas failed");
     return any_healthy;
   }
 
@@ -1112,6 +1595,217 @@ class Simulator {
     freed_machines_.push_back(machine);
   }
 
+  // ----------------------------------------------------------- speculation
+
+  // An event (or flow) belongs to a live attempt when it matches either the
+  // task's current primary attempt or its speculative backup; anything else
+  // is a stale remnant of a killed attempt.
+  bool live_map_attempt(int j, int s, const StageRuntime& S, int task,
+                        int attempt8) const {
+    if (same_attempt(S.map_attempt[static_cast<std::size_t>(task)],
+                     attempt8)) {
+      return true;
+    }
+    const auto it = map_backups_.find(map_key(j, s, task, 0));
+    return it != map_backups_.end() &&
+           same_attempt(it->second.attempt, attempt8);
+  }
+
+  bool live_reduce_attempt(int j, int s, const StageRuntime& S, int task,
+                           int attempt8) const {
+    if (same_attempt(S.reduce_attempt[static_cast<std::size_t>(task)],
+                     attempt8)) {
+      return true;
+    }
+    const auto it = reduce_backups_.find(reduce_key(j, s, task, 0));
+    return it != reduce_backups_.end() &&
+           same_attempt(it->second.attempt, attempt8);
+  }
+
+  // Tears down one losing (or orphaned) map attempt: books its run time as
+  // wasted work, purges its keyed state, cancels its flows, and frees its
+  // slot if the host is still alive.
+  void kill_map_attempt(int j, int s, int task, int attempt, int machine,
+                        Seconds start) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    J.result.speculative_wasted_seconds += now_ - start;
+    const std::uint64_t key = map_key(j, s, task, attempt);
+    map_fetches_.erase(key);
+    map_machine_.erase(key);
+    straggler_factor_.erase(key);
+    network_.cancel_flows_if(
+        [&](const Flow& flow) { return flow.tag == key; });
+    if (machine >= 0 && topology_.is_up(machine)) free_slot(machine);
+  }
+
+  void kill_reduce_attempt(int j, int s, int task, int attempt, int machine,
+                           Seconds start) {
+    JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+    J.result.speculative_wasted_seconds += now_ - start;
+    const std::uint64_t key = reduce_key(j, s, task, attempt);
+    reduce_fetches_.erase(key);
+    reduce_machine_.erase(key);
+    straggler_factor_.erase(key);
+    const std::uint64_t write_tag =
+        pack_tag(FlowKind::kWriteRemote, attempt, j, s, task);
+    network_.cancel_flows_if([&](const Flow& flow) {
+      return flow.tag == key || flow.tag == write_tag;
+    });
+    if (machine >= 0 && topology_.is_up(machine)) free_slot(machine);
+  }
+
+  // Hadoop-style speculative execution: when a slot would otherwise idle,
+  // launch a backup copy of the longest-straggling attempt. At most one
+  // backup per task, never on the primary's own machine, bounded per job by
+  // speculation_cap, and only once a stage has finished tasks to calibrate
+  // the expected duration against.
+  bool try_speculate(int machine) {
+    const int rack = topology_.rack_of(machine);
+    for (int j : active_jobs_) {
+      JobRuntime& J = jobs_[static_cast<std::size_t>(j)];
+      if (!J.rack_allowed[static_cast<std::size_t>(rack)]) continue;
+      const int budget = std::max(
+          1, static_cast<int>(config_.speculation_cap * J.total_tasks));
+      if (J.result.speculative_launched >= budget) continue;
+      for (std::size_t si = 0; si < J.stages.size(); ++si) {
+        StageRuntime& S = J.stages[si];
+        const int s = static_cast<int>(si);
+        if (S.state == StageState::kMapping && S.maps_done > 0) {
+          const Seconds mean = S.map_duration_total / S.maps_done;
+          const Seconds threshold =
+              std::max(config_.speculation_min_runtime,
+                       config_.speculation_slowdown * mean);
+          int best = -1;
+          Seconds best_age = threshold;
+          for (std::size_t t = 0; t < S.map_assigned.size(); ++t) {
+            if (S.map_assigned[t] < 0 || S.map_assigned[t] == machine) {
+              continue;
+            }
+            if (S.map_issued[t] >= 254) continue;  // attempt ids are 8-bit
+            if (map_backups_.contains(
+                    map_key(j, s, static_cast<int>(t), 0))) {
+              continue;
+            }
+            const Seconds age = now_ - S.map_start[t];
+            if (age >= best_age) {
+              best_age = age;
+              best = static_cast<int>(t);
+            }
+          }
+          if (best >= 0) {
+            const int attempt =
+                ++S.map_issued[static_cast<std::size_t>(best)];
+            map_backups_[map_key(j, s, best, 0)] =
+                Backup{attempt, machine, now_};
+            --slots_free_[static_cast<std::size_t>(machine)];
+            ++J.result.speculative_launched;
+            launch_map_attempt(j, s, best, machine, attempt);
+            return true;
+          }
+        }
+        if (S.state == StageState::kReducing && S.reduces_done > 0) {
+          const Seconds mean = S.reduce_duration_total / S.reduces_done;
+          const Seconds threshold =
+              std::max(config_.speculation_min_runtime,
+                       config_.speculation_slowdown * mean);
+          int best = -1;
+          Seconds best_age = threshold;
+          for (std::size_t t = 0; t < S.reduce_assigned.size(); ++t) {
+            if (S.reduce_assigned[t] < 0 ||
+                S.reduce_assigned[t] == machine) {
+              continue;
+            }
+            if (S.reduce_issued[t] >= 254) continue;
+            if (reduce_backups_.contains(
+                    reduce_key(j, s, static_cast<int>(t), 0))) {
+              continue;
+            }
+            const Seconds age = now_ - S.reduce_start[t];
+            if (age >= best_age) {
+              best_age = age;
+              best = static_cast<int>(t);
+            }
+          }
+          if (best >= 0) {
+            const int attempt =
+                ++S.reduce_issued[static_cast<std::size_t>(best)];
+            reduce_backups_[reduce_key(j, s, best, 0)] =
+                Backup{attempt, machine, now_};
+            --slots_free_[static_cast<std::size_t>(machine)];
+            ++J.result.speculative_launched;
+            launch_reduce_attempt(j, s, best, machine, attempt);
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  // ------------------------------------------------------------ stragglers
+
+  // Straggler injection (fault model): each attempt independently runs
+  // `straggler_slowdown` times slower with probability `straggler_frac`.
+  // The rng is only consulted when injection is enabled, so fault-free runs
+  // keep their exact event stream.
+  double draw_straggler() {
+    if (config_.faults.straggler_frac <= 0) return 1.0;
+    if (!rng_.chance(config_.faults.straggler_frac)) return 1.0;
+    ++stragglers_injected_;
+    return config_.faults.straggler_slowdown;
+  }
+
+  // Consumes the slowdown stashed for an attempt (1.0 when none).
+  double take_straggler(std::uint64_t key) {
+    const auto it = straggler_factor_.find(key);
+    if (it == straggler_factor_.end()) return 1.0;
+    const double factor = it->second;
+    straggler_factor_.erase(it);
+    return factor;
+  }
+
+  // -------------------------------------------------------- rereplication
+
+  // Restores a lost replica by copying the chunk from a surviving holder to
+  // a random healthy machine not yet holding it, over a real (background
+  // width) network flow. No-op when no source or target exists.
+  void schedule_rereplication(const std::string& file, int chunk,
+                              Bytes bytes) {
+    if (!dfs_.has_file(file)) return;
+    const FileLayout& layout = dfs_.file(file);
+    const auto& holders =
+        layout.chunks[static_cast<std::size_t>(chunk)].machines;
+    int src = -1;
+    for (int m : holders) {
+      if (topology_.is_up(m)) {
+        src = m;
+        break;
+      }
+    }
+    if (src < 0) return;  // nothing left to copy from
+    std::vector<int> candidates;
+    for (int m = 0; m < topology_.machines(); ++m) {
+      if (!topology_.is_up(m)) continue;
+      if (std::find(holders.begin(), holders.end(), m) != holders.end()) {
+        continue;
+      }
+      candidates.push_back(m);
+    }
+    if (candidates.empty()) return;
+    const int dst = candidates[rng_.index(candidates.size())];
+    if (bytes < kMinFlowBytes) {
+      dfs_.add_replica(file, chunk, dst);
+      return;
+    }
+    const std::uint64_t tag =
+        pack_tag(FlowKind::kRereplicate, 0, 0, 0,
+                 static_cast<int>(next_rerep_++ & 0xFFFFFF));
+    rereps_[tag] = Rerep{file, chunk, dst};
+    network_.start_flow(FlowDesc{src, dst, bytes,
+                                 config_.rereplication_width,
+                                 /*coflow=*/-1, tag});
+  }
+
   SimConfig config_;
   ClusterTopology topology_;
   Dfs dfs_;
@@ -1133,10 +1827,37 @@ class Simulator {
   // task).
   std::unordered_map<std::uint64_t, int> map_fetches_;   // outstanding flows
   std::unordered_map<std::uint64_t, int> map_machine_;   // task -> machine
+  std::unordered_map<std::uint64_t, int> reduce_fetches_;
   std::unordered_map<std::uint64_t, int> reduce_machine_;
+  // Speculative backups, keyed by the task's attempt-0 key (one per task).
+  std::unordered_map<std::uint64_t, Backup> map_backups_;
+  std::unordered_map<std::uint64_t, Backup> reduce_backups_;
+  // Straggler slowdowns drawn at launch, consumed when compute starts.
+  std::unordered_map<std::uint64_t, double> straggler_factor_;
+  // In-flight DFS healing transfers, keyed by their kRereplicate tag.
+  std::unordered_map<std::uint64_t, Rerep> rereps_;
+  std::uint64_t next_rerep_ = 0;
+  // Input file name -> owning job index (healing stops once it finishes).
+  std::unordered_map<std::string, int> file_job_;
+
+  // Fault-model state and counters (reported through SimResult).
+  std::vector<bool> rack_usable_;  // above the health threshold last check
+  int machines_down_ = 0;
+  int unfinished_count_ = 0;
+  long pending_work_events_ = 0;
+  int stragglers_injected_ = 0;
+  Bytes bytes_rereplicated_ = 0;
+  int chunks_lost_ = 0;
+  int jobs_failed_ = 0;
+  Seconds degraded_time_ = 0;
 };
 
 }  // namespace
+
+SimulationTimeout::SimulationTimeout(Seconds limit)
+    : std::runtime_error("simulation exceeded max_time (" +
+                         std::to_string(limit) + "s)"),
+      limit_(limit) {}
 
 SimResult run_simulation(std::span<const JobSpec> jobs,
                          SchedulingPolicy& policy, const SimConfig& config) {

@@ -22,13 +22,27 @@
 #define CORRAL_SIM_SIMULATOR_H_
 
 #include <span>
+#include <stdexcept>
 
 #include "cluster/topology.h"
 #include "dfs/dfs.h"
+#include "sim/faults.h"
 #include "sim/metrics.h"
 #include "sim/policy.h"
 
 namespace corral {
+
+// Thrown when virtual time passes SimConfig::max_time — a typed error so
+// callers sweeping hostile parameter spaces can catch runaways specifically
+// instead of pattern-matching a generic logic_error.
+class SimulationTimeout : public std::runtime_error {
+ public:
+  explicit SimulationTimeout(Seconds limit);
+  Seconds limit() const { return limit_; }
+
+ private:
+  Seconds limit_;
+};
 
 struct SimConfig {
   ClusterConfig cluster;
@@ -53,17 +67,45 @@ struct SimConfig {
   BytesPerSec storage_bandwidth = 1e15;  // effectively unlimited
   // Machines marked dead before the run starts (failure injection).
   std::vector<int> failed_machines;
-  // Machines failing *during* the run. Running tasks on the machine are
-  // killed and rescheduled; completed map outputs stored there are lost and
-  // those maps rerun (map output is node-local, as in Hadoop); replicated
-  // reduce outputs survive; in-flight transfers touching the machine are
-  // torn down; Corral constraints are dropped for jobs whose assigned rack
-  // falls below rack_health_threshold (§3.1, §7 "Dealing with failures").
+  // The run's fault timeline plus straggler parameters (see sim/faults.h).
+  // Crash semantics: running tasks on the machine are killed and
+  // rescheduled; completed map outputs stored there are lost and those maps
+  // rerun (map output is node-local, as in Hadoop); DFS replicas on the
+  // machine are dropped (and re-replicated in the background when
+  // enable_rereplication is on); in-flight transfers touching the machine
+  // are torn down; Corral constraints are dropped for jobs whose assigned
+  // rack falls below rack_health_threshold (§3.1, §7 "Dealing with
+  // failures"). Recover semantics: the machine rejoins the slot pool with
+  // an empty disk, and dropped Corral constraints are re-armed once every
+  // assigned rack is healthy again.
+  FaultSchedule faults;
+  // Deprecated compatibility shim: folded into `faults` as permanent
+  // crashes. Prefer FaultSchedule / generate_fault_schedule().
   struct MachineFailure {
     Seconds time = 0;
     int machine = 0;
   };
   std::vector<MachineFailure> machine_failure_events;
+  // Hadoop-style speculative execution: when a slot would otherwise idle, a
+  // task that has run at least speculation_min_runtime and longer than
+  // speculation_slowdown x its stage's mean completed-task duration gets
+  // one backup copy on another machine; the first finisher wins and the
+  // loser's slot time is booked as wasted work. Backups per job are capped
+  // at max(1, speculation_cap x the job's task count).
+  bool enable_speculation = false;
+  double speculation_slowdown = 1.5;
+  Seconds speculation_min_runtime = 10.0;
+  double speculation_cap = 0.1;
+  // A task attempted more than this many times fails its whole job cleanly
+  // (JobResult::failed) instead of looping forever — e.g. when every
+  // replica of its input chunk is lost. Must stay below 255 (attempt ids
+  // travel as 8 bits inside flow tags).
+  int max_task_retries = 100;
+  // Background DFS healing: chunks that lose a replica to a crash are
+  // re-replicated from a surviving copy over real network flows (width
+  // rereplication_width, so healing competes gently with job traffic).
+  bool enable_rereplication = true;
+  double rereplication_width = 0.5;
   std::uint64_t seed = 42;
   // Watchdog: the simulation throws if it passes this virtual time.
   Seconds max_time = 90 * kDay;

@@ -182,6 +182,12 @@ std::vector<JobSpec> perturb_sizes(const std::vector<JobSpec>& jobs,
   return out;
 }
 
+Seconds workload_span(std::span<const JobSpec> jobs) {
+  Seconds last = 0;
+  for (const JobSpec& job : jobs) last = std::max(last, job.arrival);
+  return last;
+}
+
 std::vector<JobSpec> perturb_arrivals(const std::vector<JobSpec>& jobs,
                                       double fraction, Seconds t, Rng& rng) {
   require(fraction >= 0 && fraction <= 1.0,

@@ -9,6 +9,7 @@
 #ifndef CORRAL_WORKLOAD_WORKLOADS_H_
 #define CORRAL_WORKLOAD_WORKLOADS_H_
 
+#include <span>
 #include <vector>
 
 #include "jobs/job.h"
@@ -69,6 +70,11 @@ void assign_uniform_arrivals(std::vector<JobSpec>& jobs, Seconds window,
 
 // Marks all jobs ad hoc (recurring = false); used by the Fig 11 mix.
 void mark_ad_hoc(std::vector<JobSpec>& jobs);
+
+// Latest arrival time across the workload — a lower bound on the simulated
+// horizon, used to size fault timelines (generate_fault_schedule wants an
+// explicit horizon). Returns 0 for an empty workload.
+Seconds workload_span(std::span<const JobSpec> jobs);
 
 // Perturbs data sizes by a relative error in [-error, +error] (Fig 13a:
 // "we varied the amount of data processed by jobs up to 50%"). Returns the

@@ -1,0 +1,183 @@
+// FaultSchedule generation, validation, and text IO (sim/faults.h).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/faults.h"
+
+namespace corral {
+namespace {
+
+ClusterConfig cluster_4x8() {
+  ClusterConfig config;
+  config.racks = 4;
+  config.machines_per_rack = 8;
+  config.slots_per_machine = 2;
+  return config;
+}
+
+TEST(Faults, GenerateIsDeterministic) {
+  FaultModelConfig config;
+  config.machine_mtbf = 6 * kHour;
+  config.machine_mttr = 15 * kMinute;
+  config.rack_mtbf = 48 * kHour;
+  config.rack_mttr = 30 * kMinute;
+  config.horizon = 72 * kHour;
+  const FaultSchedule a = generate_fault_schedule(cluster_4x8(), config, 7);
+  const FaultSchedule b = generate_fault_schedule(cluster_4x8(), config, 7);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].type, b.events[i].type);
+    EXPECT_EQ(a.events[i].machine, b.events[i].machine);
+  }
+  // A different seed yields a different timeline.
+  const FaultSchedule c = generate_fault_schedule(cluster_4x8(), config, 8);
+  EXPECT_TRUE(a.events.size() != c.events.size() ||
+              a.events[0].time != c.events[0].time);
+}
+
+TEST(Faults, GeneratedEventsAreSortedAndInRange) {
+  FaultModelConfig config;
+  config.machine_mtbf = 2 * kHour;
+  config.machine_mttr = 10 * kMinute;
+  config.horizon = 48 * kHour;
+  const FaultSchedule schedule =
+      generate_fault_schedule(cluster_4x8(), config, 3);
+  ASSERT_FALSE(schedule.events.empty());
+  for (std::size_t i = 1; i < schedule.events.size(); ++i) {
+    EXPECT_LE(schedule.events[i - 1].time, schedule.events[i].time);
+  }
+  for (const FaultEvent& event : schedule.events) {
+    EXPECT_GE(event.time, 0.0);
+    EXPECT_LT(event.time, config.horizon);
+    EXPECT_GE(event.machine, 0);
+    EXPECT_LT(event.machine, 32);
+  }
+  schedule.validate(32);  // must not throw
+}
+
+TEST(Faults, MachineChurnAlternatesCrashRecover) {
+  FaultModelConfig config;
+  config.machine_mtbf = 1 * kHour;
+  config.machine_mttr = 5 * kMinute;
+  config.horizon = 100 * kHour;
+  const FaultSchedule schedule =
+      generate_fault_schedule(cluster_4x8(), config, 11);
+  // Per machine the timeline must strictly alternate crash, recover, ...
+  for (int m = 0; m < 32; ++m) {
+    FaultType expected = FaultType::kCrash;
+    for (const FaultEvent& event : schedule.events) {
+      if (event.machine != m) continue;
+      EXPECT_EQ(event.type, expected) << "machine " << m;
+      expected = expected == FaultType::kCrash ? FaultType::kRecover
+                                               : FaultType::kCrash;
+    }
+  }
+}
+
+TEST(Faults, ZeroMttrMakesCrashesPermanent) {
+  FaultModelConfig config;
+  config.machine_mtbf = 1 * kHour;
+  config.machine_mttr = 0;
+  config.horizon = 1000 * kHour;
+  const FaultSchedule schedule =
+      generate_fault_schedule(cluster_4x8(), config, 5);
+  for (const FaultEvent& event : schedule.events) {
+    EXPECT_EQ(event.type, FaultType::kCrash);
+  }
+  // At most one (permanent) crash per machine.
+  EXPECT_LE(schedule.events.size(), 32u);
+}
+
+TEST(Faults, RackOutagesCoverWholeRacks) {
+  FaultModelConfig config;
+  config.rack_mtbf = 10 * kHour;
+  config.rack_mttr = 30 * kMinute;
+  config.horizon = 500 * kHour;
+  const FaultSchedule schedule =
+      generate_fault_schedule(cluster_4x8(), config, 13);
+  ASSERT_FALSE(schedule.events.empty());
+  // Rack events are expanded per machine: every (time, type) group must
+  // contain all 8 machines of exactly one rack.
+  for (std::size_t i = 0; i < schedule.events.size(); i += 8) {
+    ASSERT_LE(i + 8, schedule.events.size());
+    const int rack = schedule.events[i].machine / 8;
+    for (std::size_t k = 0; k < 8; ++k) {
+      const FaultEvent& event = schedule.events[i + k];
+      EXPECT_DOUBLE_EQ(event.time, schedule.events[i].time);
+      EXPECT_EQ(event.type, schedule.events[i].type);
+      EXPECT_EQ(event.machine, rack * 8 + static_cast<int>(k));
+    }
+  }
+}
+
+TEST(Faults, ValidateRejectsMalformedSchedules) {
+  FaultSchedule schedule;
+  schedule.events.push_back({-1.0, FaultType::kCrash, 0});
+  EXPECT_THROW(schedule.validate(32), std::invalid_argument);
+  schedule.events = {{1.0, FaultType::kCrash, 99}};
+  EXPECT_THROW(schedule.validate(32), std::invalid_argument);
+  schedule.events.clear();
+  schedule.straggler_frac = 1.5;
+  EXPECT_THROW(schedule.validate(32), std::invalid_argument);
+  schedule.straggler_frac = 0.1;
+  schedule.straggler_slowdown = 0.5;
+  EXPECT_THROW(schedule.validate(32), std::invalid_argument);
+}
+
+TEST(Faults, GenerateRejectsBadConfig) {
+  FaultModelConfig config;
+  config.machine_mtbf = -1;
+  EXPECT_THROW(generate_fault_schedule(cluster_4x8(), config, 1),
+               std::invalid_argument);
+  config.machine_mtbf = 0;
+  config.horizon = -5;
+  EXPECT_THROW(generate_fault_schedule(cluster_4x8(), config, 1),
+               std::invalid_argument);
+}
+
+TEST(Faults, TextRoundTrip) {
+  FaultModelConfig config;
+  config.machine_mtbf = 3 * kHour;
+  config.machine_mttr = 20 * kMinute;
+  config.horizon = 24 * kHour;
+  config.straggler_frac = 0.05;
+  config.straggler_slowdown = 6.0;
+  const FaultSchedule original =
+      generate_fault_schedule(cluster_4x8(), config, 21);
+
+  std::stringstream buffer;
+  write_faults(buffer, original);
+  const FaultSchedule loaded = read_faults(buffer);
+  EXPECT_DOUBLE_EQ(loaded.straggler_frac, original.straggler_frac);
+  EXPECT_DOUBLE_EQ(loaded.straggler_slowdown, original.straggler_slowdown);
+  ASSERT_EQ(loaded.events.size(), original.events.size());
+  for (std::size_t i = 0; i < loaded.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.events[i].time, original.events[i].time);
+    EXPECT_EQ(loaded.events[i].type, original.events[i].type);
+    EXPECT_EQ(loaded.events[i].machine, original.events[i].machine);
+  }
+}
+
+TEST(Faults, ReadRejectsMalformedInput) {
+  std::stringstream missing_header("crash 1 2\n");
+  EXPECT_THROW(read_faults(missing_header), std::invalid_argument);
+  std::stringstream bad_directive("corral-faults v1\nexplode 1 2\n");
+  EXPECT_THROW(read_faults(bad_directive), std::invalid_argument);
+  std::stringstream truncated("corral-faults v1\ncrash 1\n");
+  EXPECT_THROW(read_faults(truncated), std::invalid_argument);
+}
+
+TEST(Faults, EmptyDetection) {
+  FaultSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  schedule.straggler_frac = 0.1;
+  EXPECT_FALSE(schedule.empty());
+  schedule.straggler_frac = 0;
+  schedule.events.push_back({1.0, FaultType::kCrash, 0});
+  EXPECT_FALSE(schedule.empty());
+}
+
+}  // namespace
+}  // namespace corral

@@ -1,0 +1,238 @@
+// Recovery semantics (§7): machines rejoining the slot pool, clean job
+// failure when the cluster dies for good, DFS re-replication, Corral plan
+// repair, the max_time watchdog, and byte-identical determinism under the
+// full fault model.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corral/planner.h"
+#include "sim/faults.h"
+#include "sim/result_io.h"
+#include "sim/simulator.h"
+
+namespace corral {
+namespace {
+
+ClusterConfig cluster_4x8() {
+  ClusterConfig config;
+  config.racks = 4;
+  config.machines_per_rack = 8;
+  config.slots_per_machine = 2;
+  config.nic_bandwidth = 1 * kGbps;
+  config.oversubscription = 4.0;
+  return config;
+}
+
+MapReduceSpec long_stage() {
+  MapReduceSpec stage;
+  stage.input_bytes = 16 * kGB;
+  stage.shuffle_bytes = 16 * kGB;
+  stage.output_bytes = 4 * kGB;
+  stage.num_maps = 32;
+  stage.num_reduces = 16;
+  stage.map_rate = 25 * kMB;  // 20 s per map: failures land mid-stage
+  stage.reduce_rate = 25 * kMB;
+  return stage;
+}
+
+SimConfig base_sim() {
+  SimConfig config;
+  config.cluster = cluster_4x8();
+  config.seed = 9;
+  return config;
+}
+
+TEST(Recovery, RecoveredMachinesShortenDegradedMode) {
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(0, "mr", long_stage())};
+
+  SimConfig repaired = base_sim();
+  for (int m = 0; m < 4; ++m) {
+    repaired.faults.events.push_back({5.0, FaultType::kCrash, m});
+    repaired.faults.events.push_back({65.0, FaultType::kRecover, m});
+  }
+  SimConfig permanent = base_sim();
+  for (int m = 0; m < 4; ++m) {
+    permanent.faults.events.push_back({5.0, FaultType::kCrash, m});
+  }
+
+  YarnCapacityPolicy policy_a, policy_b;
+  const SimResult with_repair = run_simulation(jobs, policy_a, repaired);
+  const SimResult without = run_simulation(jobs, policy_b, permanent);
+  EXPECT_FALSE(with_repair.jobs[0].failed);
+  EXPECT_FALSE(without.jobs[0].failed);
+  EXPECT_GT(with_repair.tasks_killed, 0);
+  // Repaired run: degraded mode ends at the recovery; permanent run stays
+  // degraded until the job finishes.
+  EXPECT_LT(with_repair.degraded_time, without.degraded_time);
+  EXPECT_NEAR(without.degraded_time, without.makespan - 5.0, 1e-6);
+}
+
+TEST(Recovery, WholeClusterOutageStallsThenResumes) {
+  // Every machine dies at t=5 and rejoins at t=65. With remote input
+  // storage (§7) the data survives the outage, so the simulation must idle
+  // through it (no live slots, no flows) and then rerun everything on the
+  // recovered slot pool.
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(0, "mr", long_stage())};
+  SimConfig config = base_sim();
+  config.remote_input_storage = true;
+  for (int m = 0; m < 32; ++m) {
+    config.faults.events.push_back({5.0, FaultType::kCrash, m});
+    config.faults.events.push_back({65.0, FaultType::kRecover, m});
+  }
+  YarnCapacityPolicy policy;
+  const SimResult result = run_simulation(jobs, policy, config);
+  EXPECT_FALSE(result.jobs[0].failed);
+  EXPECT_EQ(result.jobs_failed, 0);
+  EXPECT_GT(result.makespan, 65.0);
+  EXPECT_GE(result.degraded_time, 60.0 - 1e-6);
+}
+
+TEST(Recovery, TotalInputLossFailsJobEvenAfterRecovery) {
+  // Same outage but with DFS-resident input: every disk is wiped, so every
+  // replica of every chunk is gone and recovery cannot resurrect the job.
+  // It must fail cleanly (data loss) instead of retrying forever.
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(0, "mr", long_stage())};
+  SimConfig config = base_sim();
+  for (int m = 0; m < 32; ++m) {
+    config.faults.events.push_back({5.0, FaultType::kCrash, m});
+    config.faults.events.push_back({65.0, FaultType::kRecover, m});
+  }
+  YarnCapacityPolicy policy;
+  const SimResult result = run_simulation(jobs, policy, config);
+  EXPECT_TRUE(result.jobs[0].failed);
+  EXPECT_EQ(result.jobs_failed, 1);
+  EXPECT_GT(result.chunks_lost, 0);
+}
+
+TEST(Recovery, PermanentClusterDeathFailsJobsCleanly) {
+  // No recovery ever comes: instead of hanging or tripping an internal
+  // invariant, the run must end with every job marked failed.
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(0, "a", long_stage()),
+      JobSpec::map_reduce(1, "b", long_stage())};
+  SimConfig config = base_sim();
+  for (int m = 0; m < 32; ++m) {
+    config.faults.events.push_back({5.0, FaultType::kCrash, m});
+  }
+  YarnCapacityPolicy policy;
+  const SimResult result = run_simulation(jobs, policy, config);
+  EXPECT_EQ(result.jobs_failed, 2);
+  for (const JobResult& job : result.jobs) {
+    EXPECT_TRUE(job.failed);
+    EXPECT_GT(job.finish, 0);
+  }
+  // Failed jobs are excluded from completion statistics.
+  EXPECT_TRUE(result.completion_times().empty());
+}
+
+TEST(Recovery, LostReplicasAreRereplicated) {
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(0, "mr", long_stage())};
+  SimConfig config = base_sim();
+  config.faults.events.push_back({5.0, FaultType::kCrash, 3});
+
+  YarnCapacityPolicy policy_a;
+  const SimResult healing = run_simulation(jobs, policy_a, config);
+  // Machine 3 held input replicas; background healing copies them from
+  // surviving holders over real flows.
+  EXPECT_GT(healing.bytes_rereplicated, 0);
+  EXPECT_EQ(healing.chunks_lost, 0);
+
+  config.enable_rereplication = false;
+  YarnCapacityPolicy policy_b;
+  const SimResult cold = run_simulation(jobs, policy_b, config);
+  EXPECT_EQ(cold.bytes_rereplicated, 0);
+}
+
+TEST(Recovery, PlanRepairReplansPendingJobs) {
+  // Job 1 arrives while rack 0 is down. CorralRepairPolicy must replan it
+  // onto the healthy racks (one repair) and both jobs must finish.
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(0, "early", long_stage()),
+      JobSpec::map_reduce(1, "late", long_stage(), /*arrival=*/600.0)};
+  SimConfig config = base_sim();
+  for (int m = 0; m < 8; ++m) {  // all of rack 0, back after 30 min
+    config.faults.events.push_back({10.0, FaultType::kCrash, m});
+    config.faults.events.push_back(
+        {10.0 + 30 * kMinute, FaultType::kRecover, m});
+  }
+  CorralRepairPolicy policy(jobs, cluster_4x8(), PlannerConfig{});
+  const SimResult result = run_simulation(jobs, policy, config);
+  EXPECT_GE(policy.repairs(), 1);
+  EXPECT_EQ(result.jobs_failed, 0);
+  for (const JobResult& job : result.jobs) EXPECT_FALSE(job.failed);
+}
+
+TEST(Recovery, WatchdogThrowsTypedTimeout) {
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(0, "mr", long_stage())};
+  SimConfig config = base_sim();
+  config.max_time = 30.0;  // the job needs far longer than this
+  YarnCapacityPolicy policy;
+  try {
+    run_simulation(jobs, policy, config);
+    FAIL() << "expected SimulationTimeout";
+  } catch (const SimulationTimeout& timeout) {
+    EXPECT_DOUBLE_EQ(timeout.limit(), 30.0);
+    EXPECT_NE(std::string(timeout.what()).find("max_time"),
+              std::string::npos);
+  }
+}
+
+TEST(Recovery, ZeroQuantumMatchesBatchedOrdering) {
+  // time_quantum = 0 gives exact event ordering; the default batching may
+  // defer each completion by at most one quantum, so the makespans must
+  // agree to within that.
+  const std::vector<JobSpec> jobs = {
+      JobSpec::map_reduce(0, "mr", long_stage())};
+  SimConfig batched = base_sim();
+  SimConfig exact = base_sim();
+  exact.time_quantum = 0.0;
+  YarnCapacityPolicy policy_a, policy_b;
+  const SimResult coarse = run_simulation(jobs, policy_a, batched);
+  const SimResult fine = run_simulation(jobs, policy_b, exact);
+  EXPECT_NEAR(coarse.makespan, fine.makespan, batched.time_quantum + 1e-9);
+}
+
+TEST(Recovery, ByteIdenticalUnderFullFaultModel) {
+  // Same seed + same fault parameters => byte-identical per-job results,
+  // with churn, stragglers, speculation, and re-replication all active.
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back(
+        JobSpec::map_reduce(i, "mr" + std::to_string(i), long_stage(),
+                            /*arrival=*/30.0 * i));
+  }
+  FaultModelConfig churn;
+  churn.machine_mtbf = 20 * kMinute;
+  churn.machine_mttr = 1 * kMinute;
+  churn.horizon = 1 * kHour;
+  churn.straggler_frac = 0.2;
+  churn.straggler_slowdown = 4.0;
+
+  SimConfig config = base_sim();
+  config.faults = generate_fault_schedule(cluster_4x8(), churn, 31);
+  config.enable_speculation = true;
+  config.speculation_cap = 1.0;
+  config.write_output_replicas = true;
+
+  YarnCapacityPolicy policy_a, policy_b;
+  const SimResult a = run_simulation(jobs, policy_a, config);
+  const SimResult b = run_simulation(jobs, policy_b, config);
+
+  std::ostringstream csv_a, csv_b;
+  write_results_csv(csv_a, a);
+  write_results_csv(csv_b, b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.stragglers_injected, b.stragglers_injected);
+  EXPECT_EQ(a.speculative_launched, b.speculative_launched);
+  EXPECT_DOUBLE_EQ(a.bytes_rereplicated, b.bytes_rereplicated);
+}
+
+}  // namespace
+}  // namespace corral

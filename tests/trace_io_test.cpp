@@ -130,7 +130,7 @@ TEST(ResultIo, CsvHasHeaderAndOneRowPerJob) {
   int rows = 0;
   while (std::getline(buffer, line)) {
     if (!line.empty()) ++rows;
-    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 8);
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 13);
   }
   EXPECT_EQ(rows, 5);
 }

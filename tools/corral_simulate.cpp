@@ -7,11 +7,13 @@
 #include <cstdio>
 #include <iostream>
 
+#include "sim/faults.h"
 #include "sim/result_io.h"
 #include "sim/simulator.h"
 #include "tool_common.h"
 #include "util/stats.h"
 #include "workload/trace_io.h"
+#include "workload/workloads.h"
 
 using namespace corral;
 
@@ -31,6 +33,22 @@ int main(int argc, char** argv) {
                    "storage interconnect cap in Gbit/s; 0 = unlimited");
   flags.add_int("seed", 2015, "simulation seed");
   flags.add_string("csv", "", "write per-job results CSV to this file");
+  flags.add_string("faults", "",
+                   "replay a corral-faults file instead of generating churn");
+  flags.add_double("mtbf", 0,
+                   "machine mean time between failures in hours; 0 = none");
+  flags.add_double("mttr", 15,
+                   "machine mean time to repair in minutes; 0 = permanent");
+  flags.add_double("rack-mtbf", 0, "whole-rack MTBF in hours; 0 = none");
+  flags.add_double("rack-mttr", 30, "whole-rack MTTR in minutes");
+  flags.add_double("fault-horizon", 0,
+                   "generate faults over this many hours; 0 = auto (twice "
+                   "the last arrival, at least 24h)");
+  flags.add_double("straggler-frac", 0,
+                   "probability a task attempt runs slowed down");
+  flags.add_double("straggler-slowdown", 4.0, "straggler slowdown factor");
+  flags.add_bool("speculation", false,
+                 "enable Hadoop-style speculative execution");
   tools::add_cluster_flags(flags);
   if (!flags.parse(argc, argv, std::cerr)) return 2;
 
@@ -52,6 +70,32 @@ int main(int argc, char** argv) {
       sim.storage_bandwidth = flags.get_double("storage-gbps") * kGbps;
     }
     sim.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    sim.enable_speculation = flags.get_bool("speculation");
+
+    // Fault injection: replay a recorded timeline, or synthesize churn from
+    // the MTBF/MTTR knobs (plus straggler injection either way).
+    if (!flags.get_string("faults").empty()) {
+      sim.faults = read_faults_file(flags.get_string("faults"));
+    } else if (flags.get_double("mtbf") > 0 ||
+               flags.get_double("rack-mtbf") > 0) {
+      FaultModelConfig fault_config;
+      fault_config.machine_mtbf = flags.get_double("mtbf") * kHour;
+      fault_config.machine_mttr = flags.get_double("mttr") * kMinute;
+      fault_config.rack_mtbf = flags.get_double("rack-mtbf") * kHour;
+      fault_config.rack_mttr = flags.get_double("rack-mttr") * kMinute;
+      fault_config.horizon =
+          flags.get_double("fault-horizon") > 0
+              ? flags.get_double("fault-horizon") * kHour
+              : std::max(2.0 * workload_span(jobs), 24 * kHour);
+      fault_config.straggler_frac = flags.get_double("straggler-frac");
+      fault_config.straggler_slowdown =
+          flags.get_double("straggler-slowdown");
+      sim.faults = generate_fault_schedule(cluster, fault_config, sim.seed);
+    }
+    if (flags.get_string("faults").empty()) {
+      sim.faults.straggler_frac = flags.get_double("straggler-frac");
+      sim.faults.straggler_slowdown = flags.get_double("straggler-slowdown");
+    }
 
     // Plan the recurring subset when the policy needs it.
     PlannerConfig planner_config;
@@ -96,6 +140,20 @@ int main(int argc, char** argv) {
                 result.total_cross_rack_bytes / kTB);
     std::printf("compute hours:     %.1f h\n", result.total_compute_hours);
     std::printf("input balance CoV: %.4f\n", result.input_balance_cov);
+    if (!sim.faults.empty() || !sim.machine_failure_events.empty()) {
+      std::printf("jobs failed:       %d\n", result.jobs_failed);
+      std::printf("tasks killed:      %d\n", result.tasks_killed);
+      std::printf("maps rerun:        %d\n", result.maps_rerun);
+      std::printf("stragglers:        %d\n", result.stragglers_injected);
+      std::printf("spec. launched:    %d\n", result.speculative_launched);
+      std::printf("spec. wasted:      %.1f h\n",
+                  result.speculative_wasted_seconds / kHour);
+      std::printf("re-replicated:     %.2f GB\n",
+                  result.bytes_rereplicated / kGB);
+      std::printf("chunks lost:       %d\n", result.chunks_lost);
+      std::printf("degraded time:     %.1f h\n",
+                  result.degraded_time / kHour);
+    }
 
     const std::string csv = flags.get_string("csv");
     if (!csv.empty()) {
