@@ -6,6 +6,8 @@
 
 namespace corral::bench {
 
+exec::ThreadPool& pool() { return exec::ThreadPool::shared(); }
+
 ClusterConfig testbed() {
   ClusterConfig config;
   config.racks = 7;
@@ -53,29 +55,55 @@ PlannedWorkload plan_workload(const std::vector<JobSpec>& jobs,
   return PlannedWorkload{std::move(plan), std::move(lookup)};
 }
 
+std::vector<BatchCase> policy_cases(const std::vector<JobSpec>& jobs,
+                                    const PlannedWorkload& planned,
+                                    const SimConfig& sim,
+                                    const std::string& label_prefix,
+                                    bool include_shufflewatcher) {
+  // The factories run on pool workers; they capture only read-only state
+  // (the plan lookup, value copies of sim knobs) per the BatchCase rule.
+  const PlanLookup* lookup = &planned.lookup;
+  std::vector<BatchCase> cases;
+  const auto add = [&](const std::string& name, auto factory) {
+    BatchCase batch_case;
+    batch_case.label = label_prefix + name;
+    batch_case.jobs = jobs;
+    batch_case.config = sim;
+    batch_case.make_policy = std::move(factory);
+    cases.push_back(std::move(batch_case));
+  };
+  add("yarn", []() -> std::unique_ptr<SchedulingPolicy> {
+    return std::make_unique<YarnCapacityPolicy>();
+  });
+  add("corral", [lookup]() -> std::unique_ptr<SchedulingPolicy> {
+    return std::make_unique<CorralPolicy>(lookup);
+  });
+  add("local-shuffle", [lookup]() -> std::unique_ptr<SchedulingPolicy> {
+    return std::make_unique<LocalShufflePolicy>(lookup);
+  });
+  if (include_shufflewatcher) {
+    const int slots_per_rack = sim.cluster.slots_per_rack();
+    add("shufflewatcher", [slots_per_rack]() -> std::unique_ptr<SchedulingPolicy> {
+      return std::make_unique<ShuffleWatcherPolicy>(slots_per_rack);
+    });
+  }
+  return cases;
+}
+
 PolicyComparison run_all_policies(const std::vector<JobSpec>& jobs,
                                   Objective objective, const SimConfig& sim,
                                   bool include_shufflewatcher) {
   const PlannedWorkload planned =
       plan_workload(jobs, sim.cluster, objective);
+  const std::vector<BatchCase> cases =
+      policy_cases(jobs, planned, sim, "", include_shufflewatcher);
+  const std::vector<BatchResult> batch = BatchRunner(&pool()).run(cases);
 
   PolicyComparison results;
-  {
-    YarnCapacityPolicy policy;
-    results.yarn = run_simulation(jobs, policy, sim);
-  }
-  {
-    CorralPolicy policy(&planned.lookup);
-    results.corral = run_simulation(jobs, policy, sim);
-  }
-  {
-    LocalShufflePolicy policy(&planned.lookup);
-    results.localshuffle = run_simulation(jobs, policy, sim);
-  }
-  if (include_shufflewatcher) {
-    ShuffleWatcherPolicy policy(sim.cluster.slots_per_rack());
-    results.shufflewatcher = run_simulation(jobs, policy, sim);
-  }
+  results.yarn = batch[0].result;
+  results.corral = batch[1].result;
+  results.localshuffle = batch[2].result;
+  if (include_shufflewatcher) results.shufflewatcher = batch[3].result;
   return results;
 }
 
@@ -84,15 +112,13 @@ TwoPolicyComparison run_yarn_and_corral(const std::vector<JobSpec>& jobs,
                                         const SimConfig& sim) {
   const PlannedWorkload planned =
       plan_workload(jobs, sim.cluster, objective);
+  std::vector<BatchCase> cases =
+      policy_cases(jobs, planned, sim, "", /*include_shufflewatcher=*/false);
+  cases.resize(2);  // yarn + corral only
+  const std::vector<BatchResult> batch = BatchRunner(&pool()).run(cases);
   TwoPolicyComparison results;
-  {
-    YarnCapacityPolicy policy;
-    results.yarn = run_simulation(jobs, policy, sim);
-  }
-  {
-    CorralPolicy policy(&planned.lookup);
-    results.corral = run_simulation(jobs, policy, sim);
-  }
+  results.yarn = batch[0].result;
+  results.corral = batch[1].result;
   return results;
 }
 

@@ -17,10 +17,19 @@
 #include <string>
 
 #include "corral/lp_bound.h"
+#include "exec/exec.h"
+#include "sim/batch.h"
 #include "sim/simulator.h"
 #include "workload/workloads.h"
 
 namespace corral::bench {
+
+// The pool every bench shares for planning and simulation batches (the
+// exec:: shared pool, width = hardware concurrency unless overridden via
+// exec::set_default_threads before first use). All sweeps are
+// byte-identical to their serial equivalents by the exec:: determinism
+// contract.
+exec::ThreadPool& pool();
 
 // The simulated 210-machine evaluation testbed.
 ClusterConfig testbed();
@@ -42,7 +51,8 @@ PlannedWorkload plan_workload(const std::vector<JobSpec>& jobs,
                               const ClusterConfig& cluster,
                               Objective objective);
 
-// Results of running one workload under the four §6.1 policies.
+// Results of running one workload under the four §6.1 policies. The four
+// simulations run concurrently on the bench pool via BatchRunner.
 struct PolicyComparison {
   SimResult yarn;
   SimResult corral;
@@ -54,7 +64,7 @@ PolicyComparison run_all_policies(const std::vector<JobSpec>& jobs,
                                   Objective objective, const SimConfig& sim,
                                   bool include_shufflewatcher = true);
 
-// Runs only Yarn-CS and Corral (for the larger sweeps).
+// Runs only Yarn-CS and Corral (for the larger sweeps), batched likewise.
 struct TwoPolicyComparison {
   SimResult yarn;
   SimResult corral;
@@ -62,6 +72,17 @@ struct TwoPolicyComparison {
 TwoPolicyComparison run_yarn_and_corral(const std::vector<JobSpec>& jobs,
                                         Objective objective,
                                         const SimConfig& sim);
+
+// Builds the BatchCases of run_all_policies without running them, so
+// benches sweeping several workloads can fan *everything* into one batch.
+// `planned` must outlive the returned cases (the policies capture its
+// lookup by pointer). Case order: yarn, corral, local-shuffle, then
+// shufflewatcher when included.
+std::vector<BatchCase> policy_cases(const std::vector<JobSpec>& jobs,
+                                    const PlannedWorkload& planned,
+                                    const SimConfig& sim,
+                                    const std::string& label_prefix,
+                                    bool include_shufflewatcher = true);
 
 // Percentage string for a fractional reduction, e.g. 0.31 -> "31.0%".
 std::string pct(double fraction);

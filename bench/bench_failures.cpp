@@ -4,9 +4,12 @@
 // For each machine MTBF in the sweep the same generated fault schedule
 // (crash + recover events, 15 min MTTR, occasional whole-rack outages) is
 // replayed under Yarn-CS, Corral, and Corral with §7 plan repair, with
-// speculative execution enabled throughout. Reports makespan inflation
-// relative to each policy's own fault-free run plus the recovery counters,
-// and emits the series as BENCH_failures.json for plotting.
+// speculative execution enabled throughout. All twelve simulations (four
+// MTBF points x three policies) run as one BatchRunner batch; the repair
+// policy's mid-simulation replans nest onto the same pool and execute
+// inline. Reports makespan inflation relative to each policy's own
+// fault-free run plus the recovery counters, and emits the series as
+// BENCH_failures.json for plotting.
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -18,13 +21,6 @@
 using namespace corral;
 
 namespace {
-
-struct SweepPoint {
-  double mtbf_hours = 0;  // 0 = no churn
-  SimResult yarn;
-  SimResult corral;
-  SimResult repair;
-};
 
 void emit_policy_json(std::ofstream& out, const std::string& name,
                       const SimResult& result, double healthy_makespan) {
@@ -76,11 +72,11 @@ int main() {
   base.write_output_replicas = true;
   base.enable_speculation = true;
 
+  // One flat batch: every (MTBF, policy) pair is an independent case. The
+  // factories capture only pointers to objects that outlive the batch run.
   const std::vector<double> mtbf_hours = {0.0, 24.0, 6.0, 1.5};
-  std::vector<SweepPoint> sweep;
+  std::vector<BatchCase> cases;
   for (double mtbf : mtbf_hours) {
-    SweepPoint point;
-    point.mtbf_hours = mtbf;
     SimConfig sim = base;
     if (mtbf > 0) {
       FaultModelConfig faults;
@@ -94,18 +90,48 @@ int main() {
       faults.horizon = 24 * kHour;
       sim.faults = generate_fault_schedule(cluster, faults, /*seed=*/29);
     }
-    {
-      YarnCapacityPolicy yarn;
-      point.yarn = run_simulation(jobs, yarn, sim);
-    }
-    {
-      CorralPolicy corral(&lookup);
-      point.corral = run_simulation(jobs, corral, sim);
-    }
-    {
-      CorralRepairPolicy repair(jobs, cluster, planner_config);
-      point.repair = run_simulation(jobs, repair, sim);
-    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "mtbf=%.1fh/", mtbf);
+    const auto add = [&](const char* name, auto factory) {
+      BatchCase batch_case;
+      batch_case.label = std::string(label) + name;
+      batch_case.jobs = jobs;
+      batch_case.config = sim;
+      batch_case.make_policy = std::move(factory);
+      cases.push_back(std::move(batch_case));
+    };
+    const PlanLookup* lookup_ptr = &lookup;
+    const std::vector<JobSpec>* jobs_ptr = &jobs;
+    const ClusterConfig* cluster_ptr = &cluster;
+    const PlannerConfig* planner_ptr = &planner_config;
+    add("yarn", []() -> std::unique_ptr<SchedulingPolicy> {
+      return std::make_unique<YarnCapacityPolicy>();
+    });
+    add("corral", [lookup_ptr]() -> std::unique_ptr<SchedulingPolicy> {
+      return std::make_unique<CorralPolicy>(lookup_ptr);
+    });
+    add("repair", [jobs_ptr, cluster_ptr,
+                   planner_ptr]() -> std::unique_ptr<SchedulingPolicy> {
+      return std::make_unique<CorralRepairPolicy>(*jobs_ptr, *cluster_ptr,
+                                                  *planner_ptr);
+    });
+  }
+  const std::vector<BatchResult> batch =
+      BatchRunner(&bench::pool()).run(cases);
+
+  struct SweepPoint {
+    double mtbf_hours = 0;  // 0 = no churn
+    SimResult yarn;
+    SimResult corral;
+    SimResult repair;
+  };
+  std::vector<SweepPoint> sweep;
+  for (std::size_t i = 0; i < mtbf_hours.size(); ++i) {
+    SweepPoint point;
+    point.mtbf_hours = mtbf_hours[i];
+    point.yarn = batch[3 * i + 0].result;
+    point.corral = batch[3 * i + 1].result;
+    point.repair = batch[3 * i + 2].result;
     sweep.push_back(std::move(point));
   }
 

@@ -1,40 +1,117 @@
 // Figure 5: running time of the offline planner heuristic for a 4000
-// machine cluster (100 racks x 40 machines) with a varying number of jobs.
+// machine cluster (100 racks x 40 machines) with a varying number of jobs —
+// now measured at 1 thread and at full hardware concurrency over a
+// jobs x racks grid, with the series recorded in BENCH_planner_runtime.json
+// as the repo's planner-performance trajectory file.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <vector>
 
 #include "bench_common.h"
 
 using namespace corral;
 
-int main() {
-  bench::banner(
-      "Figure 5 - offline planner running time, 4000-machine cluster",
-      "~55 seconds for 500 jobs on 100 racks (single desktop machine)");
+namespace {
 
+ClusterConfig paper_cluster(int racks) {
   ClusterConfig cluster;
-  cluster.racks = 100;
+  cluster.racks = racks;
   cluster.machines_per_rack = 40;
   cluster.slots_per_machine = 8;
   cluster.nic_bandwidth = 2.5 * kGbps;
   cluster.oversubscription = 5.0;
+  return cluster;
+}
+
+struct GridPoint {
+  int jobs = 0;
+  int racks = 0;
+  double serial_seconds = 0;    // --threads 1
+  double parallel_seconds = 0;  // --threads N
+  Seconds predicted_makespan = 0;
+};
+
+double plan_seconds(const std::vector<JobSpec>& jobs,
+                    const ClusterConfig& cluster, exec::ThreadPool& pool,
+                    Seconds* makespan) {
+  PlannerConfig config;
+  config.pool = &pool;
+  const auto start = std::chrono::steady_clock::now();
+  const Plan plan = plan_offline(jobs, cluster, config);
+  const auto stop = std::chrono::steady_clock::now();
+  if (makespan != nullptr) *makespan = plan.predicted_makespan;
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+  // At least 4 so the parallel series exercises a real multi-worker pool
+  // even on small CI hosts; on a single hardware thread the speedup
+  // degenerates to ~1x (the contract is byte-identical output, the speedup
+  // needs cores).
+  const int parallel_threads = std::max(4, exec::hardware_threads());
+  bench::banner(
+      "Figure 5 - offline planner running time, 4000-machine cluster",
+      "~55 seconds for 500 jobs on 100 racks (single desktop machine)");
+  std::printf("threads: 1 vs %d (outputs byte-identical; see DESIGN.md "
+              "\"Execution engine\")\n", parallel_threads);
+
+  exec::ThreadPool serial_pool(1);
+  exec::ThreadPool parallel_pool(parallel_threads);
 
   Rng rng(5);
   const auto all_jobs = bench::w3(rng, 500);
 
-  std::printf("\n%-12s %16s\n", "jobs", "plan time (s)");
-  for (int count : {50, 100, 200, 300, 400, 500}) {
-    const std::vector<JobSpec> jobs(all_jobs.begin(),
-                                    all_jobs.begin() + count);
-    PlannerConfig config;
-    const auto start = std::chrono::steady_clock::now();
-    const Plan plan = plan_offline(jobs, cluster, config);
-    const auto stop = std::chrono::steady_clock::now();
-    const double seconds =
-        std::chrono::duration<double>(stop - start).count();
-    std::printf("%-12d %16.2f   (predicted makespan %.0fs)\n", count, seconds,
-                plan.predicted_makespan);
+  // The jobs x racks grid. Every point runs at both widths; the paper's
+  // figure is the racks=100 column of the serial series.
+  const std::vector<int> rack_counts = {50, 100};
+  const std::vector<int> job_counts = {50, 100, 200, 300, 400, 500};
+  std::vector<GridPoint> grid;
+  std::printf("\n%-8s %-8s %14s %14s %10s\n", "jobs", "racks",
+              "1 thread (s)", "N threads (s)", "speedup");
+  for (int racks : rack_counts) {
+    const ClusterConfig cluster = paper_cluster(racks);
+    for (int count : job_counts) {
+      const std::vector<JobSpec> jobs(all_jobs.begin(),
+                                      all_jobs.begin() + count);
+      GridPoint point;
+      point.jobs = count;
+      point.racks = racks;
+      point.serial_seconds =
+          plan_seconds(jobs, cluster, serial_pool, nullptr);
+      point.parallel_seconds =
+          plan_seconds(jobs, cluster, parallel_pool,
+                       &point.predicted_makespan);
+      std::printf("%-8d %-8d %14.2f %14.2f %9.2fx   (makespan %.0fs)\n",
+                  count, racks, point.serial_seconds, point.parallel_seconds,
+                  point.serial_seconds /
+                      std::max(point.parallel_seconds, 1e-9),
+                  point.predicted_makespan);
+      grid.push_back(point);
+    }
   }
+
+  std::ofstream out("BENCH_planner_runtime.json");
+  out << "{\n  \"bench\": \"planner_runtime\",\n"
+      << "  \"workload\": \"w3\",\n"
+      << "  \"hardware_threads\": " << exec::hardware_threads() << ",\n"
+      << "  \"parallel_threads\": " << parallel_threads << ",\n"
+      << "  \"grid\": [\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const GridPoint& point = grid[i];
+    out << "   {\"jobs\": " << point.jobs << ", \"racks\": " << point.racks
+        << ", \"threads1_s\": " << point.serial_seconds
+        << ", \"threadsN_s\": " << point.parallel_seconds
+        << ", \"speedup\": "
+        << point.serial_seconds / std::max(point.parallel_seconds, 1e-9)
+        << ", \"predicted_makespan_s\": " << point.predicted_makespan << "}"
+        << (i + 1 < grid.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nseries written to BENCH_planner_runtime.json\n");
   std::printf(
       "\nThe paper reports ~55s at 500 jobs on a 6-core/24GB desktop; the\n"
       "O(J^2 R^2) scaling shape is the comparison target, not the constant.\n");

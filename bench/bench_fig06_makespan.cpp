@@ -1,5 +1,6 @@
 // Figure 6: reduction in makespan for W1/W2/W3 relative to Yarn-CS when
-// each workload runs as a batch.
+// each workload runs as a batch. All twelve simulations (three workloads x
+// four policies) fan into one BatchRunner batch on the bench pool.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -24,16 +25,40 @@ int main() {
 
   const SimConfig sim = bench::default_sim(bench::testbed());
 
+  // Plan everything first (the cases hold pointers into `planned`, so it is
+  // fully populated before any case is built), then run one flat batch.
+  std::vector<bench::PlannedWorkload> planned;
+  planned.reserve(workloads.size());
+  for (const Entry& entry : workloads) {
+    planned.push_back(bench::plan_workload(entry.jobs, sim.cluster,
+                                           Objective::kMakespan));
+  }
+  std::vector<BatchCase> cases;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    auto workload_cases = bench::policy_cases(
+        workloads[w].jobs, planned[w], sim,
+        std::string(workloads[w].name) + "/");
+    for (BatchCase& batch_case : workload_cases) {
+      cases.push_back(std::move(batch_case));
+    }
+  }
+  const std::vector<BatchResult> batch =
+      BatchRunner(&bench::pool()).run(cases);
+
   std::printf("\n%-6s %12s %14s %16s\n", "", "Corral", "LocalShuffle",
               "ShuffleWatcher");
-  for (const Entry& entry : workloads) {
-    const auto r = bench::run_all_policies(entry.jobs, Objective::kMakespan,
-                                           sim);
-    const double base = r.yarn.makespan;
+  constexpr std::size_t kPoliciesPerWorkload = 4;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const SimResult& yarn = batch[w * kPoliciesPerWorkload + 0].result;
+    const SimResult& corral = batch[w * kPoliciesPerWorkload + 1].result;
+    const SimResult& localshuffle = batch[w * kPoliciesPerWorkload + 2].result;
+    const SimResult& shufflewatcher =
+        batch[w * kPoliciesPerWorkload + 3].result;
+    const double base = yarn.makespan;
     std::printf("%-6s %11.1f%% %13.1f%% %15.1f%%   (yarn-cs makespan %.0fs)\n",
-                entry.name, 100 * reduction(base, r.corral.makespan),
-                100 * reduction(base, r.localshuffle.makespan),
-                100 * reduction(base, r.shufflewatcher.makespan), base);
+                workloads[w].name, 100 * reduction(base, corral.makespan),
+                100 * reduction(base, localshuffle.makespan),
+                100 * reduction(base, shufflewatcher.makespan), base);
   }
   std::printf(
       "\nPositive = better than Yarn-CS. Paper reports Corral at 10-33%%,\n"

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "exec/exec.h"
 #include "lp/simplex.h"
 #include "util/check.h"
 
@@ -76,20 +77,26 @@ class WorkEnvelope {
 }  // namespace
 
 Seconds lp_batch_makespan_bound(std::span<const ResponseFunction> jobs,
-                                int num_racks) {
+                                int num_racks, exec::ThreadPool* pool) {
   require(num_racks >= 1, "lp_batch_makespan_bound: num_racks must be >= 1");
   if (jobs.empty()) return 0;
-
-  std::vector<WorkEnvelope> envelopes;
-  envelopes.reserve(jobs.size());
-  double lo = 0;  // max over jobs of minimum latency: T below is infeasible
-  double total_min_work = 0;
   for (const ResponseFunction& job : jobs) {
     require(job.max_racks() >= num_racks,
             "lp_batch_makespan_bound: response function too narrow");
-    envelopes.emplace_back(job, num_racks);
-    lo = std::max(lo, envelopes.back().min_latency());
-    total_min_work += envelopes.back().work(kInf);
+  }
+
+  // Each job's convex work envelope is an independent subproblem; build
+  // them in parallel, then reduce lo / total work serially in job order.
+  exec::ThreadPool& exec_pool =
+      pool != nullptr ? *pool : exec::ThreadPool::shared();
+  std::vector<WorkEnvelope> envelopes = exec::parallel_map(
+      exec_pool, jobs.size(),
+      [&](int, std::size_t j) { return WorkEnvelope(jobs[j], num_racks); });
+  double lo = 0;  // max over jobs of minimum latency: T below is infeasible
+  double total_min_work = 0;
+  for (const WorkEnvelope& envelope : envelopes) {
+    lo = std::max(lo, envelope.min_latency());
+    total_min_work += envelope.work(kInf);
   }
   // Aggregate capacity alone forces T >= total work / R.
   lo = std::max(lo, total_min_work / num_racks);

@@ -25,11 +25,18 @@
 
 namespace corral {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 // Lower bound on the makespan of any rack-granular schedule (LP-Batch).
 // Solved by the convex-envelope reduction + binary search; scales to
-// hundreds of jobs and racks.
+// hundreds of jobs and racks. The per-job envelope subproblems run on
+// `pool` (nullptr = exec::ThreadPool::shared()); the feasibility search
+// reduces them in job order, so the bound is identical at any pool width.
 Seconds lp_batch_makespan_bound(std::span<const ResponseFunction> jobs,
-                                int num_racks);
+                                int num_racks,
+                                exec::ThreadPool* pool = nullptr);
 
 // Same bound computed with the dense simplex solver; intended for small
 // instances (J * R up to a few thousand variables).

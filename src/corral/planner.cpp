@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "exec/exec.h"
 #include "util/check.h"
 
 namespace corral {
@@ -125,27 +126,22 @@ void validate_inputs(std::span<const ResponseFunction> jobs, int num_racks) {
   }
 }
 
-// The provisioning phase (§4.2) over one window of jobs: starts every job
-// at one rack and repeatedly widens the currently-longest job, evaluating
-// every candidate allocation with the prioritization phase against the
-// given initial rack availability. Returns the winning rack-count vector.
-std::vector<int> provision(std::span<const ResponseFunction> jobs,
-                           int num_racks, const PlannerConfig& config,
-                           const std::vector<Seconds>* initial_finish,
-                           Scratch& scratch) {
+// Per-worker scratch slots for one provisioning search: slot w belongs to
+// pool worker w exclusively (the exec:: scratch-ownership rule), so the
+// candidate evaluations never share mutable state.
+using ScratchSlots = std::vector<Scratch>;
+
+// The widen-longest chain of the provisioning phase (§4.2): which job is
+// widened at each step. The choice depends only on the racks vector — never
+// on the evaluation results — so the whole candidate sequence is known
+// before any prioritization pass runs, and the J*R evaluations are
+// embarrassingly parallel.
+std::vector<int> widening_chain(std::span<const ResponseFunction> jobs,
+                                int num_racks, const PlannerConfig& config) {
   const std::size_t J = jobs.size();
   std::vector<int> racks(J, 1);
-  std::vector<int> best_racks = racks;
-
-  const auto evaluate = [&](std::span<const int> allocation) {
-    const auto [makespan, avg_flow] =
-        run_prioritization(jobs, allocation, num_racks, config, scratch,
-                           nullptr, initial_finish);
-    return config.objective == Objective::kMakespan ? makespan : avg_flow;
-  };
-
-  double best_value = evaluate(racks);
-
+  std::vector<int> chain;
+  chain.reserve(J * static_cast<std::size_t>(num_racks));
   // Total allocated racks among widened jobs, for the [19]-style stop rule.
   long widened_total = 0;
   while (true) {
@@ -166,16 +162,73 @@ std::vector<int> provision(std::span<const ResponseFunction> jobs,
     if (racks[sj] == 1) widened_total += 2;  // 1 -> 2 racks
     else ++widened_total;
     ++racks[sj];
-
-    const double value = evaluate(racks);
-    if (value < best_value) {
-      best_value = value;
-      best_racks = racks;
-    }
+    chain.push_back(longest);
 
     if (!config.explore_full_range && widened_total >= num_racks) break;
   }
+  return chain;
+}
+
+// The provisioning phase (§4.2) over one window of jobs: starts every job
+// at one rack and repeatedly widens the currently-longest job, evaluating
+// every candidate allocation with the prioritization phase against the
+// given initial rack availability. Candidates are evaluated in parallel in
+// chain-order blocks and the argmin is reduced in step order (first minimum
+// wins), so the winner is byte-identical to the serial search at any pool
+// width. Returns the winning rack-count vector.
+std::vector<int> provision(std::span<const ResponseFunction> jobs,
+                           int num_racks, const PlannerConfig& config,
+                           const std::vector<Seconds>* initial_finish,
+                           exec::ThreadPool& pool, ScratchSlots& slots) {
+  const std::size_t J = jobs.size();
+  std::vector<int> racks(J, 1);
+  std::vector<int> best_racks = racks;
+
+  const auto evaluate = [&](std::span<const int> allocation,
+                            Scratch& scratch) {
+    const auto [makespan, avg_flow] =
+        run_prioritization(jobs, allocation, num_racks, config, scratch,
+                           nullptr, initial_finish);
+    return config.objective == Objective::kMakespan ? makespan : avg_flow;
+  };
+
+  double best_value = evaluate(racks, slots[0]);
+
+  const std::vector<int> chain = widening_chain(jobs, num_racks, config);
+
+  // Blocked evaluation bounds the materialized candidate allocations to
+  // `block * J` ints while keeping every worker busy within a block.
+  const std::size_t block = std::max<std::size_t>(
+      64, static_cast<std::size_t>(pool.threads()) * 16);
+  std::vector<std::vector<int>> candidates;
+  std::vector<double> values;
+  for (std::size_t begin = 0; begin < chain.size(); begin += block) {
+    const std::size_t end = std::min(begin + block, chain.size());
+    candidates.clear();
+    for (std::size_t step = begin; step < end; ++step) {
+      ++racks[static_cast<std::size_t>(chain[step])];
+      candidates.push_back(racks);
+    }
+    values.assign(candidates.size(), 0.0);
+    exec::parallel_for_workers(
+        pool, candidates.size(), [&](int worker, std::size_t i) {
+          values[i] =
+              evaluate(candidates[i], slots[static_cast<std::size_t>(worker)]);
+        });
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (values[i] < best_value) {
+        best_value = values[i];
+        best_racks = std::move(candidates[i]);
+      }
+    }
+  }
   return best_racks;
+}
+
+// Pool + scratch slots for one planning call: the configured pool (shared
+// by default) and one Scratch per worker.
+exec::ThreadPool& pool_of(const PlannerConfig& config) {
+  return config.pool != nullptr ? *config.pool : exec::ThreadPool::shared();
 }
 
 }  // namespace
@@ -203,9 +256,10 @@ Plan plan_offline(std::span<const ResponseFunction> jobs, int num_racks,
                   const PlannerConfig& config) {
   validate_inputs(jobs, num_racks);
   if (jobs.empty()) return Plan{};
-  Scratch scratch;
+  exec::ThreadPool& pool = pool_of(config);
+  ScratchSlots slots(static_cast<std::size_t>(pool.threads()));
   const std::vector<int> best_racks =
-      provision(jobs, num_racks, config, nullptr, scratch);
+      provision(jobs, num_racks, config, nullptr, pool, slots);
   return prioritize(jobs, best_racks, num_racks, config);
 }
 
@@ -266,7 +320,8 @@ Plan plan_rolling(std::span<const ResponseFunction> jobs, int num_racks,
     window_jobs[w].push_back(static_cast<int>(j));
   }
 
-  Scratch scratch;
+  exec::ThreadPool& pool = pool_of(config);
+  ScratchSlots slots(static_cast<std::size_t>(pool.threads()));
   std::vector<Seconds> finish(static_cast<std::size_t>(num_racks), 0.0);
   Seconds makespan = 0;
   Seconds total_flow = 0;
@@ -278,11 +333,11 @@ Plan plan_rolling(std::span<const ResponseFunction> jobs, int num_racks,
     for (int j : indices) window.push_back(jobs[static_cast<std::size_t>(j)]);
 
     const std::vector<int> racks =
-        provision(window, num_racks, config, &finish, scratch);
+        provision(window, num_racks, config, &finish, pool, slots);
     Plan window_plan;
     window_plan.jobs.resize(window.size());
     const auto [window_makespan, window_avg] = run_prioritization(
-        window, racks, num_racks, config, scratch, &window_plan, &finish,
+        window, racks, num_racks, config, slots[0], &window_plan, &finish,
         &finish, priority_base);
     makespan = std::max(makespan, window_makespan);
     total_flow += window_avg * static_cast<double>(window.size());

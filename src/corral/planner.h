@@ -24,6 +24,10 @@
 
 namespace corral {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 enum class Objective { kMakespan, kAverageCompletionTime };
 
 struct PlannerConfig {
@@ -35,6 +39,11 @@ struct PlannerConfig {
   // The paper runs the provisioning loop until every job reaches r_j = R;
   // the earlier heuristic of [19] stops when sum_{j: r_j>1} r_j = R.
   bool explore_full_range = true;
+
+  // Pool for the provisioning phase's candidate evaluations; nullptr uses
+  // exec::ThreadPool::shared(). The plan is byte-identical for any width
+  // (see DESIGN.md "Execution engine").
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct PlannedJob {

@@ -2,13 +2,33 @@
 #include <algorithm>
 
 #include "corral/lp_bound.h"
+#include "exec/exec.h"
 #include "util/check.h"
 
 namespace corral {
+namespace {
+
+// One parallel pass over a list of rack counts. Each assessment is an
+// independent planning problem; the inner planner/LP parallelism collapses
+// to inline execution when the assessments themselves run on pool workers,
+// so nesting is safe and the per-count results are identical either way.
+std::vector<DeadlineAssessment> assess_counts(
+    std::span<const JobSpec> jobs, const ClusterConfig& cluster,
+    Seconds deadline, const std::vector<int>& rack_counts,
+    exec::ThreadPool& pool) {
+  return exec::parallel_map(
+      pool, rack_counts.size(), [&](int, std::size_t i) {
+        ClusterConfig sized = cluster;
+        sized.racks = rack_counts[i];
+        return assess_deadline(jobs, sized, deadline, &pool);
+      });
+}
+
+}  // namespace
 
 DeadlineAssessment assess_deadline(std::span<const JobSpec> jobs,
                                    const ClusterConfig& cluster,
-                                   Seconds deadline) {
+                                   Seconds deadline, exec::ThreadPool* pool) {
   require(deadline > 0, "assess_deadline: deadline must be positive");
   DeadlineAssessment assessment;
   assessment.racks = cluster.racks;
@@ -18,9 +38,11 @@ DeadlineAssessment assess_deadline(std::span<const JobSpec> jobs,
       build_response_functions(jobs, cluster.racks, params);
   PlannerConfig config;
   config.objective = Objective::kMakespan;
+  config.pool = pool;
   const Plan plan = plan_offline(functions, cluster.racks, config);
   assessment.planned_makespan = plan.predicted_makespan;
-  assessment.lower_bound = lp_batch_makespan_bound(functions, cluster.racks);
+  assessment.lower_bound =
+      lp_batch_makespan_bound(functions, cluster.racks, pool);
 
   if (assessment.planned_makespan <= deadline) {
     assessment.verdict = DeadlineVerdict::kFits;
@@ -34,44 +56,44 @@ DeadlineAssessment assess_deadline(std::span<const JobSpec> jobs,
 
 CapacityPlan plan_capacity(std::span<const JobSpec> jobs,
                            const ClusterConfig& cluster, Seconds deadline,
-                           int max_racks) {
+                           int max_racks, exec::ThreadPool* pool) {
   require(max_racks >= 1, "plan_capacity: max_racks must be >= 1");
   require(deadline > 0, "plan_capacity: deadline must be positive");
+  exec::ThreadPool& exec_pool =
+      pool != nullptr ? *pool : exec::ThreadPool::shared();
 
   CapacityPlan result;
   // Doubling sweep to bracket the transition, then linear refinement: the
   // planned makespan is (weakly) improved by more racks in practice but is
   // not guaranteed monotone, so the final answer re-checks each count in
-  // the refined range.
+  // the refined range. Each sweep evaluates its rack counts in parallel and
+  // reduces the verdicts in rack-count order.
   int lo = 1;
   int hi = max_racks;
   std::vector<int> candidates;
   for (int r = 1; r <= max_racks; r *= 2) candidates.push_back(r);
   if (candidates.back() != max_racks) candidates.push_back(max_racks);
 
-  for (int r : candidates) {
-    ClusterConfig sized = cluster;
-    sized.racks = r;
-    const DeadlineAssessment assessment =
-        assess_deadline(jobs, sized, deadline);
-    result.sweep.push_back(assessment);
+  result.sweep = assess_counts(jobs, cluster, deadline, candidates, exec_pool);
+  for (const DeadlineAssessment& assessment : result.sweep) {
     if (assessment.verdict == DeadlineVerdict::kFits) {
-      hi = std::min(hi, r);
+      hi = std::min(hi, assessment.racks);
     } else {
-      lo = std::max(lo, r + 1);
+      lo = std::max(lo, assessment.racks + 1);
     }
   }
 
   // Linear refinement inside [lo, hi].
+  std::vector<int> refine;
   for (int r = lo; r <= hi; ++r) {
     const bool already = std::any_of(
         result.sweep.begin(), result.sweep.end(),
         [r](const DeadlineAssessment& a) { return a.racks == r; });
-    if (already) continue;
-    ClusterConfig sized = cluster;
-    sized.racks = r;
-    result.sweep.push_back(assess_deadline(jobs, sized, deadline));
+    if (!already) refine.push_back(r);
   }
+  const std::vector<DeadlineAssessment> refined =
+      assess_counts(jobs, cluster, deadline, refine, exec_pool);
+  result.sweep.insert(result.sweep.end(), refined.begin(), refined.end());
   std::sort(result.sweep.begin(), result.sweep.end(),
             [](const DeadlineAssessment& a, const DeadlineAssessment& b) {
               return a.racks < b.racks;

@@ -29,9 +29,13 @@ struct DeadlineAssessment {
 };
 
 // Assesses one cluster size. `cluster.racks` is taken from the argument.
+// Throws std::invalid_argument for non-positive deadlines (same contract as
+// plan_capacity). `pool` runs the planner's provisioning search and the LP
+// subproblems; nullptr uses exec::ThreadPool::shared().
 DeadlineAssessment assess_deadline(std::span<const JobSpec> jobs,
                                    const ClusterConfig& cluster,
-                                   Seconds deadline);
+                                   Seconds deadline,
+                                   exec::ThreadPool* pool = nullptr);
 
 struct CapacityPlan {
   // Smallest rack count whose heuristic plan fits the deadline; -1 when no
@@ -47,10 +51,12 @@ struct CapacityPlan {
 // transition) and returns the capacity verdicts. `cluster` supplies the
 // per-rack shape (machines, slots, NIC, oversubscription); its rack count
 // is ignored. Throws std::invalid_argument for non-positive deadlines or
-// max_racks.
+// max_racks. The per-rack-count assessments are independent and run in
+// parallel on `pool` (nullptr = exec::ThreadPool::shared()); the sweep is
+// reduced in rack-count order, so the result is identical at any width.
 CapacityPlan plan_capacity(std::span<const JobSpec> jobs,
                            const ClusterConfig& cluster, Seconds deadline,
-                           int max_racks);
+                           int max_racks, exec::ThreadPool* pool = nullptr);
 
 }  // namespace corral
 

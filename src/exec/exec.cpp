@@ -1,0 +1,147 @@
+#include "exec/exec.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace corral::exec {
+namespace {
+
+// The pool whose region this thread is currently executing (worker threads
+// and participating callers alike); null outside any region. Used to run
+// nested regions inline instead of deadlocking on the busy pool.
+thread_local ThreadPool* tl_active_pool = nullptr;
+thread_local int tl_active_worker = 0;
+
+int g_default_threads = 0;  // 0 = not set, fall back to hardware_threads()
+std::mutex g_default_mu;
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int default_threads() {
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  return g_default_threads > 0 ? g_default_threads : hardware_threads();
+}
+
+void set_default_threads(int threads) {
+  require(threads >= 1, "set_default_threads: threads must be >= 1");
+  std::lock_guard<std::mutex> lock(g_default_mu);
+  g_default_threads = threads;
+}
+
+ThreadPool::ThreadPool(int threads) : num_threads_(threads) {
+  require(threads >= 1, "ThreadPool: threads must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int w = 1; w < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;  // width fixed at first use
+  return pool;
+}
+
+void ThreadPool::run(std::size_t count,
+                     const std::function<void(int, std::size_t)>& fn) {
+  if (count == 0) return;
+
+  if (tl_active_pool == this) {
+    // Nested region from inside one of our tasks: the pool is busy with the
+    // enclosing region, so run the whole range inline on this worker. Same
+    // results, no parallelism, no deadlock.
+    for (std::size_t i = 0; i < count; ++i) fn(tl_active_worker, i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // A second top-level caller queues behind the active region rather than
+  // interleaving with it; each region still sees the whole pool.
+  idle_cv_.wait(lock, [this] { return !region_active_; });
+  region_fn_ = &fn;
+  region_count_ = count;
+  region_next_ = 0;
+  region_done_ = 0;
+  error_ = nullptr;
+  error_index_ = std::numeric_limits<std::size_t>::max();
+  region_active_ = true;
+  ++region_seq_;
+  work_cv_.notify_all();
+
+  participate(lock, /*worker=*/0);
+  done_cv_.wait(lock, [this] { return region_done_ == region_count_; });
+
+  region_active_ = false;
+  region_fn_ = nullptr;
+  region_count_ = 0;
+  const std::exception_ptr error = error_;
+  error_ = nullptr;
+  idle_cv_.notify_one();
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (region_active_ && region_next_ < region_count_);
+    });
+    if (stop_) return;
+    participate(lock, worker);
+  }
+}
+
+void ThreadPool::participate(std::unique_lock<std::mutex>& lock, int worker) {
+  // Save/restore rather than reset: the participating thread may itself be
+  // a task of another pool (a task of pool A driving a top-level region on
+  // pool B), and must stay recognizable as such once this region ends.
+  ThreadPool* const prev_pool = tl_active_pool;
+  const int prev_worker = tl_active_worker;
+  const std::uint64_t seq = region_seq_;
+  while (region_active_ && region_seq_ == seq &&
+         region_next_ < region_count_) {
+    const std::size_t index = region_next_++;
+    const auto* fn = region_fn_;
+    lock.unlock();
+    tl_active_pool = this;
+    tl_active_worker = worker;
+    try {
+      (*fn)(worker, index);
+    } catch (...) {
+      tl_active_pool = prev_pool;
+      tl_active_worker = prev_worker;
+      lock.lock();
+      // Deterministic propagation: keep the exception of the smallest
+      // index. The rest of the range still runs (no cancellation), so the
+      // surviving exception does not depend on timing or thread count.
+      if (index < error_index_) {
+        error_index_ = index;
+        error_ = std::current_exception();
+      }
+      if (++region_done_ == region_count_) done_cv_.notify_all();
+      continue;
+    }
+    tl_active_pool = prev_pool;
+    tl_active_worker = prev_worker;
+    lock.lock();
+    if (++region_done_ == region_count_) done_cv_.notify_all();
+  }
+}
+
+}  // namespace corral::exec

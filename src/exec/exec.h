@@ -1,0 +1,128 @@
+// Deterministic parallel execution engine.
+//
+// One fixed-size thread pool serves every parallel region in the library:
+// the planner's provisioning search, the what-if capacity sweeps, the LP
+// bound's per-job subproblems, and the simulation batch runner. The engine
+// guarantees that results are byte-identical regardless of thread count:
+//
+//  * Work is expressed as an indexed range [0, count). Each index must be a
+//    pure function of the index (plus read-only captures and a per-worker
+//    scratch slot that the task fully reinitializes before use) — never of
+//    which worker runs it or in what order.
+//  * Results land in an index-addressed output; any reduction over them
+//    happens on the calling thread in index order, so floating-point
+//    accumulation order is fixed.
+//  * Exceptions do not cancel the range. Every index runs; the exception
+//    thrown by the smallest index is rethrown to the caller, so failure
+//    behavior is as deterministic as success behavior.
+//
+// Scratch ownership rule: a parallel region owns one scratch slot per
+// worker (`pool.threads()` slots). A task may only touch the slot of the
+// worker executing it, and must not carry state between indices — slots are
+// reuse buffers, not accumulators.
+//
+// Re-entrancy: a parallel region started from inside a pool task (e.g. a
+// policy that replans during a batched simulation) runs inline on the
+// calling worker rather than deadlocking on the busy pool. Results are
+// unchanged — only the parallelism collapses.
+#ifndef CORRAL_EXEC_EXEC_H_
+#define CORRAL_EXEC_EXEC_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace corral::exec {
+
+// Number of hardware threads, at least 1.
+int hardware_threads();
+
+// Process-wide default pool width used by ThreadPool's default constructor
+// and by shared(). Tools set this from --threads before first use of the
+// shared pool; later changes do not resize an already-built shared pool.
+int default_threads();
+void set_default_threads(int threads);
+
+// A fixed-size pool. The calling thread participates in every region as
+// worker 0; a pool of width 1 therefore spawns no threads at all and runs
+// every region inline.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads = default_threads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return num_threads_; }
+
+  // Runs fn(worker, index) once for every index in [0, count), blocking
+  // until the whole range completed. `worker` is in [0, threads()).
+  void run(std::size_t count,
+           const std::function<void(int, std::size_t)>& fn);
+
+  // The lazily-built process-wide pool (width = default_threads() at first
+  // use).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop(int worker);
+  // Pulls indices of the current region until it drains; `lock` holds mu_.
+  void participate(std::unique_lock<std::mutex>& lock, int worker);
+  void record_error(std::size_t index);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a region
+  std::condition_variable done_cv_;   // caller waits for completion
+  std::condition_variable idle_cv_;   // queued top-level callers wait here
+  bool stop_ = false;
+  bool region_active_ = false;
+  std::uint64_t region_seq_ = 0;
+  const std::function<void(int, std::size_t)>* region_fn_ = nullptr;
+  std::size_t region_count_ = 0;
+  std::size_t region_next_ = 0;
+  std::size_t region_done_ = 0;
+  std::size_t error_index_ = 0;
+  std::exception_ptr error_;
+};
+
+// fn(index) for every index in [0, count).
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  pool.run(count, [&fn](int, std::size_t i) { fn(i); });
+}
+
+// fn(worker, index): like parallel_for but exposing the worker id for
+// per-worker scratch slots (see the ownership rule above).
+template <typename Fn>
+void parallel_for_workers(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  pool.run(count,
+           [&fn](int worker, std::size_t i) { fn(worker, i); });
+}
+
+// Maps fn(worker, index) -> T over [0, count); results in index order. T
+// need not be default-constructible.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  using T = decltype(fn(0, std::size_t{0}));
+  std::vector<std::optional<T>> slots(count);
+  pool.run(count, [&](int worker, std::size_t i) {
+    slots[i].emplace(fn(worker, i));
+  });
+  std::vector<T> out;
+  out.reserve(count);
+  for (std::optional<T>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace corral::exec
+
+#endif  // CORRAL_EXEC_EXEC_H_

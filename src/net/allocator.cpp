@@ -15,6 +15,16 @@ constexpr double kTinyBytes = 1e-6;
 // Scratch space for one progressive-filling pass, reusable across calls to
 // avoid reallocating per-link vectors on every rate recomputation (the
 // allocator runs once per simulation event batch).
+//
+// Concurrency contract (exec:: pool workers run whole simulations, so one
+// OS thread serves many simulations over its lifetime and several threads
+// allocate at once): the scratch is thread_local, and prepare() must leave
+// no observable state from the previous pass — width_on_link and frozen are
+// reassigned outright; flows_on_link entries are cleared lazily on a link's
+// first touch, which is sound only because width_on_link[link] == 0.0 is
+// the "untouched this pass" marker and stale entries behind a zero width
+// are never read. Results therefore cannot depend on which worker ran the
+// previous simulation (regression test: AllocatorConcurrency in net_test).
 struct FillScratch {
   std::vector<double> width_on_link;
   std::vector<std::vector<int>> flows_on_link;
@@ -97,6 +107,11 @@ void progressive_fill(std::vector<Flow>& flows, std::vector<double> residual,
   }
 }
 
+// One scratch per OS thread: concurrent allocations (simulation batches on
+// the exec:: pool) never share buffers, and a pool worker reuses its slot
+// across simulations without reallocation. allocate() is not re-entrant on
+// one thread (nothing in progressive_fill calls back out), so a single slot
+// per thread suffices.
 FillScratch& thread_scratch() {
   thread_local FillScratch scratch;
   return scratch;

@@ -1,0 +1,48 @@
+#include "sim/batch.h"
+
+#include "exec/exec.h"
+#include "util/check.h"
+
+namespace corral {
+
+BatchRunner::BatchRunner(exec::ThreadPool* pool) : pool_(pool) {}
+
+std::vector<BatchResult> BatchRunner::run(
+    std::span<const BatchCase> cases) const {
+  exec::ThreadPool& pool =
+      pool_ != nullptr ? *pool_ : exec::ThreadPool::shared();
+  for (const BatchCase& batch_case : cases) {
+    require(static_cast<bool>(batch_case.make_policy),
+            "BatchRunner: case without a policy factory");
+  }
+  return exec::parallel_map(pool, cases.size(), [&](int, std::size_t i) {
+    const BatchCase& batch_case = cases[i];
+    const std::unique_ptr<SchedulingPolicy> policy = batch_case.make_policy();
+    ensure(policy != nullptr, "BatchRunner: policy factory returned null");
+    return BatchResult{batch_case.label,
+                       run_simulation(batch_case.jobs, *policy,
+                                      batch_case.config)};
+  });
+}
+
+std::vector<BatchResult> BatchRunner::run_policies(
+    std::span<const JobSpec> jobs, const SimConfig& config,
+    std::span<const std::function<std::unique_ptr<SchedulingPolicy>()>>
+        factories) const {
+  std::vector<BatchCase> cases;
+  cases.reserve(factories.size());
+  for (const auto& factory : factories) {
+    BatchCase batch_case;
+    batch_case.jobs.assign(jobs.begin(), jobs.end());
+    batch_case.config = config;
+    batch_case.make_policy = factory;
+    cases.push_back(std::move(batch_case));
+  }
+  std::vector<BatchResult> results = run(cases);
+  for (BatchResult& result : results) {
+    if (result.label.empty()) result.label = result.result.policy_name;
+  }
+  return results;
+}
+
+}  // namespace corral

@@ -1,0 +1,187 @@
+// The exec:: determinism contract, checked end to end: the planner, the
+// what-if layer, and the simulation batch runner must produce *byte
+// identical* results (exact ==, never EXPECT_NEAR) at pool widths 1, 2 and
+// 8. Width 1 is the serial reference — a one-thread pool spawns no threads
+// and runs every region inline on the caller.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "corral/latency_model.h"
+#include "corral/planner.h"
+#include "corral/whatif.h"
+#include "exec/exec.h"
+#include "sim/batch.h"
+#include "sim/simulator.h"
+#include "workload/workloads.h"
+
+namespace corral {
+namespace {
+
+constexpr int kWidths[] = {1, 2, 8};
+
+ClusterConfig mid_cluster(int racks = 6) {
+  ClusterConfig config;
+  config.racks = racks;
+  config.machines_per_rack = 20;
+  config.slots_per_machine = 8;
+  config.nic_bandwidth = 2.5 * kGbps;
+  config.oversubscription = 5.0;
+  return config;
+}
+
+std::vector<JobSpec> w3_jobs(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  W3Config config;
+  config.num_jobs = count;
+  return make_w3(config, rng);
+}
+
+void expect_identical_plans(const Plan& a, const Plan& b, int width) {
+  EXPECT_EQ(a.predicted_makespan, b.predicted_makespan) << "width " << width;
+  EXPECT_EQ(a.predicted_avg_completion, b.predicted_avg_completion)
+      << "width " << width;
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].job_index, b.jobs[j].job_index);
+    EXPECT_EQ(a.jobs[j].num_racks, b.jobs[j].num_racks);
+    EXPECT_EQ(a.jobs[j].racks, b.jobs[j].racks);
+    EXPECT_EQ(a.jobs[j].start_time, b.jobs[j].start_time) << "job " << j;
+    EXPECT_EQ(a.jobs[j].predicted_latency, b.jobs[j].predicted_latency)
+        << "job " << j << " width " << width;
+    EXPECT_EQ(a.jobs[j].priority, b.jobs[j].priority);
+  }
+}
+
+TEST(Determinism, PlanOfflineIsByteIdenticalAcrossWidths) {
+  const ClusterConfig cluster = mid_cluster();
+  const auto jobs = w3_jobs(40, 7);
+  for (Objective objective :
+       {Objective::kMakespan, Objective::kAverageCompletionTime}) {
+    PlannerConfig config;
+    config.objective = objective;
+    exec::ThreadPool serial(1);
+    config.pool = &serial;
+    const Plan reference = plan_offline(jobs, cluster, config);
+    for (int width : kWidths) {
+      exec::ThreadPool pool(width);
+      config.pool = &pool;
+      expect_identical_plans(reference, plan_offline(jobs, cluster, config),
+                             width);
+    }
+  }
+}
+
+TEST(Determinism, PlanRollingIsByteIdenticalAcrossWidths) {
+  const ClusterConfig cluster = mid_cluster();
+  auto jobs = w3_jobs(30, 9);
+  Rng rng(10);
+  assign_uniform_arrivals(jobs, 30 * kMinute, rng);
+  const LatencyModelParams params = LatencyModelParams::from_cluster(cluster);
+  const auto functions = build_response_functions(jobs, cluster.racks, params);
+
+  PlannerConfig config;
+  config.objective = Objective::kAverageCompletionTime;
+  exec::ThreadPool serial(1);
+  config.pool = &serial;
+  const Plan reference =
+      plan_rolling(functions, cluster.racks, config, 10 * kMinute);
+  for (int width : kWidths) {
+    exec::ThreadPool pool(width);
+    config.pool = &pool;
+    expect_identical_plans(
+        reference, plan_rolling(functions, cluster.racks, config, 10 * kMinute),
+        width);
+  }
+}
+
+TEST(Determinism, PlanCapacityIsByteIdenticalAcrossWidths) {
+  const auto jobs = w3_jobs(30, 11);
+  const ClusterConfig shape = mid_cluster(1);
+  // A deadline some rack count in [1, 12] can meet but rack 1 misses.
+  exec::ThreadPool serial(1);
+  const Seconds deadline =
+      assess_deadline(jobs, shape, 1.0, &serial).planned_makespan / 2.5;
+
+  const CapacityPlan reference =
+      plan_capacity(jobs, shape, deadline, 12, &serial);
+  for (int width : kWidths) {
+    exec::ThreadPool pool(width);
+    const CapacityPlan plan = plan_capacity(jobs, shape, deadline, 12, &pool);
+    EXPECT_EQ(plan.racks_needed, reference.racks_needed) << "width " << width;
+    EXPECT_EQ(plan.certified_floor, reference.certified_floor);
+    ASSERT_EQ(plan.sweep.size(), reference.sweep.size());
+    for (std::size_t i = 0; i < plan.sweep.size(); ++i) {
+      EXPECT_EQ(plan.sweep[i].racks, reference.sweep[i].racks);
+      EXPECT_EQ(plan.sweep[i].verdict, reference.sweep[i].verdict);
+      EXPECT_EQ(plan.sweep[i].planned_makespan,
+                reference.sweep[i].planned_makespan)
+          << "racks " << plan.sweep[i].racks << " width " << width;
+      EXPECT_EQ(plan.sweep[i].lower_bound, reference.sweep[i].lower_bound)
+          << "racks " << plan.sweep[i].racks << " width " << width;
+    }
+  }
+}
+
+TEST(Determinism, BatchRunnerIsByteIdenticalAcrossWidths) {
+  SimConfig sim;
+  sim.cluster = mid_cluster(4);
+  sim.cluster.machines_per_rack = 8;
+  sim.cluster.slots_per_machine = 4;
+  sim.write_output_replicas = true;
+  sim.seed = 2015;
+
+  Rng rng(12);
+  W1Config wconfig;
+  wconfig.num_jobs = 10;
+  wconfig.task_scale = 0.25;
+  const auto jobs = make_w1(wconfig, rng);
+
+  PlannerConfig planner_config;
+  const Plan plan = plan_offline(jobs, sim.cluster, planner_config);
+  const PlanLookup lookup(jobs, plan);
+  const PlanLookup* lookup_ptr = &lookup;
+
+  std::vector<BatchCase> cases(3);
+  for (auto& batch_case : cases) {
+    batch_case.jobs = jobs;
+    batch_case.config = sim;
+  }
+  cases[0].make_policy = []() -> std::unique_ptr<SchedulingPolicy> {
+    return std::make_unique<YarnCapacityPolicy>();
+  };
+  cases[1].make_policy = [lookup_ptr]() -> std::unique_ptr<SchedulingPolicy> {
+    return std::make_unique<CorralPolicy>(lookup_ptr);
+  };
+  cases[2].make_policy = [lookup_ptr]() -> std::unique_ptr<SchedulingPolicy> {
+    return std::make_unique<LocalShufflePolicy>(lookup_ptr);
+  };
+
+  exec::ThreadPool serial(1);
+  const auto reference = BatchRunner(&serial).run(cases);
+  ASSERT_EQ(reference.size(), cases.size());
+  for (int width : kWidths) {
+    exec::ThreadPool pool(width);
+    const auto batch = BatchRunner(&pool).run(cases);
+    ASSERT_EQ(batch.size(), reference.size());
+    for (std::size_t c = 0; c < batch.size(); ++c) {
+      EXPECT_EQ(batch[c].result.policy_name, reference[c].result.policy_name);
+      EXPECT_EQ(batch[c].result.makespan, reference[c].result.makespan)
+          << "case " << c << " width " << width;
+      EXPECT_EQ(batch[c].result.total_cross_rack_bytes,
+                reference[c].result.total_cross_rack_bytes)
+          << "case " << c << " width " << width;
+      const auto jct = batch[c].result.completion_times();
+      const auto jct_ref = reference[c].result.completion_times();
+      ASSERT_EQ(jct.size(), jct_ref.size());
+      for (std::size_t j = 0; j < jct.size(); ++j) {
+        EXPECT_EQ(jct[j], jct_ref[j])
+            << "case " << c << " job " << j << " width " << width;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corral

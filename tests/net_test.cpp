@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "exec/exec.h"
 #include "net/network.h"
 
 namespace corral {
@@ -210,6 +212,56 @@ TEST(Network, StorageFlowsShareTheInterconnect) {
   net.start_storage_flow(0, 40, 1.0, -1, 1);
   net.start_storage_flow(4, 40, 1.0, -1, 2);
   EXPECT_NEAR(net.time_to_next_completion(), 10.0, 1e-9);  // 4 B/s each
+}
+
+TEST(AllocatorConcurrency, ParallelAllocationsMatchSerialExactly) {
+  // Regression test for the allocator's thread_local FillScratch (see
+  // net/allocator.cpp): pool workers run many allocations back to back on
+  // the same OS thread, so the lazily-cleared scratch must never leak rates
+  // between independent networks. Each case drives its own Network through
+  // a distinct flow pattern; the parallel completion times must equal the
+  // serial ones bit for bit.
+  const ClusterConfig config = tiny_cluster();
+  const int kCases = 48;
+  auto drive = [&](int c) {
+    Network net(config, c % 2 == 0
+                            ? std::unique_ptr<RateAllocator>(
+                                  std::make_unique<MaxMinFairAllocator>())
+                            : std::make_unique<VarysAllocator>());
+    // A mix of local, cross-rack, and fan-in flows whose shape varies with
+    // the case index, so different workers hold differently-sized scratch.
+    const int flows = 2 + c % 5;
+    for (int f = 0; f < flows; ++f) {
+      const int src = (c + f) % 8;
+      const int dst = (c + 3 * f + 1) % 8;
+      if (src == dst) continue;
+      net.start_flow({src, dst, 40.0 + 8 * f, 1.0 + f % 3,
+                      /*coflow=*/c % 3 == 0 ? f % 2 : -1,
+                      static_cast<std::uint64_t>(f)});
+    }
+    net.start_fanin_flow(c % 2, (c + 5) % 8, 64, 3.0, -1, 99);
+    std::vector<double> completions;
+    while (!net.idle()) {
+      const Seconds horizon = net.time_to_next_completion();
+      completions.push_back(horizon);
+      net.advance(horizon);
+    }
+    completions.push_back(net.cross_rack_bytes());
+    return completions;
+  };
+
+  std::vector<std::vector<double>> serial(kCases);
+  for (int c = 0; c < kCases; ++c) serial[c] = drive(c);
+
+  exec::ThreadPool pool(8);
+  const auto parallel = exec::parallel_map(
+      pool, kCases, [&](int, std::size_t c) { return drive(int(c)); });
+  for (int c = 0; c < kCases; ++c) {
+    ASSERT_EQ(parallel[c].size(), serial[c].size()) << "case " << c;
+    for (std::size_t i = 0; i < serial[c].size(); ++i) {
+      EXPECT_EQ(parallel[c][i], serial[c][i]) << "case " << c << " step " << i;
+    }
+  }
 }
 
 TEST(Network, StorageFlowValidation) {

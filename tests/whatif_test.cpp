@@ -84,11 +84,17 @@ TEST(WhatIf, ImpossibleDeadlineYieldsNoAnswer) {
 TEST(WhatIf, Validation) {
   Rng rng(4);
   const auto jobs = batch(5, rng);
+  // Both entry points reject non-positive deadlines identically: zero and
+  // negative each throw invalid_argument from assess_deadline and
+  // plan_capacity alike.
   EXPECT_THROW(plan_capacity(jobs, rack_shape(), 0.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(plan_capacity(jobs, rack_shape(), -1.0, 4),
                std::invalid_argument);
   EXPECT_THROW(plan_capacity(jobs, rack_shape(), 100.0, 0),
                std::invalid_argument);
   ClusterConfig cluster = rack_shape();
+  EXPECT_THROW(assess_deadline(jobs, cluster, 0.0), std::invalid_argument);
   EXPECT_THROW(assess_deadline(jobs, cluster, -1.0), std::invalid_argument);
 }
 

@@ -24,10 +24,12 @@ int main(int argc, char** argv) {
                    "rolling-horizon window in minutes; 0 = single shot");
   flags.add_bool("bound", true, "also compute the LP relaxation bound");
   flags.add_int("max-rows", 50, "plan rows to print (0 = all)");
+  tools::add_threads_flag(flags);
   tools::add_cluster_flags(flags);
   if (!flags.parse(argc, argv, std::cerr)) return 2;
 
   try {
+    tools::apply_threads_flag(flags);
     const std::string path = flags.get_string("trace");
     if (path.empty()) {
       std::cerr << "--trace is required\n";

@@ -49,10 +49,12 @@ int main(int argc, char** argv) {
   flags.add_double("straggler-slowdown", 4.0, "straggler slowdown factor");
   flags.add_bool("speculation", false,
                  "enable Hadoop-style speculative execution");
+  tools::add_threads_flag(flags);
   tools::add_cluster_flags(flags);
   if (!flags.parse(argc, argv, std::cerr)) return 2;
 
   try {
+    tools::apply_threads_flag(flags);
     const std::string path = flags.get_string("trace");
     if (path.empty()) {
       std::cerr << "--trace is required\n";

@@ -1,9 +1,25 @@
 #include "tool_common.h"
 
+#include "exec/exec.h"
 #include "util/check.h"
 #include "util/units.h"
 
 namespace corral::tools {
+
+void add_threads_flag(FlagParser& flags) {
+  flags.add_int("threads", 0,
+                "worker threads for planning and simulation batches "
+                "(0 = hardware concurrency); results are identical at any "
+                "thread count");
+}
+
+void apply_threads_flag(const FlagParser& flags) {
+  const long threads = flags.get_int("threads");
+  require(threads >= 0, "--threads must be >= 0");
+  if (threads > 0) {
+    exec::set_default_threads(static_cast<int>(threads));
+  }
+}
 
 void add_cluster_flags(FlagParser& flags) {
   flags.add_int("racks", 7, "number of racks");

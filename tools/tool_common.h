@@ -7,6 +7,12 @@
 
 namespace corral::tools {
 
+// Registers --threads (0 = hardware concurrency); apply_threads_flag sets
+// the exec:: default pool width from it and must run before anything
+// touches exec::ThreadPool::shared() (i.e. before planning or simulating).
+void add_threads_flag(FlagParser& flags);
+void apply_threads_flag(const FlagParser& flags);
+
 // Registers --racks / --machines-per-rack / --slots-per-machine /
 // --nic-gbps / --oversubscription / --background with testbed defaults.
 void add_cluster_flags(FlagParser& flags);
