@@ -1,12 +1,62 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
+#include "obs/export.h"
 #include "util/table.h"
 
 namespace corral::bench {
+namespace {
+
+void write_env_trace() {
+  const char* out = std::getenv("CORRAL_TRACE_OUT");
+  if (out == nullptr || bench_tracer() == nullptr) return;
+  try {
+    obs::write_chrome_trace_file(out, *bench_tracer());
+    std::fprintf(stderr, "trace written to %s\n", out);
+  } catch (const std::exception& e) {
+    // Throwing out of an atexit handler would call std::terminate.
+    std::fprintf(stderr, "trace write to %s failed: %s\n", out, e.what());
+  }
+}
+
+// Next free sink id for the env tracer. Advanced per batch in program
+// order (the bench mains are single-threaded between batches), so lane
+// assignment stays deterministic.
+int next_trace_sink = 0;
+
+}  // namespace
 
 exec::ThreadPool& pool() { return exec::ThreadPool::shared(); }
+
+obs::Tracer* bench_tracer() {
+  // Intentionally leaked: std::atexit(write_env_trace) is registered during
+  // this static's initialization, so a destructor registered *after*
+  // initialization (e.g. a unique_ptr's) would run before the handler and
+  // the export would read a destroyed tracer.
+  static obs::Tracer* const tracer = []() -> obs::Tracer* {
+    const char* out = std::getenv("CORRAL_TRACE_OUT");
+    if (out == nullptr || *out == '\0') return nullptr;
+    obs::TracerOptions options;
+    const char* level = std::getenv("CORRAL_TRACE_LEVEL");
+    options.level = level != nullptr ? obs::parse_trace_level(level)
+                                     : obs::TraceLevel::kJobs;
+    std::atexit(write_env_trace);
+    return new obs::Tracer(options);
+  }();
+  return tracer;
+}
+
+std::vector<BatchResult> run_traced(std::span<const BatchCase> cases) {
+  BatchRunner runner(&pool());
+  if (obs::Tracer* tracer = bench_tracer()) {
+    runner.set_tracer(tracer, next_trace_sink);
+    next_trace_sink += static_cast<int>(cases.size());
+  }
+  return runner.run(cases);
+}
 
 ClusterConfig testbed() {
   ClusterConfig config;
@@ -97,7 +147,7 @@ PolicyComparison run_all_policies(const std::vector<JobSpec>& jobs,
       plan_workload(jobs, sim.cluster, objective);
   const std::vector<BatchCase> cases =
       policy_cases(jobs, planned, sim, "", include_shufflewatcher);
-  const std::vector<BatchResult> batch = BatchRunner(&pool()).run(cases);
+  const std::vector<BatchResult> batch = run_traced(cases);
 
   PolicyComparison results;
   results.yarn = batch[0].result;
@@ -115,7 +165,7 @@ TwoPolicyComparison run_yarn_and_corral(const std::vector<JobSpec>& jobs,
   std::vector<BatchCase> cases =
       policy_cases(jobs, planned, sim, "", /*include_shufflewatcher=*/false);
   cases.resize(2);  // yarn + corral only
-  const std::vector<BatchResult> batch = BatchRunner(&pool()).run(cases);
+  const std::vector<BatchResult> batch = run_traced(cases);
   TwoPolicyComparison results;
   results.yarn = batch[0].result;
   results.corral = batch[1].result;

@@ -14,10 +14,12 @@
 #define CORRAL_BENCH_BENCH_COMMON_H_
 
 #include <optional>
+#include <span>
 #include <string>
 
 #include "corral/lp_bound.h"
 #include "exec/exec.h"
+#include "obs/trace.h"
 #include "sim/batch.h"
 #include "sim/simulator.h"
 #include "workload/workloads.h"
@@ -30,6 +32,18 @@ namespace corral::bench {
 // byte-identical to their serial equivalents by the exec:: determinism
 // contract.
 exec::ThreadPool& pool();
+
+// Environment-driven tracing for the bench binaries: when CORRAL_TRACE_OUT
+// is set, every batch run through run_traced()/run_all_policies()/
+// run_yarn_and_corral() records into a shared tracer (verbosity from
+// CORRAL_TRACE_LEVEL, default "jobs") and the merged Chrome trace is
+// written to that path at exit. Returns nullptr when tracing is off.
+obs::Tracer* bench_tracer();
+
+// BatchRunner::run on the bench pool, with the env tracer (if any)
+// attached; sink ids advance with every batch so several sweeps in one
+// binary land in distinct trace lanes.
+std::vector<BatchResult> run_traced(std::span<const BatchCase> cases);
 
 // The simulated 210-machine evaluation testbed.
 ClusterConfig testbed();

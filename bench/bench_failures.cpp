@@ -116,8 +116,7 @@ int main() {
                                                   *planner_ptr);
     });
   }
-  const std::vector<BatchResult> batch =
-      BatchRunner(&bench::pool()).run(cases);
+  const std::vector<BatchResult> batch = bench::run_traced(cases);
 
   struct SweepPoint {
     double mtbf_hours = 0;  // 0 = no churn

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <vector>
 
@@ -47,7 +48,14 @@ double plan_seconds(const std::vector<JobSpec>& jobs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: a tiny grid for CI (seconds, not minutes) that still exercises
+  // the full measure-and-write path, so the bench cannot rot unbuilt or
+  // unrunnable. Registered as a ctest case in bench/CMakeLists.txt.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   // At least 4 so the parallel series exercises a real multi-worker pool
   // even on small CI hosts; on a single hardware thread the speedup
   // degenerates to ~1x (the contract is byte-identical output, the speedup
@@ -63,12 +71,15 @@ int main() {
   exec::ThreadPool parallel_pool(parallel_threads);
 
   Rng rng(5);
-  const auto all_jobs = bench::w3(rng, 500);
+  const auto all_jobs = bench::w3(rng, smoke ? 40 : 500);
 
   // The jobs x racks grid. Every point runs at both widths; the paper's
   // figure is the racks=100 column of the serial series.
-  const std::vector<int> rack_counts = {50, 100};
-  const std::vector<int> job_counts = {50, 100, 200, 300, 400, 500};
+  const std::vector<int> rack_counts = smoke ? std::vector<int>{10}
+                                             : std::vector<int>{50, 100};
+  const std::vector<int> job_counts =
+      smoke ? std::vector<int>{20, 40}
+            : std::vector<int>{50, 100, 200, 300, 400, 500};
   std::vector<GridPoint> grid;
   std::printf("\n%-8s %-8s %14s %14s %10s\n", "jobs", "racks",
               "1 thread (s)", "N threads (s)", "speedup");

@@ -42,8 +42,7 @@ int main() {
       cases.push_back(std::move(batch_case));
     }
   }
-  const std::vector<BatchResult> batch =
-      BatchRunner(&bench::pool()).run(cases);
+  const std::vector<BatchResult> batch = bench::run_traced(cases);
 
   std::printf("\n%-6s %12s %14s %16s\n", "", "Corral", "LocalShuffle",
               "ShuffleWatcher");

@@ -45,8 +45,7 @@ int main() {
       cases.push_back(std::move(batch_case));
     }
   }
-  const std::vector<BatchResult> batch =
-      BatchRunner(&bench::pool()).run(cases);
+  const std::vector<BatchResult> batch = bench::run_traced(cases);
 
   constexpr std::size_t kPoliciesPerWorkload = 4;
   for (std::size_t w = 0; w < workloads.size(); ++w) {

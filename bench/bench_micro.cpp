@@ -9,6 +9,7 @@
 #include "dfs/placement.h"
 #include "lp/simplex.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "workload/workloads.h"
 
@@ -199,6 +200,54 @@ void BM_EndToEndSmallSim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndSmallSim)->Unit(benchmark::kMillisecond);
+
+// Same simulation with a tracer attached at level off: every hook reduces
+// to TraceRecorder::at()'s single comparison, so this must stay within
+// noise (<=2%) of BM_EndToEndSmallSim — the "tracing off is free" contract
+// of src/obs.
+void BM_EndToEndSmallSimTraceOff(benchmark::State& state) {
+  Rng rng(6);
+  W1Config wconfig;
+  wconfig.num_jobs = 10;
+  wconfig.task_scale = 0.25;
+  const auto jobs = make_w1(wconfig, rng);
+  obs::Tracer tracer;  // default options: level off
+  SimConfig sim;
+  sim.cluster.racks = 7;
+  sim.cluster.machines_per_rack = 6;
+  sim.cluster.slots_per_machine = 8;
+  sim.cluster.nic_bandwidth = 2.5 * kGbps;
+  sim.tracer = &tracer;
+  for (auto _ : state) {
+    YarnCapacityPolicy policy;
+    benchmark::DoNotOptimize(run_simulation(jobs, policy, sim));
+  }
+}
+BENCHMARK(BM_EndToEndSmallSimTraceOff)->Unit(benchmark::kMillisecond);
+
+// And with per-task tracing on, for an honest cost number in the docs.
+void BM_EndToEndSmallSimTraceTasks(benchmark::State& state) {
+  Rng rng(6);
+  W1Config wconfig;
+  wconfig.num_jobs = 10;
+  wconfig.task_scale = 0.25;
+  const auto jobs = make_w1(wconfig, rng);
+  obs::TracerOptions options;
+  options.level = obs::TraceLevel::kTasks;
+  SimConfig sim;
+  sim.cluster.racks = 7;
+  sim.cluster.machines_per_rack = 6;
+  sim.cluster.slots_per_machine = 8;
+  sim.cluster.nic_bandwidth = 2.5 * kGbps;
+  for (auto _ : state) {
+    // A fresh tracer per iteration so the sink does not grow unboundedly.
+    obs::Tracer tracer(options);
+    sim.tracer = &tracer;
+    YarnCapacityPolicy policy;
+    benchmark::DoNotOptimize(run_simulation(jobs, policy, sim));
+  }
+}
+BENCHMARK(BM_EndToEndSmallSimTraceTasks)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace corral

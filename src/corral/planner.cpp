@@ -1,11 +1,14 @@
 #include "corral/planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <string>
 
 #include "exec/exec.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace corral {
@@ -19,6 +22,35 @@ struct Scratch {
   std::vector<int> rack_order;   // rack indices sorted by F_i
 };
 
+// Timestamp source for planner trace events: logical step indices by
+// default (deterministic at any pool width), real elapsed seconds when the
+// tracer opted into wall clock (TracerOptions::wall_clock, profiling only).
+class PlanClock {
+ public:
+  explicit PlanClock(bool wall)
+      : wall_(wall), start_(std::chrono::steady_clock::now()) {}
+
+  double at(double step) const {
+    if (!wall_) return step;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  bool wall_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+std::string rack_list_string(const std::vector<int>& racks) {
+  std::string out;
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(racks[i]);
+  }
+  return out;
+}
+
 // Figure 4: schedules jobs in priority order onto racks, filling `plan`
 // rack sets, start times and priorities. `initial_finish` (when non-null)
 // seeds the per-rack availability F_i, which lets rolling-horizon planning
@@ -28,7 +60,9 @@ std::pair<Seconds, Seconds> run_prioritization(
     std::span<const ResponseFunction> jobs, std::span<const int> racks_per_job,
     int num_racks, const PlannerConfig& config, Scratch& scratch, Plan* plan,
     const std::vector<Seconds>* initial_finish = nullptr,
-    std::vector<Seconds>* final_finish = nullptr, int priority_base = 0) {
+    std::vector<Seconds>* final_finish = nullptr, int priority_base = 0,
+    const obs::TraceRecorder* trace = nullptr,
+    const PlanClock* clock = nullptr) {
   const std::size_t J = jobs.size();
 
   scratch.order.resize(J);
@@ -110,6 +144,20 @@ std::pair<Seconds, Seconds> run_prioritization(
       planned.start_time = start;
       planned.predicted_latency = latency;
       planned.priority = priority;
+      // The "why did job j get racks R_j" decision log: one event per
+      // scheduling decision, in priority order, from the calling thread.
+      if (trace != nullptr && trace->at(obs::TraceLevel::kJobs)) {
+        trace->instant(
+            obs::TraceTrack::kPlanner, "assign", "planner", j,
+            clock != nullptr ? clock->at(static_cast<double>(priority))
+                             : static_cast<double>(priority),
+            {obs::arg("job", static_cast<double>(j)),
+             obs::arg("num_racks", static_cast<double>(rj)),
+             obs::arg("racks", rack_list_string(planned.racks)),
+             obs::arg("start_s", start),
+             obs::arg("latency_s", latency),
+             obs::arg("priority", static_cast<double>(priority))});
+      }
     }
     ++priority;
   }
@@ -184,6 +232,10 @@ std::vector<int> provision(std::span<const ResponseFunction> jobs,
   std::vector<int> racks(J, 1);
   std::vector<int> best_racks = racks;
 
+  const obs::TraceRecorder trace(config.tracer, config.trace_sink, "planner");
+  const PlanClock clock(trace.wall_clock());
+  const double trace_start = clock.at(0.0);
+
   const auto evaluate = [&](std::span<const int> allocation,
                             Scratch& scratch) {
     const auto [makespan, avg_flow] =
@@ -193,8 +245,14 @@ std::vector<int> provision(std::span<const ResponseFunction> jobs,
   };
 
   double best_value = evaluate(racks, slots[0]);
+  std::size_t best_step = 0;  // 0 = the all-ones starting allocation
 
   const std::vector<int> chain = widening_chain(jobs, num_racks, config);
+  if (trace.at(obs::TraceLevel::kTasks)) {
+    trace.instant(obs::TraceTrack::kPlanner, "candidate", "planner", -1,
+                  clock.at(0.0),
+                  {obs::arg("step", 0.0), obs::arg("value", best_value)});
+  }
 
   // Blocked evaluation bounds the materialized candidate allocations to
   // `block * J` ints while keeping every worker busy within a block.
@@ -216,11 +274,38 @@ std::vector<int> provision(std::span<const ResponseFunction> jobs,
               evaluate(candidates[i], slots[static_cast<std::size_t>(worker)]);
         });
     for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const std::size_t step = begin + i + 1;
+      // Per-candidate log entries are recorded here — after the parallel
+      // block, on the calling thread, in step order — never from the
+      // workers, so the log is byte-identical at any pool width.
+      if (trace.at(obs::TraceLevel::kTasks)) {
+        const auto widened = static_cast<std::size_t>(chain[step - 1]);
+        trace.instant(obs::TraceTrack::kPlanner, "candidate", "planner",
+                      chain[step - 1], clock.at(static_cast<double>(step)),
+                      {obs::arg("step", static_cast<double>(step)),
+                       obs::arg("widened_job", static_cast<double>(widened)),
+                       obs::arg("widened_to",
+                                static_cast<double>(candidates[i][widened])),
+                       obs::arg("value", values[i])});
+      }
       if (values[i] < best_value) {
         best_value = values[i];
+        best_step = step;
         best_racks = std::move(candidates[i]);
       }
     }
+  }
+  if (trace.at(obs::TraceLevel::kJobs)) {
+    trace.span(
+        obs::TraceTrack::kPlanner, "provision", "planner", 0, trace_start,
+        clock.at(static_cast<double>(chain.size() + 1)),
+        {obs::arg("jobs", static_cast<double>(J)),
+         obs::arg("candidates", static_cast<double>(chain.size() + 1)),
+         obs::arg("best_step", static_cast<double>(best_step)),
+         obs::arg("best_value", best_value),
+         obs::arg("objective", config.objective == Objective::kMakespan
+                                   ? std::string("makespan")
+                                   : std::string("avg_completion"))});
   }
   return best_racks;
 }
@@ -245,10 +330,21 @@ Plan prioritize(std::span<const ResponseFunction> jobs,
   Plan plan;
   plan.jobs.resize(jobs.size());
   Scratch scratch;
+  const obs::TraceRecorder trace(config.tracer, config.trace_sink, "planner");
+  const PlanClock clock(trace.wall_clock());
+  const double trace_start = clock.at(0.0);
   const auto [makespan, avg_flow] = run_prioritization(
-      jobs, racks_per_job, num_racks, config, scratch, &plan);
+      jobs, racks_per_job, num_racks, config, scratch, &plan, nullptr,
+      nullptr, 0, &trace, &clock);
   plan.predicted_makespan = makespan;
   plan.predicted_avg_completion = avg_flow;
+  if (trace.at(obs::TraceLevel::kJobs)) {
+    trace.span(obs::TraceTrack::kPlanner, "prioritize", "planner", 0,
+               trace_start, clock.at(static_cast<double>(jobs.size())),
+               {obs::arg("jobs", static_cast<double>(jobs.size())),
+                obs::arg("predicted_makespan_s", makespan),
+                obs::arg("predicted_avg_completion_s", avg_flow)});
+  }
   return plan;
 }
 
@@ -322,23 +418,41 @@ Plan plan_rolling(std::span<const ResponseFunction> jobs, int num_racks,
 
   exec::ThreadPool& pool = pool_of(config);
   ScratchSlots slots(static_cast<std::size_t>(pool.threads()));
+  const obs::TraceRecorder trace(config.tracer, config.trace_sink, "planner");
+  const PlanClock clock(trace.wall_clock());
   std::vector<Seconds> finish(static_cast<std::size_t>(num_racks), 0.0);
   Seconds makespan = 0;
   Seconds total_flow = 0;
   int priority_base = 0;
-  for (const std::vector<int>& indices : window_jobs) {
+  for (std::size_t w = 0; w < window_jobs.size(); ++w) {
+    const std::vector<int>& indices = window_jobs[w];
     if (indices.empty()) continue;
     std::vector<ResponseFunction> window;
     window.reserve(indices.size());
     for (int j : indices) window.push_back(jobs[static_cast<std::size_t>(j)]);
 
+    const double window_start = clock.at(static_cast<double>(priority_base));
     const std::vector<int> racks =
         provision(window, num_racks, config, &finish, pool, slots);
     Plan window_plan;
     window_plan.jobs.resize(window.size());
     const auto [window_makespan, window_avg] = run_prioritization(
         window, racks, num_racks, config, slots[0], &window_plan, &finish,
-        &finish, priority_base);
+        &finish, priority_base, &trace, &clock);
+    // Window-local assign events above use window-local job ids; the span's
+    // "job_indices" arg maps them back to the planner's input order.
+    if (trace.at(obs::TraceLevel::kJobs)) {
+      trace.span(
+          obs::TraceTrack::kPlanner, "window", "planner",
+          static_cast<long>(w), window_start,
+          clock.at(static_cast<double>(priority_base +
+                                       static_cast<int>(window.size()))),
+          {obs::arg("window", static_cast<double>(w)),
+           obs::arg("window_start_s", static_cast<double>(w) * period),
+           obs::arg("jobs", static_cast<double>(window.size())),
+           obs::arg("job_indices", rack_list_string(indices)),
+           obs::arg("window_makespan_s", window_makespan)});
+    }
     makespan = std::max(makespan, window_makespan);
     total_flow += window_avg * static_cast<double>(window.size());
     priority_base += static_cast<int>(window.size());

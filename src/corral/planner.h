@@ -28,6 +28,10 @@ namespace exec {
 class ThreadPool;
 }  // namespace exec
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 enum class Objective { kMakespan, kAverageCompletionTime };
 
 struct PlannerConfig {
@@ -44,6 +48,16 @@ struct PlannerConfig {
   // exec::ThreadPool::shared(). The plan is byte-identical for any width
   // (see DESIGN.md "Execution engine").
   exec::ThreadPool* pool = nullptr;
+
+  // Decision-log tracing (docs/observability.md): when set, the planner
+  // records a "provision" span, per-candidate evaluations (at trace level
+  // tasks) and per-job "assign" events into `tracer->sink(trace_sink)`.
+  // Timestamps are logical step indices unless the tracer opted into wall
+  // clock. Candidate events are recorded on the calling thread after each
+  // parallel evaluation block, in step order, so the decision log is
+  // byte-identical at any pool width.
+  obs::Tracer* tracer = nullptr;
+  int trace_sink = 0;
 };
 
 struct PlannedJob {

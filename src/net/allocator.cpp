@@ -45,8 +45,9 @@ struct FillScratch {
 // freeze the flows that cross it at the width-weighted fair share. When
 // `add_to_existing` is set the computed share is added on top of existing
 // rates (Varys work conservation) instead of replacing them.
-void progressive_fill(std::vector<Flow>& flows, std::vector<double> residual,
-                      bool add_to_existing, FillScratch& scratch) {
+// Returns the number of filling rounds (bottleneck links saturated).
+int progressive_fill(std::vector<Flow>& flows, std::vector<double> residual,
+                     bool add_to_existing, FillScratch& scratch) {
   scratch.prepare(static_cast<int>(residual.size()), flows.size());
 
   for (std::size_t f = 0; f < flows.size(); ++f) {
@@ -69,7 +70,9 @@ void progressive_fill(std::vector<Flow>& flows, std::vector<double> residual,
   // flows (which would stall the loop).
   constexpr double kWidthEps = 1e-9;
   std::size_t remaining_flows = flows.size();
+  int rounds = 0;
   while (remaining_flows > 0) {
+    ++rounds;
     // Bottleneck link: smallest per-width share among links carrying load.
     int bottleneck = -1;
     double best_share = kInf;
@@ -105,6 +108,7 @@ void progressive_fill(std::vector<Flow>& flows, std::vector<double> residual,
       scratch.width_on_link[static_cast<std::size_t>(bottleneck)] = 0.0;
     }
   }
+  return rounds;
 }
 
 // One scratch per OS thread: concurrent allocations (simulation batches on
@@ -127,8 +131,15 @@ void FlowPath::add(int link) {
 void MaxMinFairAllocator::allocate(std::vector<Flow>& flows,
                                    const LinkSet& links) {
   if (flows.empty()) return;
-  progressive_fill(flows, links.capacities(), /*add_to_existing=*/false,
-                   thread_scratch());
+  const int rounds = progressive_fill(flows, links.capacities(),
+                                      /*add_to_existing=*/false,
+                                      thread_scratch());
+  if (trace_.at(obs::TraceLevel::kFlows)) {
+    trace_.counter(obs::TraceTrack::kNet, "maxmin.fill_rounds", 0, trace_now(),
+                   rounds);
+    trace_.counter(obs::TraceTrack::kNet, "maxmin.active_flows", 0,
+                   trace_now(), static_cast<double>(flows.size()));
+  }
 }
 
 void VarysAllocator::allocate(std::vector<Flow>& flows,
@@ -148,6 +159,7 @@ void VarysAllocator::allocate(std::vector<Flow>& flows,
 
   // Effective bottleneck Γ of each coflow at full link capacity.
   struct Group {
+    long key = 0;
     std::vector<int> flow_ids;
     double gamma = 0;
   };
@@ -169,11 +181,46 @@ void VarysAllocator::allocate(std::vector<Flow>& flows,
       }
     }
     for (int l : touched) load[static_cast<std::size_t>(l)] = 0.0;
-    ordered.push_back(Group{std::move(ids), gamma});
+    ordered.push_back(Group{key, std::move(ids), gamma});
   }
-  // Smallest effective bottleneck first.
+  // Smallest effective bottleneck first; ties broken by coflow key so the
+  // ordering (and the reorder trace below) is stable.
   std::sort(ordered.begin(), ordered.end(),
-            [](const Group& a, const Group& b) { return a.gamma < b.gamma; });
+            [](const Group& a, const Group& b) {
+              return a.gamma != b.gamma ? a.gamma < b.gamma : a.key < b.key;
+            });
+
+  if (trace_.at(obs::TraceLevel::kFlows)) {
+    // A "reorder" is a priority inversion versus the previous allocation:
+    // the relative SEBF order of two surviving coflows flipped.
+    std::vector<long> order;
+    order.reserve(ordered.size());
+    for (const Group& group : ordered) {
+      if (group.key >= 0) order.push_back(group.key);  // real coflows only
+    }
+    bool inverted = false;
+    std::vector<long> previous;
+    for (long key : last_order_) {
+      const auto it = std::find(order.begin(), order.end(), key);
+      if (it != order.end()) {
+        previous.push_back(static_cast<long>(it - order.begin()));
+      }
+    }
+    for (std::size_t i = 1; i < previous.size(); ++i) {
+      if (previous[i] < previous[i - 1]) {
+        inverted = true;
+        break;
+      }
+    }
+    if (inverted) ++reorders_;
+    last_order_ = std::move(order);
+    trace_.instant(obs::TraceTrack::kNet, "sebf", "net", 0, trace_now(),
+                   {obs::arg("coflows", static_cast<double>(last_order_.size())),
+                    obs::arg("groups", static_cast<double>(ordered.size())),
+                    obs::arg("reordered", inverted ? 1.0 : 0.0)});
+    trace_.counter(obs::TraceTrack::kNet, "varys.reorders", 0, trace_now(),
+                   static_cast<double>(reorders_));
+  }
 
   // MADD: give each coflow, in SEBF order, just enough rate on the residual
   // capacities to finish all its flows together.

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/links.h"
+#include "obs/trace.h"
 
 namespace corral {
 
@@ -49,6 +50,20 @@ class RateAllocator {
   virtual void allocate(std::vector<Flow>& flows, const LinkSet& links) = 0;
 
   virtual std::string_view name() const = 0;
+
+  // Attaches tracing (level >= flows records allocator internals: fill
+  // rounds, SEBF orderings). `clock` points at the owner's virtual-time
+  // accumulator (Network::elapsed()), read at each allocate() call.
+  void set_trace(const obs::TraceRecorder& trace, const double* clock) {
+    trace_ = trace;
+    clock_ = clock;
+  }
+
+ protected:
+  double trace_now() const { return clock_ != nullptr ? *clock_ : 0.0; }
+
+  obs::TraceRecorder trace_;
+  const double* clock_ = nullptr;
 };
 
 // Width-weighted max-min fairness via progressive filling; a fluid proxy
@@ -67,6 +82,12 @@ class VarysAllocator : public RateAllocator {
  public:
   void allocate(std::vector<Flow>& flows, const LinkSet& links) override;
   std::string_view name() const override { return "varys"; }
+
+ private:
+  // SEBF order of the previous allocation (coflow keys, smallest-gamma
+  // first), kept only to notice and trace priority inversions.
+  std::vector<long> last_order_;
+  std::uint64_t reorders_ = 0;
 };
 
 }  // namespace corral

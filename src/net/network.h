@@ -42,6 +42,13 @@ class Network {
   const ClusterConfig& cluster() const { return config_; }
   RateAllocator& allocator() { return *allocator_; }
 
+  // Forwards tracing to the rate allocator. `clock` points at the owning
+  // simulator's virtual-time counter (read at each rate recomputation);
+  // null stamps allocator events at t=0.
+  void set_trace(const obs::TraceRecorder& trace, const double* clock) {
+    allocator_->set_trace(trace, clock);
+  }
+
   // Machine-to-machine flow: host_up(src) [+ rack_up/rack_down when the
   // machines are in different racks] + host_down(dst). Used for remote
   // chunk reads and replica writes. Requires src != dst and bytes > 0.

@@ -1,0 +1,249 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace corral::obs {
+namespace {
+
+// Deterministic shortest-round-trip double formatting ("%.17g" prints
+// noise digits; iterate precision up from 15 like the usual idiom).
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+void write_args_object(std::ostream& out, const std::vector<TraceArg>& args) {
+  out << '{';
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out << ',';
+    out << '"' << json_escape(args[i].key) << "\":";
+    if (args[i].numeric) {
+      out << format_double(args[i].num);
+    } else {
+      out << '"' << json_escape(args[i].str) << '"';
+    }
+  }
+  out << '}';
+}
+
+// One pid lane per (sink, track); +1 keeps pid 0 free.
+int lane_pid(int sink_id, TraceTrack track) {
+  return sink_id * kTraceTracks + static_cast<int>(track) + 1;
+}
+
+std::string sink_display(const TraceSink& sink) {
+  return sink.label().empty() ? "sink" + std::to_string(sink.id())
+                              : sink.label();
+}
+
+const TraceArg* find_arg(const TraceEvent& event, std::string_view key) {
+  for (const TraceArg& a : event.args) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out, const Tracer& tracer) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit_separator = [&] {
+    if (!first) out << ',';
+    first = false;
+    out << "\n";
+  };
+  for (const TraceSink* sink : tracer.sinks()) {
+    const std::vector<TraceEvent> events = sink->events();
+    // Name the pid lanes this sink actually uses, in track order.
+    bool used[kTraceTracks] = {};
+    for (const TraceEvent& event : events) {
+      used[static_cast<int>(event.track)] = true;
+    }
+    for (int t = 0; t < kTraceTracks; ++t) {
+      if (!used[t]) continue;
+      const int pid = lane_pid(sink->id(), static_cast<TraceTrack>(t));
+      emit_separator();
+      out << "{\"ph\":\"M\",\"pid\":" << pid
+          << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+          << json_escape(sink_display(*sink)) << '/'
+          << to_string(static_cast<TraceTrack>(t)) << "\"}}";
+      emit_separator();
+      out << "{\"ph\":\"M\",\"pid\":" << pid
+          << ",\"name\":\"process_sort_index\",\"args\":{\"sort_index\":"
+          << pid << "}}";
+    }
+    for (const TraceEvent& event : events) {
+      const int pid = lane_pid(sink->id(), event.track);
+      emit_separator();
+      // Virtual seconds -> trace microseconds.
+      out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+          << json_escape(event.cat.empty() ? std::string(
+                                                 to_string(event.track))
+                                           : event.cat)
+          << "\",\"pid\":" << pid << ",\"tid\":" << event.tid
+          << ",\"ts\":" << format_double(event.ts * 1e6);
+      switch (event.phase) {
+        case TracePhase::kSpan:
+          out << ",\"ph\":\"X\",\"dur\":" << format_double(event.dur * 1e6)
+              << ",\"args\":";
+          write_args_object(out, event.args);
+          break;
+        case TracePhase::kInstant:
+          out << ",\"ph\":\"i\",\"s\":\"t\",\"args\":";
+          write_args_object(out, event.args);
+          break;
+        case TracePhase::kCounter:
+          out << ",\"ph\":\"C\",\"args\":{\"value\":"
+              << format_double(event.value) << '}';
+          break;
+      }
+      out << '}';
+    }
+  }
+  out << "\n]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path, const Tracer& tracer) {
+  std::ofstream out(path);
+  require(out.good(), "write_chrome_trace_file: cannot open " + path);
+  write_chrome_trace(out, tracer);
+  require(out.good(), "write_chrome_trace_file: write failed for " + path);
+}
+
+std::string chrome_trace_string(const Tracer& tracer) {
+  std::ostringstream out;
+  write_chrome_trace(out, tracer);
+  return out.str();
+}
+
+void write_timeline_csv(std::ostream& out, const Tracer& tracer) {
+  out << "sink,label,track,phase,cat,name,job,stage,task,tid,"
+         "start_s,end_s,duration_s,value,detail\n";
+  for (const TraceSink* sink : tracer.sinks()) {
+    for (const TraceEvent& event : sink->events()) {
+      const TraceArg* job = find_arg(event, "job");
+      const TraceArg* stage = find_arg(event, "stage");
+      const TraceArg* task = find_arg(event, "task");
+      std::string detail;
+      for (const TraceArg& a : event.args) {
+        if (&a == job || &a == stage || &a == task) continue;
+        if (!detail.empty()) detail += ';';
+        detail += a.key + '=' + (a.numeric ? format_double(a.num) : a.str);
+      }
+      const char* phase = event.phase == TracePhase::kSpan      ? "span"
+                          : event.phase == TracePhase::kInstant ? "instant"
+                                                                : "counter";
+      out << sink->id() << ',' << csv_escape(sink_display(*sink)) << ','
+          << to_string(event.track) << ',' << phase << ','
+          << csv_escape(event.cat) << ',' << csv_escape(event.name) << ','
+          << (job != nullptr ? format_double(job->num) : "") << ','
+          << (stage != nullptr ? format_double(stage->num) : "") << ','
+          << (task != nullptr ? format_double(task->num) : "") << ','
+          << event.tid << ',' << format_double(event.ts) << ','
+          << format_double(event.ts + event.dur) << ','
+          << format_double(event.dur) << ','
+          << (event.phase == TracePhase::kCounter ? format_double(event.value)
+                                                  : std::string())
+          << ',' << csv_escape(detail) << '\n';
+    }
+  }
+}
+
+void write_timeline_csv_file(const std::string& path, const Tracer& tracer) {
+  std::ofstream out(path);
+  require(out.good(), "write_timeline_csv_file: cannot open " + path);
+  write_timeline_csv(out, tracer);
+  require(out.good(), "write_timeline_csv_file: write failed for " + path);
+}
+
+std::string timeline_csv_string(const Tracer& tracer) {
+  std::ostringstream out;
+  write_timeline_csv(out, tracer);
+  return out.str();
+}
+
+void write_metrics_json(std::ostream& out, const MetricsRegistry& registry) {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name)
+        << "\": " << format_double(counter.value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name)
+        << "\": " << format_double(gauge.value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : registry.histograms()) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {"
+        << "\"count\": " << histogram->count()
+        << ", \"sum\": " << format_double(histogram->sum())
+        << ", \"min\": " << format_double(histogram->min())
+        << ", \"max\": " << format_double(histogram->max())
+        << ", \"mean\": " << format_double(histogram->mean())
+        << ", \"bounds\": [";
+    for (std::size_t i = 0; i < histogram->bounds().size(); ++i) {
+      out << (i > 0 ? "," : "") << format_double(histogram->bounds()[i]);
+    }
+    out << "], \"bucket_counts\": [";
+    for (std::size_t i = 0; i < histogram->bucket_counts().size(); ++i) {
+      out << (i > 0 ? "," : "") << histogram->bucket_counts()[i];
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void write_metrics_json_file(const std::string& path,
+                             const MetricsRegistry& registry) {
+  std::ofstream out(path);
+  require(out.good(), "write_metrics_json_file: cannot open " + path);
+  write_metrics_json(out, registry);
+  require(out.good(), "write_metrics_json_file: write failed for " + path);
+}
+
+}  // namespace corral::obs

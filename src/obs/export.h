@@ -1,0 +1,43 @@
+// Trace and metrics exporters.
+//
+// Three formats:
+//  * Chrome trace-event JSON — open in chrome://tracing or
+//    https://ui.perfetto.dev. Spans map to "X" complete events, instants to
+//    "i", counters to "C"; each (sink, track) pair renders as one named
+//    process, with virtual seconds scaled to trace microseconds.
+//  * Timeline CSV — one row per span, with job/stage/task pulled out of the
+//    args into their own columns for direct pandas/gnuplot consumption.
+//  * Metrics JSON — a name-sorted snapshot of a MetricsRegistry.
+//
+// All exporters write events in (sink id, insertion sequence) order and
+// format numbers deterministically, so equal traces serialize to equal
+// bytes — the property the ObsDeterminism suite pins.
+#ifndef CORRAL_OBS_EXPORT_H_
+#define CORRAL_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace corral::obs {
+
+// JSON string-body escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& text);
+
+void write_chrome_trace(std::ostream& out, const Tracer& tracer);
+void write_chrome_trace_file(const std::string& path, const Tracer& tracer);
+std::string chrome_trace_string(const Tracer& tracer);
+
+void write_timeline_csv(std::ostream& out, const Tracer& tracer);
+void write_timeline_csv_file(const std::string& path, const Tracer& tracer);
+std::string timeline_csv_string(const Tracer& tracer);
+
+void write_metrics_json(std::ostream& out, const MetricsRegistry& registry);
+void write_metrics_json_file(const std::string& path,
+                             const MetricsRegistry& registry);
+
+}  // namespace corral::obs
+
+#endif  // CORRAL_OBS_EXPORT_H_

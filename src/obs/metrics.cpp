@@ -1,0 +1,48 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace corral::obs {
+
+Histogram::Histogram(HistogramOptions options) {
+  require(options.first_bound > 0, "Histogram first_bound must be > 0");
+  require(options.growth > 1.0, "Histogram growth must be > 1");
+  require(options.buckets > 0, "Histogram buckets must be > 0");
+  bounds_.reserve(static_cast<std::size_t>(options.buckets));
+  double bound = options.first_bound;
+  for (int i = 0; i < options.buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.growth;
+  }
+  counts_.assign(bounds_.size() + 1, 0);  // +1: overflow bucket
+}
+
+void Histogram::observe(double value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      HistogramOptions options) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(options)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace corral::obs

@@ -1,0 +1,92 @@
+// Counters, gauges and histograms with a deterministic JSON snapshot.
+//
+// One registry serves one run (or one tool invocation); instruments are
+// created on first use and exported sorted by name, so a snapshot of the
+// same run is byte-identical regardless of registration order. The registry
+// is not thread-safe — runs that fan out on the exec:: pool each get their
+// own registry (or none), mirroring the one-sink-per-run tracing rule.
+#ifndef CORRAL_OBS_METRICS_H_
+#define CORRAL_OBS_METRICS_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace corral::obs {
+
+class Counter {
+ public:
+  void add(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+struct HistogramOptions {
+  // Exponential bucket upper bounds: first_bound * growth^i for i in
+  // [0, buckets); one implicit overflow bucket catches the rest.
+  double first_bound = 1e-3;
+  double growth = 2.0;
+  int buckets = 40;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }  // +inf when empty
+  double max() const { return max_; }  // -inf when empty
+  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bucket_counts()[i] counts observations <= bounds()[i]; the final extra
+  // entry is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, HistogramOptions options = {});
+
+  // Name-sorted views for the JSON exporter.
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace corral::obs
+
+#endif  // CORRAL_OBS_METRICS_H_

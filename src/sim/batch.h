@@ -47,6 +47,14 @@ class BatchRunner {
   // nullptr = exec::ThreadPool::shared().
   explicit BatchRunner(exec::ThreadPool* pool = nullptr);
 
+  // Attaches a tracer to every case of subsequent run() calls: case i
+  // records into sink `first_sink + i` labelled "<label>" (or the policy
+  // name), plus one per-run span covering 0..makespan. Sink ids depend only
+  // on the case index, so merged traces stay byte-identical at any pool
+  // width. Cases that already carry their own SimConfig::tracer are left
+  // untouched.
+  void set_tracer(obs::Tracer* tracer, int first_sink = 0);
+
   // Runs every case and returns results in case order. A case that throws
   // (e.g. SimulationTimeout) fails the whole batch: all cases still run to
   // completion, then the smallest-index exception is rethrown.
@@ -60,6 +68,8 @@ class BatchRunner {
 
  private:
   exec::ThreadPool* pool_;
+  obs::Tracer* tracer_ = nullptr;
+  int first_sink_ = 0;
 };
 
 }  // namespace corral

@@ -87,6 +87,16 @@ struct SimResult {
 // (a - b) / a: fractional reduction of metric `b` relative to baseline `a`.
 double reduction(double baseline, double value);
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+// Folds a finished run into an obs::MetricsRegistry: sim.* counters for the
+// fault/speculation totals, sim.* gauges for makespan and utilization, and
+// histograms of job completion times and reduce durations. Used by
+// run_simulation when SimConfig::metrics is set.
+void record_sim_metrics(const SimResult& result, obs::MetricsRegistry& registry);
+
 }  // namespace corral
 
 #endif  // CORRAL_SIM_METRICS_H_

@@ -4,16 +4,15 @@
 #include <iomanip>
 
 #include "util/check.h"
+#include "util/csv.h"
 
 namespace corral {
 namespace {
 
+// Names pass through RFC 4180 escaping (util/csv.h) so commas, quotes and
+// newlines in workload names survive a round trip through the CSV.
 std::string sanitize_name(const std::string& name) {
-  std::string out = name.empty() ? std::string("unnamed") : name;
-  for (char& c : out) {
-    if (c == ',' || c == ' ' || c == '\n' || c == '\t') c = '_';
-  }
-  return out;
+  return csv_escape(name.empty() ? std::string("unnamed") : name);
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include <unordered_set>
 
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace corral {
@@ -67,6 +69,7 @@ enum class StageState { kWaiting, kMapping, kReducing, kDone };
 struct StageRuntime {
   StageState state = StageState::kWaiting;
   int parents_pending = 0;
+  Seconds activated_at = 0;  // when the stage entered kMapping (tracing)
 
   // --- map side ---
   std::deque<int> map_queue;  // unscheduled map task ids
@@ -189,6 +192,13 @@ class Simulator {
                      : std::make_unique<MaxMinFairAllocator>()),
         policy_(policy),
         rng_(config.seed) {
+    trace_ = obs::TraceRecorder(config_.tracer, config_.trace_sink,
+                                config_.trace_label.empty()
+                                    ? std::string(policy.name())
+                                    : config_.trace_label);
+    if (trace_.at(obs::TraceLevel::kFlows)) {
+      network_.set_trace(trace_, &now_);
+    }
     for (int m : config.failed_machines) topology_.fail_machine(m);
     require(config_.storage_bandwidth > 0,
             "run_simulation: storage bandwidth must be positive");
@@ -474,6 +484,22 @@ class Simulator {
         });
     active_jobs_.insert(pos, j);
 
+    if (trace_.at(obs::TraceLevel::kJobs)) {
+      std::string racks_text;
+      for (int r : J.allowed_racks) {
+        if (!racks_text.empty()) racks_text += ' ';
+        racks_text += std::to_string(r);
+      }
+      trace_.instant(
+          obs::TraceTrack::kJobs, "submit", "job", spec.id, now_,
+          {obs::arg("job", static_cast<double>(spec.id)),
+           obs::arg("name", spec.name),
+           obs::arg("priority", J.priority),
+           obs::arg("racks", racks_text.empty() ? "any" : racks_text),
+           obs::arg("constraints_dropped",
+                    J.constraints_dropped ? 1.0 : 0.0)});
+    }
+
     for (int s : spec.source_stages()) activate_stage(j, s);
     new_work_ = true;
   }
@@ -485,6 +511,7 @@ class Simulator {
     ensure(S.state == StageState::kWaiting, "activate_stage: bad state");
     ensure(S.parents_pending == 0, "activate_stage: parents pending");
     S.state = StageState::kMapping;
+    S.activated_at = now_;
 
     const auto maps = static_cast<std::size_t>(spec.num_maps);
     const auto reduces = static_cast<std::size_t>(spec.num_reduces);
@@ -558,15 +585,27 @@ class Simulator {
     const std::uint64_t key = map_key(j, s, task, attempt);
     const Bytes input_share = spec.input_bytes / spec.num_maps;
     const double slow = draw_straggler();
-    if (slow > 1.0) straggler_factor_[key] = slow;
+    if (slow > 1.0) {
+      straggler_factor_[key] = slow;
+      if (trace_.at(obs::TraceLevel::kTasks)) {
+        trace_.instant(obs::TraceTrack::kTasks, "straggler", "fault", machine,
+                       now_,
+                       {obs::arg("job", static_cast<double>(
+                                            jobs_[static_cast<std::size_t>(j)]
+                                                .spec->id)),
+                        obs::arg("stage", static_cast<double>(s)),
+                        obs::arg("task", static_cast<double>(task)),
+                        obs::arg("factor", slow)});
+      }
+    }
 
     if (S.remote_input && input_share >= kMinFlowBytes) {
       // Remote storage deployment (§7): stream the split over the storage
       // interconnect, then process.
       map_machine_[key] = machine;
-      network_.start_storage_flow(
+      note_flow(network_.start_storage_flow(
           machine, input_share, 1.0, coflow_id(j, s),
-          pack_tag(FlowKind::kMapFetch, attempt, j, s, task));
+          pack_tag(FlowKind::kMapFetch, attempt, j, s, task)));
       return;
     }
     if (S.input_file != nullptr && input_share >= kMinFlowBytes) {
@@ -584,9 +623,9 @@ class Simulator {
         }
         if (src != machine) {
           map_machine_[key] = machine;
-          network_.start_flow(FlowDesc{
+          note_flow(network_.start_flow(FlowDesc{
               src, machine, input_share, 1.0, /*coflow=*/-1,
-              pack_tag(FlowKind::kMapFetch, attempt, j, s, task)});
+              pack_tag(FlowKind::kMapFetch, attempt, j, s, task)}));
           return;  // compute event scheduled on flow completion
         }
       }
@@ -599,9 +638,9 @@ class Simulator {
             S.stage_input_by_rack[static_cast<std::size_t>(r)] /
             spec.num_maps;
         if (bytes < kMinFlowBytes) continue;
-        network_.start_fanin_flow(
+        note_flow(network_.start_fanin_flow(
             r, machine, bytes, 1.0, coflow_id(j, s),
-            pack_tag(FlowKind::kMapFetch, attempt, j, s, task));
+            pack_tag(FlowKind::kMapFetch, attempt, j, s, task)));
         ++flows;
       }
       if (flows > 0) {
@@ -644,6 +683,14 @@ class Simulator {
       }
     }
 
+    if (trace_.at(obs::TraceLevel::kTasks)) {
+      trace_.span(obs::TraceTrack::kTasks, "map", "task", machine,
+                  S.map_start[st], now_,
+                  {obs::arg("job", static_cast<double>(J.spec->id)),
+                   obs::arg("stage", static_cast<double>(s)),
+                   obs::arg("task", static_cast<double>(task)),
+                   obs::arg("machine", static_cast<double>(machine))});
+    }
     J.result.compute_seconds +=
         now_ - S.map_start[static_cast<std::size_t>(task)];
     S.map_duration_total += now_ - S.map_start[static_cast<std::size_t>(task)];
@@ -721,7 +768,19 @@ class Simulator {
     const MapReduceSpec& spec = stage_spec(j, s);
     const std::uint64_t key = reduce_key(j, s, task, attempt);
     const double slow = draw_straggler();
-    if (slow > 1.0) straggler_factor_[key] = slow;
+    if (slow > 1.0) {
+      straggler_factor_[key] = slow;
+      if (trace_.at(obs::TraceLevel::kTasks)) {
+        trace_.instant(obs::TraceTrack::kTasks, "straggler", "fault", machine,
+                       now_,
+                       {obs::arg("job", static_cast<double>(
+                                            jobs_[static_cast<std::size_t>(j)]
+                                                .spec->id)),
+                        obs::arg("stage", static_cast<double>(s)),
+                        obs::arg("task", static_cast<double>(task)),
+                        obs::arg("factor", slow)});
+      }
+    }
 
     // Fetch this reduce's share of every rack's map output. Width = number
     // of machines that produced map output there, approximating the
@@ -734,9 +793,9 @@ class Simulator {
       if (bytes < kMinFlowBytes) continue;
       const double width = std::max<std::size_t>(
           1, S.map_machines_by_rack[static_cast<std::size_t>(r)].size());
-      network_.start_fanin_flow(
+      note_flow(network_.start_fanin_flow(
           r, machine, bytes, width, coflow_id(j, s),
-          pack_tag(FlowKind::kReduceFetch, attempt, j, s, task));
+          pack_tag(FlowKind::kReduceFetch, attempt, j, s, task)));
       ++flows;
     }
     if (flows == 0) {
@@ -792,9 +851,9 @@ class Simulator {
       const int remote = random_machine_excluding_rack(rack);
       if (remote >= 0) {
         const int attempt = S.reduce_attempt[static_cast<std::size_t>(task)];
-        network_.start_flow(FlowDesc{
+        note_flow(network_.start_flow(FlowDesc{
             machine, remote, out_share, 1.0, /*coflow=*/-1,
-            pack_tag(FlowKind::kWriteRemote, attempt, j, s, task)});
+            pack_tag(FlowKind::kWriteRemote, attempt, j, s, task)}));
         reduce_machine_[reduce_key(j, s, task, attempt)] = machine;
         return;
       }
@@ -808,6 +867,14 @@ class Simulator {
     const MapReduceSpec& spec = stage_spec(j, s);
     const Seconds duration =
         now_ - S.reduce_start[static_cast<std::size_t>(task)];
+    if (trace_.at(obs::TraceLevel::kTasks)) {
+      trace_.span(obs::TraceTrack::kTasks, "reduce", "task", machine,
+                  S.reduce_start[static_cast<std::size_t>(task)], now_,
+                  {obs::arg("job", static_cast<double>(J.spec->id)),
+                   obs::arg("stage", static_cast<double>(s)),
+                   obs::arg("task", static_cast<double>(task)),
+                   obs::arg("machine", static_cast<double>(machine))});
+    }
     J.result.compute_seconds += duration;
     J.result.reduce_durations.push_back(duration);
     S.reduce_duration_total += duration;
@@ -823,6 +890,15 @@ class Simulator {
     StageRuntime& S = stage_rt(j, s);
     S.state = StageState::kDone;
     ++J.stages_done;
+    if (trace_.at(obs::TraceLevel::kJobs)) {
+      const MapReduceSpec& spec = stage_spec(j, s);
+      trace_.span(obs::TraceTrack::kJobs, "stage", "stage", J.spec->id,
+                  S.activated_at, now_,
+                  {obs::arg("job", static_cast<double>(J.spec->id)),
+                   obs::arg("stage", static_cast<double>(s)),
+                   obs::arg("maps", static_cast<double>(spec.num_maps)),
+                   obs::arg("reduces", static_cast<double>(spec.num_reduces))});
+    }
     for (int child : J.children[static_cast<std::size_t>(s)]) {
       StageRuntime& C = stage_rt(j, child);
       if (--C.parents_pending == 0) activate_stage(j, child);
@@ -833,6 +909,15 @@ class Simulator {
       --unfinished_count_;
       active_jobs_.erase(
           std::find(active_jobs_.begin(), active_jobs_.end(), j));
+      if (trace_.at(obs::TraceLevel::kJobs)) {
+        trace_.span(
+            obs::TraceTrack::kJobs,
+            J.spec->name.empty() ? std::string("job") : J.spec->name, "job",
+            J.spec->id, J.result.arrival, now_,
+            {obs::arg("job", static_cast<double>(J.spec->id)),
+             obs::arg("cross_rack_gb", J.result.cross_rack_bytes / 1e9),
+             obs::arg("compute_s", J.result.compute_seconds)});
+      }
     }
   }
 
@@ -845,6 +930,15 @@ class Simulator {
     J.finished = true;
     J.result.failed = true;
     J.result.finish = now_;
+    if (trace_.at(obs::TraceLevel::kJobs)) {
+      trace_.span(obs::TraceTrack::kJobs,
+                  J.spec->name.empty() ? std::string("job") : J.spec->name,
+                  "job", J.spec->id, J.result.arrival, now_,
+                  {obs::arg("job", static_cast<double>(J.spec->id)),
+                   obs::arg("failed", 1.0)});
+      trace_.instant(obs::TraceTrack::kJobs, "job-failed", "job", J.spec->id,
+                     now_, {obs::arg("job", static_cast<double>(J.spec->id))});
+    }
     ++jobs_failed_;
     --unfinished_count_;
     const auto pos = std::find(active_jobs_.begin(), active_jobs_.end(), j);
@@ -906,16 +1000,66 @@ class Simulator {
       it = reduce_backups_.erase(it);
     }
     J.pending_tasks = 0;
-    network_.cancel_flows_if([&](const Flow& flow) {
+    forget_flows(network_.cancel_flows_if([&](const Flow& flow) {
       return tag_kind(flow.tag) != FlowKind::kRereplicate &&
              tag_job(flow.tag) == j;
-    });
+    }));
     new_work_ = true;
   }
 
   // ----------------------------------------------------------------- flows
 
+  // Remembers a flow's start time for its completion span (kFlows only —
+  // at lower levels this is one dead branch per flow start).
+  int note_flow(int flow_id) {
+    if (trace_.at(obs::TraceLevel::kFlows)) {
+      flow_started_.emplace(flow_id, now_);
+    }
+    return flow_id;
+  }
+
+  void forget_flows(const std::vector<Flow>& flows) {
+    if (!trace_.at(obs::TraceLevel::kFlows)) return;
+    for (const Flow& flow : flows) flow_started_.erase(flow.id);
+  }
+
+  static const char* flow_kind_name(FlowKind kind) {
+    switch (kind) {
+      case FlowKind::kMapFetch: return "map-fetch";
+      case FlowKind::kReduceFetch: return "shuffle";
+      case FlowKind::kWriteRemote: return "write-replica";
+      case FlowKind::kRereplicate: return "rereplicate";
+    }
+    return "flow";
+  }
+
+  void trace_flow_complete(const CompletedFlow& flow) {
+    const auto it = flow_started_.find(flow.id);
+    if (it == flow_started_.end()) return;
+    const Seconds start = it->second;
+    flow_started_.erase(it);
+    const Seconds elapsed = now_ - start;
+    std::vector<obs::TraceArg> args;
+    args.push_back(obs::arg("bytes", static_cast<double>(flow.bytes)));
+    args.push_back(
+        obs::arg("gbps", elapsed > 0 ? flow.bytes * 8 / elapsed / 1e9 : 0.0));
+    args.push_back(obs::arg("cross_rack", flow.cross_rack ? 1.0 : 0.0));
+    long tid = -1;  // DFS healing traffic is not owned by any job
+    if (tag_kind(flow.tag) != FlowKind::kRereplicate) {
+      const auto j = static_cast<std::size_t>(tag_job(flow.tag));
+      tid = jobs_[j].spec->id;
+      args.push_back(obs::arg("job", static_cast<double>(tid)));
+      args.push_back(
+          obs::arg("stage", static_cast<double>(tag_stage(flow.tag))));
+      args.push_back(
+          obs::arg("task", static_cast<double>(tag_task(flow.tag))));
+    }
+    trace_.span(obs::TraceTrack::kFlows, flow_kind_name(tag_kind(flow.tag)),
+                "flow", tid, start, now_, std::move(args));
+  }
+
   void on_flow_complete(const CompletedFlow& flow) {
+    if (trace_.at(obs::TraceLevel::kFlows)) trace_flow_complete(flow);
     if (tag_kind(flow.tag) == FlowKind::kRereplicate) {
       // Background healing: the lost replica is whole again.
       const auto it = rereps_.find(flow.tag);
@@ -1004,6 +1148,14 @@ class Simulator {
     ++machines_down_;
     slots_free_[static_cast<std::size_t>(machine)] = 0;
     const int machine_rack = topology_.rack_of(machine);
+    if (trace_.at(obs::TraceLevel::kJobs)) {
+      trace_.instant(obs::TraceTrack::kFaults, "machine-failure", "fault",
+                     machine, now_,
+                     {obs::arg("machine", static_cast<double>(machine)),
+                      obs::arg("rack", static_cast<double>(machine_rack))});
+      trace_.counter(obs::TraceTrack::kFaults, "machines_down", 0, now_,
+                     static_cast<double>(machines_down_));
+    }
 
     // Durable rack degradation: notify the policy once per transition so
     // planning policies can repair their plan for unstarted jobs (§7).
@@ -1173,6 +1325,14 @@ class Simulator {
     slots_free_[static_cast<std::size_t>(machine)] =
         config_.cluster.slots_per_machine;
     const int rack = topology_.rack_of(machine);
+    if (trace_.at(obs::TraceLevel::kJobs)) {
+      trace_.instant(obs::TraceTrack::kFaults, "machine-recover", "fault",
+                     machine, now_,
+                     {obs::arg("machine", static_cast<double>(machine)),
+                      obs::arg("rack", static_cast<double>(rack))});
+      trace_.counter(obs::TraceTrack::kFaults, "machines_down", 0, now_,
+                     static_cast<double>(machines_down_));
+    }
     if (!rack_usable_[static_cast<std::size_t>(rack)] &&
         topology_.rack_usable(rack, config_.rack_health_threshold)) {
       rack_usable_[static_cast<std::size_t>(rack)] = true;
@@ -1258,6 +1418,17 @@ class Simulator {
   // remote endpoint (a replica source or a write target) and the task is
   // restarted or its write re-issued.
   void on_flow_cancelled(const Flow& flow, int dead_machine) {
+    if (trace_.at(obs::TraceLevel::kFlows)) {
+      flow_started_.erase(flow.id);
+      trace_.instant(
+          obs::TraceTrack::kFlows, "flow-cancelled", "flow",
+          tag_kind(flow.tag) == FlowKind::kRereplicate
+              ? -1
+              : jobs_[static_cast<std::size_t>(tag_job(flow.tag))].spec->id,
+          now_,
+          {obs::arg("kind", std::string(flow_kind_name(tag_kind(flow.tag)))),
+           obs::arg("remaining_bytes", static_cast<double>(flow.remaining))});
+    }
     if (tag_kind(flow.tag) == FlowKind::kRereplicate) {
       // A healing transfer lost its source or target: retry from the
       // surviving replicas (with a fresh random target).
@@ -1340,8 +1511,8 @@ class Simulator {
         const int remote =
             random_machine_excluding_rack(topology_.rack_of(src));
         if (remote >= 0 && remote != dead_machine) {
-          network_.start_flow(FlowDesc{
-              src, remote, flow.total, 1.0, /*coflow=*/-1, flow.tag});
+          note_flow(network_.start_flow(FlowDesc{
+              src, remote, flow.total, 1.0, /*coflow=*/-1, flow.tag}));
         } else {
           // No healthy off-rack target left; skip the remote replica.
           reduce_machine_.erase(it);
@@ -1633,8 +1804,8 @@ class Simulator {
     map_fetches_.erase(key);
     map_machine_.erase(key);
     straggler_factor_.erase(key);
-    network_.cancel_flows_if(
-        [&](const Flow& flow) { return flow.tag == key; });
+    forget_flows(network_.cancel_flows_if(
+        [&](const Flow& flow) { return flow.tag == key; }));
     if (machine >= 0 && topology_.is_up(machine)) free_slot(machine);
   }
 
@@ -1648,9 +1819,9 @@ class Simulator {
     straggler_factor_.erase(key);
     const std::uint64_t write_tag =
         pack_tag(FlowKind::kWriteRemote, attempt, j, s, task);
-    network_.cancel_flows_if([&](const Flow& flow) {
+    forget_flows(network_.cancel_flows_if([&](const Flow& flow) {
       return flow.tag == key || flow.tag == write_tag;
-    });
+    }));
     if (machine >= 0 && topology_.is_up(machine)) free_slot(machine);
   }
 
@@ -1801,9 +1972,9 @@ class Simulator {
         pack_tag(FlowKind::kRereplicate, 0, 0, 0,
                  static_cast<int>(next_rerep_++ & 0xFFFFFF));
     rereps_[tag] = Rerep{file, chunk, dst};
-    network_.start_flow(FlowDesc{src, dst, bytes,
-                                 config_.rereplication_width,
-                                 /*coflow=*/-1, tag});
+    note_flow(network_.start_flow(FlowDesc{src, dst, bytes,
+                                           config_.rereplication_width,
+                                           /*coflow=*/-1, tag}));
   }
 
   SimConfig config_;
@@ -1822,6 +1993,11 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   long next_seq_ = 0;
   Seconds now_ = 0;
+
+  // Tracing (off by default; see SimConfig::tracer). flow_started_ maps
+  // active flow ids to their start time and is only populated at kFlows.
+  obs::TraceRecorder trace_;
+  std::unordered_map<int, Seconds> flow_started_;
 
   // In-flight task bookkeeping keyed by packed (kind, attempt, job, stage,
   // task).
@@ -1862,7 +2038,9 @@ SimulationTimeout::SimulationTimeout(Seconds limit)
 SimResult run_simulation(std::span<const JobSpec> jobs,
                          SchedulingPolicy& policy, const SimConfig& config) {
   Simulator simulator(jobs, policy, config);
-  return simulator.run();
+  SimResult result = simulator.run();
+  if (config.metrics != nullptr) record_sim_metrics(result, *config.metrics);
+  return result;
 }
 
 }  // namespace corral

@@ -23,6 +23,7 @@
 
 #include <span>
 #include <stdexcept>
+#include <string>
 
 #include "cluster/topology.h"
 #include "dfs/dfs.h"
@@ -31,6 +32,11 @@
 #include "sim/policy.h"
 
 namespace corral {
+
+namespace obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace obs
 
 // Thrown when virtual time passes SimConfig::max_time — a typed error so
 // callers sweeping hostile parameter spaces can catch runaways specifically
@@ -115,6 +121,18 @@ struct SimConfig {
   // task is below one quantum — negligible against multi-minute jobs. Set
   // to 0 for exact event ordering.
   Seconds time_quantum = 0.25;
+  // --- observability (src/obs, see docs/observability.md) ---
+  // Optional tracer: lifecycle/task/flow events are recorded into
+  // `tracer->sink(trace_sink)` stamped with virtual sim time. Each
+  // concurrent run must use a distinct sink id, assigned deterministically
+  // (BatchRunner uses the batch-case index) so merged traces stay
+  // byte-identical at any pool width. Null disables tracing entirely.
+  obs::Tracer* tracer = nullptr;
+  int trace_sink = 0;
+  std::string trace_label;  // sink label; defaults to the policy name
+  // Optional end-of-run metrics snapshot (counters/gauges/histograms of the
+  // SimResult). Not thread-safe: one registry per run.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Runs `jobs` to completion under the given policy and returns the metrics.

@@ -1,0 +1,87 @@
+#include "util/csv.h"
+
+#include <istream>
+
+#include "util/check.h"
+
+namespace corral {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // some character consumed for this field
+  bool row_started = false;
+  char c;
+  while (in.get(c)) {
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get(c);
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        require(!field_started,
+                "parse_csv: quote opening in the middle of a field");
+        in_quotes = true;
+        field_started = true;
+        row_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        field_started = false;
+        row_started = true;
+        break;
+      case '\r':
+        break;  // swallow; the matching \n ends the row
+      case '\n':
+        if (row_started || field_started || !field.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+        }
+        field_started = false;
+        row_started = false;
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        row_started = true;
+        break;
+    }
+  }
+  require(!in_quotes, "parse_csv: unterminated quoted field");
+  if (row_started || field_started || !field.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace corral

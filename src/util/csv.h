@@ -1,0 +1,26 @@
+// RFC 4180-style CSV escaping and parsing, shared by the result exporter
+// (sim/result_io) and the trace timeline exporter (obs/export).
+#ifndef CORRAL_UTIL_CSV_H_
+#define CORRAL_UTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace corral {
+
+// Returns `field` ready to embed in a CSV row: wrapped in double quotes
+// (with inner quotes doubled) when it contains a comma, quote, CR or LF;
+// unchanged otherwise.
+std::string csv_escape(const std::string& field);
+
+// Parses an entire CSV stream into rows of unescaped fields. Handles quoted
+// fields containing commas, doubled quotes and embedded newlines; a
+// trailing newline does not produce an empty final row. Throws
+// std::invalid_argument on a quote opening mid-field or an unterminated
+// quoted field.
+std::vector<std::vector<std::string>> parse_csv(std::istream& in);
+
+}  // namespace corral
+
+#endif  // CORRAL_UTIL_CSV_H_

@@ -18,7 +18,9 @@ double stddev(std::span<const double> values);
 // stddev / mean; 0 when the mean is 0.
 double coefficient_of_variation(std::span<const double> values);
 
-// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+// Linear-interpolated percentile, p in [0, 100]. Throws
+// std::invalid_argument on empty input or p outside [0, 100]; a
+// single-element input returns that element for every p.
 double percentile(std::span<const double> values, double p);
 
 double min_value(std::span<const double> values);
@@ -26,6 +28,8 @@ double max_value(std::span<const double> values);
 double sum(std::span<const double> values);
 
 // An empirical CDF: sorted sample values with evaluation helpers.
+// Construction throws std::invalid_argument on an empty sample set, so
+// every instance can evaluate quantiles.
 class Cdf {
  public:
   explicit Cdf(std::vector<double> samples);
@@ -33,7 +37,8 @@ class Cdf {
   // Fraction of samples <= x.
   double at(double x) const;
 
-  // Inverse CDF (quantile), q in [0, 1].
+  // Inverse CDF (quantile), q in [0, 1]; q=0 is the minimum sample and q=1
+  // the maximum. Throws std::invalid_argument outside that range.
   double quantile(double q) const;
 
   double median() const { return quantile(0.5); }

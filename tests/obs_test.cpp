@@ -1,0 +1,225 @@
+// Unit tests for the src/obs tracing/metrics subsystem: level parsing,
+// recorder gating, ring-buffer overflow, the three exporters, and the
+// RFC 4180 CSV helpers they share.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/csv.h"
+
+namespace corral {
+namespace {
+
+using obs::TraceLevel;
+using obs::TraceTrack;
+
+TEST(TraceLevel, ParsesAndPrints) {
+  EXPECT_EQ(obs::parse_trace_level("off"), TraceLevel::kOff);
+  EXPECT_EQ(obs::parse_trace_level("jobs"), TraceLevel::kJobs);
+  EXPECT_EQ(obs::parse_trace_level("tasks"), TraceLevel::kTasks);
+  EXPECT_EQ(obs::parse_trace_level("flows"), TraceLevel::kFlows);
+  EXPECT_THROW(obs::parse_trace_level("verbose"), std::invalid_argument);
+  EXPECT_THROW(obs::parse_trace_level(""), std::invalid_argument);
+  for (TraceLevel level : {TraceLevel::kOff, TraceLevel::kJobs,
+                           TraceLevel::kTasks, TraceLevel::kFlows}) {
+    EXPECT_EQ(obs::parse_trace_level(obs::to_string(level)), level);
+  }
+}
+
+TEST(TraceRecorder, DefaultConstructedIsOff) {
+  const obs::TraceRecorder recorder;
+  EXPECT_FALSE(recorder.at(TraceLevel::kJobs));
+  // Recording through an off recorder must be a harmless no-op.
+  recorder.instant(TraceTrack::kJobs, "x", "t", 0, 0.0);
+  recorder.span(TraceTrack::kJobs, "x", "t", 0, 0.0, 1.0);
+  recorder.counter(TraceTrack::kJobs, "x", 0, 0.0, 1.0);
+}
+
+TEST(TraceRecorder, LevelGatesRecording) {
+  obs::TracerOptions options;
+  options.level = TraceLevel::kJobs;
+  obs::Tracer tracer(options);
+  const obs::TraceRecorder recorder(&tracer, 0, "run");
+  EXPECT_TRUE(recorder.at(TraceLevel::kJobs));
+  EXPECT_FALSE(recorder.at(TraceLevel::kTasks));
+  EXPECT_FALSE(recorder.at(TraceLevel::kFlows));
+  recorder.instant(TraceTrack::kJobs, "submit", "job", 1, 2.0);
+  EXPECT_EQ(tracer.total_recorded(), 1u);
+}
+
+TEST(TraceRecorder, NullTracerIsOff) {
+  const obs::TraceRecorder recorder(nullptr, 0, "run");
+  EXPECT_FALSE(recorder.at(TraceLevel::kJobs));
+}
+
+TEST(TraceSink, RingOverwritesOldest) {
+  obs::TraceSink sink(0, "ring", 4);
+  for (int i = 0; i < 6; ++i) {
+    obs::TraceEvent event;
+    event.name = "e" + std::to_string(i);
+    sink.record(std::move(event));
+  }
+  EXPECT_EQ(sink.recorded(), 6u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first with the overwritten prefix gone: e2..e5.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].name,
+              "e" + std::to_string(i + 2));
+  }
+}
+
+obs::TracerOptions flows_options() {
+  obs::TracerOptions options;
+  options.level = TraceLevel::kFlows;
+  return options;
+}
+
+void fill_small_tracer(obs::Tracer& tracer) {
+  const obs::TraceRecorder run(&tracer, 0, "run \"a\",b");
+  run.span(TraceTrack::kJobs, "job", "job", 7, 1.5, 4.25,
+           {obs::arg("name", std::string("w1, \"big\" job")),
+            obs::arg("racks", 3.0)});
+  run.instant(TraceTrack::kFaults, "machine-failure", "fault", 12, 2.0);
+  run.counter(TraceTrack::kNet, "maxmin.fill_rounds", 0, 2.5, 5.0);
+  const obs::TraceRecorder planner(&tracer, 1, "planner");
+  planner.instant(TraceTrack::kPlanner, "candidate", "planner", 2, 1.0,
+                  {obs::arg("value", 236.5)});
+}
+
+TEST(ChromeExport, EmitsWellFormedEvents) {
+  obs::Tracer tracer(flows_options());
+  fill_small_tracer(tracer);
+  const std::string json = obs::chrome_trace_string(tracer);
+  // Structural markers of the trace-event format.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  // Span: ts in microseconds (1.5s -> 1500000) with the duration attached.
+  EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2750000"), std::string::npos);
+  // String args are JSON-escaped.
+  EXPECT_NE(json.find("w1, \\\"big\\\" job"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  long braces = 0;
+  long brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ChromeExport, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(TimelineExport, HeaderAndEscapedNames) {
+  obs::Tracer tracer(flows_options());
+  fill_small_tracer(tracer);
+  const std::string csv = obs::timeline_csv_string(tracer);
+  std::istringstream in(csv);
+  const auto rows = parse_csv(in);
+  ASSERT_GE(rows.size(), 2u);
+  ASSERT_GE(rows[0].size(), 13u);
+  EXPECT_EQ(rows[0][0], "sink");
+  EXPECT_EQ(rows[0][1], "label");
+  // The sink label with comma and quotes survives the CSV round trip.
+  bool found_label = false;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r][1] == "run \"a\",b") found_label = true;
+  }
+  EXPECT_TRUE(found_label);
+}
+
+TEST(Metrics, CountersGaugesHistograms) {
+  obs::MetricsRegistry registry;
+  registry.counter("a.count").add();
+  registry.counter("a.count").add(2.0);
+  registry.gauge("b.gauge").set(7.5);
+  obs::HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.buckets = 3;  // bounds 1, 2, 4 + overflow
+  obs::Histogram& hist = registry.histogram("c.hist", options);
+  hist.observe(0.5);
+  hist.observe(3.0);
+  hist.observe(100.0);
+  EXPECT_DOUBLE_EQ(registry.counter("a.count").value(), 3.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("b.gauge").value(), 7.5);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.max(), 100.0);
+  ASSERT_EQ(hist.bucket_counts().size(), 4u);
+  EXPECT_EQ(hist.bucket_counts()[0], 1u);  // 0.5 <= 1
+  EXPECT_EQ(hist.bucket_counts()[2], 1u);  // 3.0 <= 4
+  EXPECT_EQ(hist.bucket_counts()[3], 1u);  // overflow
+}
+
+TEST(Metrics, JsonSnapshotIsNameSorted) {
+  obs::MetricsRegistry registry;
+  registry.counter("zeta").add(1);
+  registry.counter("alpha").add(2);
+  registry.gauge("middle").set(3);
+  std::ostringstream out;
+  obs::write_metrics_json(out, registry);
+  const std::string json = out.str();
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+}
+
+TEST(Csv, EscapeQuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, ParseRoundTripsEscapedFields) {
+  const std::vector<std::string> fields = {"plain", "a,b", "say \"hi\"",
+                                           "line\nbreak", ""};
+  std::string row;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) row += ',';
+    row += csv_escape(fields[i]);
+  }
+  std::istringstream in(row + "\n");
+  const auto rows = parse_csv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], fields);
+}
+
+TEST(Csv, ParseRejectsMalformedQuotes) {
+  std::istringstream mid_field("ab\"cd\n");
+  EXPECT_THROW(parse_csv(mid_field), std::invalid_argument);
+  std::istringstream unterminated("\"abc\n");
+  EXPECT_THROW(parse_csv(unterminated), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace corral

@@ -61,6 +61,13 @@ TEST(Stats, PercentileRejectsBadInput) {
   EXPECT_THROW(percentile(one, 101), std::invalid_argument);
 }
 
+TEST(Stats, PercentileSingleElementIsConstant) {
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 100), 42.0);
+}
+
 TEST(Stats, CovOfConstantIsZero) {
   const std::vector<double> values = {3, 3, 3, 3};
   EXPECT_DOUBLE_EQ(coefficient_of_variation(values), 0.0);
@@ -72,6 +79,25 @@ TEST(Cdf, EvaluatesFractions) {
   EXPECT_DOUBLE_EQ(cdf.at(2), 0.5);
   EXPECT_DOUBLE_EQ(cdf.at(10), 1.0);
   EXPECT_DOUBLE_EQ(cdf.median(), 2.5);
+}
+
+TEST(Cdf, RejectsEmptySampleSet) {
+  EXPECT_THROW(Cdf(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Cdf, QuantileEndpointsAndRange) {
+  Cdf cdf({5, 1, 9, 2});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0), 1.0);   // minimum sample
+  EXPECT_DOUBLE_EQ(cdf.quantile(1), 9.0);   // maximum sample
+  EXPECT_THROW(cdf.quantile(-0.01), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(1.01), std::invalid_argument);
+}
+
+TEST(Cdf, SingleSampleQuantileIsConstant) {
+  Cdf cdf({7.5});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0), 7.5);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1), 7.5);
 }
 
 TEST(Cdf, SamplePointsAreMonotone) {

@@ -24,12 +24,12 @@ int main(int argc, char** argv) {
                    "rolling-horizon window in minutes; 0 = single shot");
   flags.add_bool("bound", true, "also compute the LP relaxation bound");
   flags.add_int("max-rows", 50, "plan rows to print (0 = all)");
-  tools::add_threads_flag(flags);
+  tools::add_output_flags(flags);
   tools::add_cluster_flags(flags);
   if (!flags.parse(argc, argv, std::cerr)) return 2;
 
   try {
-    tools::apply_threads_flag(flags);
+    tools::ToolObservability outputs = tools::apply_output_flags(flags);
     const std::string path = flags.get_string("trace");
     if (path.empty()) {
       std::cerr << "--trace is required\n";
@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
     const ClusterConfig cluster = tools::cluster_from_flags(flags);
 
     PlannerConfig config;
+    config.tracer = outputs.tracer_or_null();
+    config.trace_sink = 0;
     const std::string objective = flags.get_string("objective");
     if (objective == "makespan") {
       config.objective = Objective::kMakespan;
@@ -93,6 +95,7 @@ int main(int argc, char** argv) {
            std::to_string(planned.priority)});
     }
     table.print(std::cout);
+    outputs.write_outputs(std::cout);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

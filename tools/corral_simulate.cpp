@@ -32,7 +32,6 @@ int main(int argc, char** argv) {
   flags.add_double("storage-gbps", 0,
                    "storage interconnect cap in Gbit/s; 0 = unlimited");
   flags.add_int("seed", 2015, "simulation seed");
-  flags.add_string("csv", "", "write per-job results CSV to this file");
   flags.add_string("faults", "",
                    "replay a corral-faults file instead of generating churn");
   flags.add_double("mtbf", 0,
@@ -49,12 +48,14 @@ int main(int argc, char** argv) {
   flags.add_double("straggler-slowdown", 4.0, "straggler slowdown factor");
   flags.add_bool("speculation", false,
                  "enable Hadoop-style speculative execution");
-  tools::add_threads_flag(flags);
+  const tools::OutputFlagSet output_set{.trace = true, .csv = true};
+  tools::add_output_flags(flags, output_set);
   tools::add_cluster_flags(flags);
   if (!flags.parse(argc, argv, std::cerr)) return 2;
 
   try {
-    tools::apply_threads_flag(flags);
+    tools::ToolObservability outputs =
+        tools::apply_output_flags(flags, output_set);
     const std::string path = flags.get_string("trace");
     if (path.empty()) {
       std::cerr << "--trace is required\n";
@@ -73,6 +74,11 @@ int main(int argc, char** argv) {
     }
     sim.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
     sim.enable_speculation = flags.get_bool("speculation");
+    // Sink 0 = the simulation run, sink 1 = the offline planner; fixed ids
+    // keep the exported trace deterministic (docs/observability.md).
+    sim.tracer = outputs.tracer_or_null();
+    sim.trace_sink = 0;
+    sim.metrics = outputs.metrics_or_null();
 
     // Fault injection: replay a recorded timeline, or synthesize churn from
     // the MTBF/MTTR knobs (plus straggler injection either way).
@@ -101,6 +107,8 @@ int main(int argc, char** argv) {
 
     // Plan the recurring subset when the policy needs it.
     PlannerConfig planner_config;
+    planner_config.tracer = outputs.tracer_or_null();
+    planner_config.trace_sink = 1;
     planner_config.objective =
         flags.get_string("objective") == "avg-completion"
             ? Objective::kAverageCompletionTime
@@ -157,11 +165,11 @@ int main(int argc, char** argv) {
                   result.degraded_time / kHour);
     }
 
-    const std::string csv = flags.get_string("csv");
-    if (!csv.empty()) {
-      write_results_csv_file(csv, result);
-      std::printf("per-job results written to %s\n", csv.c_str());
+    if (!outputs.csv.empty()) {
+      write_results_csv_file(outputs.csv, result);
+      std::printf("per-job results written to %s\n", outputs.csv.c_str());
     }
+    outputs.write_outputs(std::cout);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

@@ -6,6 +6,7 @@
 //       --out=w1.trace
 #include <iostream>
 
+#include "tool_common.h"
 #include "util/flags.h"
 #include "workload/tpch.h"
 #include "workload/trace_io.h"
@@ -25,12 +26,17 @@ int main(int argc, char** argv) {
   flags.add_double("database-gb", 200, "TPC-H database size in GB");
   flags.add_bool("ad-hoc", false, "mark all jobs ad hoc (not plannable)");
   flags.add_string("out", "", "output trace file; empty = stdout");
+  // Generation is single-threaded; registering the shared block anyway
+  // keeps --threads uniformly accepted (and validated) across the tools.
+  const tools::OutputFlagSet output_set{.trace = false};
+  tools::add_output_flags(flags, output_set);
   if (!flags.parse(argc, argv, std::cerr)) return 2;
 
   Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   const std::string kind = flags.get_string("workload");
   std::vector<JobSpec> jobs;
   try {
+    (void)tools::apply_output_flags(flags, output_set);
     if (kind == "w1") {
       W1Config config;
       config.num_jobs = static_cast<int>(flags.get_int("jobs"));

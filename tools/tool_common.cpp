@@ -1,6 +1,9 @@
 #include "tool_common.h"
 
+#include <ostream>
+
 #include "exec/exec.h"
+#include "obs/export.h"
 #include "util/check.h"
 #include "util/units.h"
 
@@ -19,6 +22,62 @@ void apply_threads_flag(const FlagParser& flags) {
   if (threads > 0) {
     exec::set_default_threads(static_cast<int>(threads));
   }
+}
+
+void ToolObservability::write_outputs(std::ostream& note) const {
+  if (tracer != nullptr && !trace_out.empty()) {
+    obs::write_chrome_trace_file(trace_out, *tracer);
+    note << "trace written to " << trace_out << "\n";
+  }
+  if (tracer != nullptr && !timeline_out.empty()) {
+    obs::write_timeline_csv_file(timeline_out, *tracer);
+    note << "timeline written to " << timeline_out << "\n";
+  }
+  if (metrics != nullptr && !metrics_out.empty()) {
+    obs::write_metrics_json_file(metrics_out, *metrics);
+    note << "metrics written to " << metrics_out << "\n";
+  }
+}
+
+void add_output_flags(FlagParser& flags, const OutputFlagSet& set) {
+  add_threads_flag(flags);
+  if (set.trace) {
+    flags.add_string("trace-out", "",
+                     "write a Chrome trace-event JSON to this file (open in "
+                     "chrome://tracing or ui.perfetto.dev)");
+    flags.add_string("trace-level", "jobs",
+                     "trace verbosity: off | jobs | tasks | flows");
+    flags.add_string("timeline-out", "",
+                     "write a per-span timeline CSV to this file");
+    flags.add_string("metrics-out", "",
+                     "write a metrics snapshot JSON to this file");
+  }
+  if (set.csv) {
+    flags.add_string("csv", "", "write per-job results CSV to this file");
+  }
+}
+
+ToolObservability apply_output_flags(const FlagParser& flags,
+                                     const OutputFlagSet& set) {
+  apply_threads_flag(flags);
+  ToolObservability out;
+  if (set.trace) {
+    out.trace_out = flags.get_string("trace-out");
+    out.timeline_out = flags.get_string("timeline-out");
+    out.metrics_out = flags.get_string("metrics-out");
+    const obs::TraceLevel level =
+        obs::parse_trace_level(flags.get_string("trace-level"));
+    if (!out.trace_out.empty() || !out.timeline_out.empty()) {
+      obs::TracerOptions options;
+      options.level = level;
+      out.tracer = std::make_unique<obs::Tracer>(options);
+    }
+    if (!out.metrics_out.empty()) {
+      out.metrics = std::make_unique<obs::MetricsRegistry>();
+    }
+  }
+  if (set.csv) out.csv = flags.get_string("csv");
+  return out;
 }
 
 void add_cluster_flags(FlagParser& flags) {
