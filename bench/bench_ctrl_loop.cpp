@@ -1,0 +1,130 @@
+// Control-plane loop benchmark (docs/control_plane.md): what the plan
+// cache buys across a month of recurring epochs.
+//
+// Two runs of the same fleet over the same realized timelines:
+//  * cached    — the real loop: sticky planning sizes, signature-keyed plan
+//                cache, memoized response functions.
+//  * replan    — the dead-band collapsed to ~0, so every epoch's key is
+//                fresh and the full provisioning search runs every night
+//                (the "plan from scratch daily" strawman).
+//
+// The headline series is the deterministic replan cost (provisioning
+// candidates evaluated) per epoch for both runs — wall time is printed for
+// orientation but the recorded series is width-independent. Results land in
+// BENCH_ctrl_loop.json.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "bench_common.h"
+#include "ctrl/control_loop.h"
+
+using namespace corral;
+
+namespace {
+
+struct LoopRun {
+  ControlLoopResult result;
+  double wall_seconds = 0;
+};
+
+LoopRun run_loop(const W1Config& workload, ControlLoopConfig config) {
+  std::vector<RecurringPipeline> fleet = make_recurring_fleet(
+      workload, config.warmup_days, config.epochs, config.seed);
+  const auto start = std::chrono::steady_clock::now();
+  LoopRun run;
+  run.result = run_control_loop(std::move(fleet), config);
+  const auto stop = std::chrono::steady_clock::now();
+  run.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  return run;
+}
+
+std::size_t total_evals(const ControlLoopResult& result) {
+  std::size_t total = 0;
+  for (const EpochReport& epoch : result.epochs) {
+    total += epoch.replan_cost_evals;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::banner("Control plane - plan-cache effect over recurring epochs",
+                "plan once, reuse while the forecast holds (§2, §3.1)");
+
+  W1Config workload;
+  workload.num_jobs = smoke ? 5 : 20;
+  workload.task_scale = smoke ? 0.2 : 0.25;
+
+  ControlLoopConfig config;
+  config.cluster = bench::testbed();
+  config.epochs = smoke ? 4 : 28;  // four weeks of virtual days
+  config.warmup_days = 14;
+  config.outage_epoch = smoke ? 2 : 12;
+  config.outage_rack = 3;
+  config.pool = &bench::pool();
+
+  const LoopRun cached = run_loop(workload, config);
+
+  ControlLoopConfig replan = config;
+  // Collapse the dead-band: every epoch re-anchors, every key is fresh,
+  // the provisioning search runs nightly.
+  replan.size_quantum = 1e-9;
+  const LoopRun scratch = run_loop(workload, replan);
+
+  std::printf("\n%-10s %10s %10s %12s %12s\n", "run", "hits", "misses",
+              "replan evals", "wall (s)");
+  std::printf("%-10s %10llu %10llu %12zu %12.2f\n", "cached",
+              static_cast<unsigned long long>(cached.result.cache.hits),
+              static_cast<unsigned long long>(cached.result.cache.misses),
+              total_evals(cached.result), cached.wall_seconds);
+  std::printf("%-10s %10llu %10llu %12zu %12.2f\n", "replan",
+              static_cast<unsigned long long>(scratch.result.cache.hits),
+              static_cast<unsigned long long>(scratch.result.cache.misses),
+              total_evals(scratch.result), scratch.wall_seconds);
+  std::printf("\nhit rate after epoch 2:  %.2f (cached)\n",
+              cached.result.hit_rate_after(2));
+  std::printf("mean prediction error:   %.2f%% (paper §2: 6.5%%)\n",
+              100.0 * cached.result.mean_prediction_error);
+  std::printf("rf memo:                 %llu hits / %llu misses (cached)\n",
+              static_cast<unsigned long long>(cached.result.rf_hits),
+              static_cast<unsigned long long>(cached.result.rf_misses));
+
+  std::ofstream out("BENCH_ctrl_loop.json");
+  out << "{\n  \"bench\": \"ctrl_loop\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"epochs\": " << config.epochs << ",\n"
+      << "  \"jobs\": " << workload.num_jobs << ",\n"
+      << "  \"outage_epoch\": " << config.outage_epoch << ",\n"
+      << "  \"cached\": {\"hits\": " << cached.result.cache.hits
+      << ", \"misses\": " << cached.result.cache.misses
+      << ", \"invalidations\": " << cached.result.cache.invalidations
+      << ", \"replan_evals\": " << total_evals(cached.result)
+      << ", \"rf_hits\": " << cached.result.rf_hits
+      << ", \"rf_misses\": " << cached.result.rf_misses
+      << ", \"hit_rate_after_2\": " << cached.result.hit_rate_after(2)
+      << ", \"mean_prediction_error\": "
+      << cached.result.mean_prediction_error
+      << ", \"wall_s\": " << cached.wall_seconds << "},\n"
+      << "  \"replan_every_epoch\": {\"hits\": " << scratch.result.cache.hits
+      << ", \"misses\": " << scratch.result.cache.misses
+      << ", \"replan_evals\": " << total_evals(scratch.result)
+      << ", \"wall_s\": " << scratch.wall_seconds << "},\n"
+      << "  \"per_epoch_replan_evals\": {\"cached\": [";
+  for (std::size_t i = 0; i < cached.result.epochs.size(); ++i) {
+    out << (i > 0 ? "," : "") << cached.result.epochs[i].replan_cost_evals;
+  }
+  out << "], \"replan\": [";
+  for (std::size_t i = 0; i < scratch.result.epochs.size(); ++i) {
+    out << (i > 0 ? "," : "") << scratch.result.epochs[i].replan_cost_evals;
+  }
+  out << "]}\n}\n";
+  std::printf("\nseries written to BENCH_ctrl_loop.json\n");
+  return 0;
+}

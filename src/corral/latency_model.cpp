@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "corral/fingerprint.h"
 #include "jobs/dag.h"
 #include "util/check.h"
 
@@ -152,5 +153,45 @@ std::vector<ResponseFunction> build_response_functions(
   }
   return out;
 }
+
+ResponseFunctionCache::ResponseFunctionCache(double size_quantum)
+    : size_quantum_(size_quantum) {
+  require(size_quantum > 0,
+          "ResponseFunctionCache: size_quantum must be positive");
+}
+
+ResponseFunction ResponseFunctionCache::get(const JobSpec& job, int max_racks,
+                                            const LatencyModelParams& params) {
+  require(max_racks >= 1, "ResponseFunctionCache: max_racks must be >= 1");
+  Fingerprint key;
+  key.mix(job_fingerprint(job, size_quantum_));
+  key.mix(static_cast<std::uint64_t>(max_racks));
+  key.mix(latency_params_fingerprint(params));
+  const auto it = entries_.find(key.value());
+  if (it != entries_.end()) {
+    ++hits_;
+    return ResponseFunction(it->second, job.arrival);
+  }
+  ++misses_;
+  const ResponseFunction built(job, max_racks, params);
+  std::vector<Seconds> latencies;
+  latencies.reserve(static_cast<std::size_t>(max_racks));
+  for (int r = 1; r <= max_racks; ++r) latencies.push_back(built.at(r));
+  entries_.emplace(key.value(), std::move(latencies));
+  return built;
+}
+
+std::vector<ResponseFunction> ResponseFunctionCache::get_all(
+    std::span<const JobSpec> jobs, int max_racks,
+    const LatencyModelParams& params) {
+  std::vector<ResponseFunction> out;
+  out.reserve(jobs.size());
+  for (const JobSpec& job : jobs) {
+    out.push_back(get(job, max_racks, params));
+  }
+  return out;
+}
+
+void ResponseFunctionCache::clear() { entries_.clear(); }
 
 }  // namespace corral

@@ -9,6 +9,8 @@
 #ifndef CORRAL_CORRAL_LATENCY_MODEL_H_
 #define CORRAL_CORRAL_LATENCY_MODEL_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/topology.h"
@@ -84,6 +86,43 @@ class ResponseFunction {
 std::vector<ResponseFunction> build_response_functions(
     std::span<const JobSpec> jobs, int max_racks,
     const LatencyModelParams& params);
+
+// Memoizes L'_j(r) envelopes across planning rounds (docs/control_plane.md).
+//
+// Recurring jobs re-enter the planner every epoch with near-identical
+// predicted sizes; recomputing every response function from scratch is the
+// bulk of a replan's model-evaluation cost. The cache keys each job by its
+// semantic fingerprint (corral/fingerprint.h) with data sizes quantized
+// into `size_quantum` relative buckets, so tonight's instance reuses the
+// envelope computed for yesterday's near-identical instance. A hit returns
+// the cached envelope re-stamped with the query job's arrival time; the
+// latencies are those of the bucket representative (within ~size_quantum of
+// exact — the same tolerance the plan cache accepts). Not thread-safe: one
+// cache per control loop, queried from the calling thread only.
+class ResponseFunctionCache {
+ public:
+  explicit ResponseFunctionCache(double size_quantum = 0.15);
+
+  // The memoized equivalent of ResponseFunction(job, max_racks, params).
+  ResponseFunction get(const JobSpec& job, int max_racks,
+                       const LatencyModelParams& params);
+
+  // Memoized build_response_functions.
+  std::vector<ResponseFunction> get_all(std::span<const JobSpec> jobs,
+                                        int max_racks,
+                                        const LatencyModelParams& params);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return entries_.size(); }
+  void clear();
+
+ private:
+  double size_quantum_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<Seconds>> entries_;
+};
 
 }  // namespace corral
 

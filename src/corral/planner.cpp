@@ -227,7 +227,8 @@ std::vector<int> widening_chain(std::span<const ResponseFunction> jobs,
 std::vector<int> provision(std::span<const ResponseFunction> jobs,
                            int num_racks, const PlannerConfig& config,
                            const std::vector<Seconds>* initial_finish,
-                           exec::ThreadPool& pool, ScratchSlots& slots) {
+                           exec::ThreadPool& pool, ScratchSlots& slots,
+                           std::size_t* evaluated_candidates = nullptr) {
   const std::size_t J = jobs.size();
   std::vector<int> racks(J, 1);
   std::vector<int> best_racks = racks;
@@ -248,6 +249,9 @@ std::vector<int> provision(std::span<const ResponseFunction> jobs,
   std::size_t best_step = 0;  // 0 = the all-ones starting allocation
 
   const std::vector<int> chain = widening_chain(jobs, num_racks, config);
+  if (evaluated_candidates != nullptr) {
+    *evaluated_candidates += chain.size() + 1;
+  }
   if (trace.at(obs::TraceLevel::kTasks)) {
     trace.instant(obs::TraceTrack::kPlanner, "candidate", "planner", -1,
                   clock.at(0.0),
@@ -354,9 +358,12 @@ Plan plan_offline(std::span<const ResponseFunction> jobs, int num_racks,
   if (jobs.empty()) return Plan{};
   exec::ThreadPool& pool = pool_of(config);
   ScratchSlots slots(static_cast<std::size_t>(pool.threads()));
+  std::size_t evaluated = 0;
   const std::vector<int> best_racks =
-      provision(jobs, num_racks, config, nullptr, pool, slots);
-  return prioritize(jobs, best_racks, num_racks, config);
+      provision(jobs, num_racks, config, nullptr, pool, slots, &evaluated);
+  Plan plan = prioritize(jobs, best_racks, num_racks, config);
+  plan.evaluated_candidates = evaluated;
+  return plan;
 }
 
 Plan plan_offline(std::span<const JobSpec> jobs, const ClusterConfig& cluster,
@@ -433,7 +440,8 @@ Plan plan_rolling(std::span<const ResponseFunction> jobs, int num_racks,
 
     const double window_start = clock.at(static_cast<double>(priority_base));
     const std::vector<int> racks =
-        provision(window, num_racks, config, &finish, pool, slots);
+        provision(window, num_racks, config, &finish, pool, slots,
+                  &plan.evaluated_candidates);
     Plan window_plan;
     window_plan.jobs.resize(window.size());
     const auto [window_makespan, window_avg] = run_prioritization(

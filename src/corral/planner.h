@@ -77,6 +77,12 @@ struct Plan {
   std::vector<PlannedJob> jobs;  // same order as the planner's input
   Seconds predicted_makespan = 0;
   Seconds predicted_avg_completion = 0;  // mean of (completion - arrival)
+  // Candidate allocations the provisioning search evaluated to produce this
+  // plan (the J*R chain plus the all-ones start; summed over windows for
+  // plan_rolling). A deterministic, width-independent measure of replan
+  // cost, used by the control plane as its "replan latency" metric — wall
+  // time would break the byte-identical-across-threads contract.
+  std::size_t evaluated_candidates = 0;
 
   double objective_value(Objective objective) const {
     return objective == Objective::kMakespan ? predicted_makespan

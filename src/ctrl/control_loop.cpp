@@ -1,0 +1,360 @@
+#include "ctrl/control_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "corral/fingerprint.h"
+#include "exec/exec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/batch.h"
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+// Splitmix-style per-index stream separation, matching the seed derivation
+// used elsewhere in the tree (one independent stream per epoch / pipeline).
+std::uint64_t substream(std::uint64_t seed, std::uint64_t index) {
+  return seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+}
+
+bool is_weekend(int day) { return day % 7 == 5 || day % 7 == 6; }
+
+std::string hex_key(std::uint64_t key) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buffer;
+}
+
+// The realized instance for (day, run 0) of a pipeline's exogenous
+// timeline; throws when the timeline does not cover the day.
+const JobInstance& timeline_instance(const RecurringPipeline& pipeline,
+                                     int day) {
+  for (const JobInstance& instance : pipeline.timeline) {
+    if (instance.day == day && instance.run_of_day == 0) return instance;
+  }
+  require(false, "run_control_loop: pipeline '" + pipeline.reference.name +
+                     "' timeline does not cover day " + std::to_string(day));
+  return pipeline.timeline.front();  // unreachable
+}
+
+}  // namespace
+
+void ControlLoopConfig::validate() const {
+  require(epochs > 0, "ControlLoopConfig: epochs must be positive");
+  require(warmup_days >= 1, "ControlLoopConfig: warmup_days must be >= 1");
+  require(drift_threshold > 0,
+          "ControlLoopConfig: drift_threshold must be positive");
+  require(size_quantum > 0,
+          "ControlLoopConfig: size_quantum must be positive");
+  require(history_window_days >= 0,
+          "ControlLoopConfig: history_window_days must be >= 0");
+  require(cache_capacity >= 1,
+          "ControlLoopConfig: cache_capacity must be >= 1");
+  require(cluster.racks >= 1 && cluster.machines_per_rack >= 1 &&
+              cluster.slots_per_machine >= 1,
+          "ControlLoopConfig: cluster must have racks, machines and slots");
+  if (outage_epoch >= 0) {
+    require(outage_epoch < epochs,
+            "ControlLoopConfig: outage_epoch must be < epochs");
+    require(outage_rack >= 0 && outage_rack < cluster.racks,
+            "ControlLoopConfig: outage_rack out of range");
+    require(cluster.racks >= 2,
+            "ControlLoopConfig: an outage needs at least 2 racks");
+  }
+}
+
+double ControlLoopResult::hit_rate_after(int after_epoch) const {
+  std::uint64_t hits = 0;
+  std::uint64_t total = 0;
+  for (const EpochReport& report : epochs) {
+    if (report.epoch <= after_epoch) continue;
+    ++total;
+    if (report.cache_hit) ++hits;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+}
+
+std::vector<RecurringPipeline> make_recurring_fleet(const W1Config& config,
+                                                    int warmup_days,
+                                                    int epochs,
+                                                    std::uint64_t seed) {
+  require(warmup_days >= 1, "make_recurring_fleet: warmup_days must be >= 1");
+  require(epochs > 0, "make_recurring_fleet: epochs must be positive");
+  Rng rng(seed);
+  const std::vector<JobSpec> jobs = make_w1(config, rng);
+  std::vector<RecurringPipeline> fleet;
+  fleet.reserve(jobs.size());
+  const int days = warmup_days + epochs;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    RecurringPipeline pipeline;
+    pipeline.reference = jobs[j];
+    pipeline.reference.recurring = true;
+    RecurringJobTemplate& shape = pipeline.shape;
+    shape.name = jobs[j].name;
+    shape.base_input = jobs[j].total_input();
+    shape.weekday_factor = 1.0;
+    // Per-pipeline seasonality: distinct weekend dips and growth rates so
+    // the fleet's day-to-day shifts are not perfectly correlated.
+    shape.weekend_factor = 0.5 + 0.04 * static_cast<double>(j % 8);
+    shape.noise = 0.065;  // the paper's 6.5% prediction error (§2, Fig 1)
+    shape.drift_per_day = 0.001 + 0.0005 * static_cast<double>(j % 3);
+    shape.runs_per_day = 1;
+    Rng job_rng(substream(seed, j));
+    pipeline.timeline = generate_history(shape, days, job_rng);
+    pipeline.history.assign(
+        pipeline.timeline.begin(),
+        pipeline.timeline.begin() +
+            std::min<std::size_t>(pipeline.timeline.size(),
+                                  static_cast<std::size_t>(warmup_days)));
+    fleet.push_back(std::move(pipeline));
+  }
+  return fleet;
+}
+
+ControlLoopResult run_control_loop(std::vector<RecurringPipeline> pipelines,
+                                   const ControlLoopConfig& config) {
+  config.validate();
+  require(!pipelines.empty(), "run_control_loop: need at least one pipeline");
+  for (const RecurringPipeline& pipeline : pipelines) {
+    pipeline.reference.validate();
+    require(!pipeline.timeline.empty(),
+            "run_control_loop: pipeline timeline is empty");
+  }
+
+  PlannerConfig planner_config;
+  planner_config.objective = config.objective;
+  planner_config.pool = config.pool;
+  planner_config.tracer = config.tracer;
+  const std::uint64_t planner_sig = planner_fingerprint(planner_config);
+  const LatencyModelParams params =
+      LatencyModelParams::from_cluster(config.cluster);
+
+  PlanCache cache(config.cache_capacity);
+  ResponseFunctionCache rf_cache(config.size_quantum);
+  const BatchRunner runner(config.pool);
+  const obs::TraceRecorder trace(config.tracer, /*sink_id=*/0, "ctrl");
+
+  ControlLoopResult result;
+  result.epochs.reserve(static_cast<std::size_t>(config.epochs));
+
+  std::vector<int> all_racks(static_cast<std::size_t>(config.cluster.racks));
+  for (int r = 0; r < config.cluster.racks; ++r) {
+    all_racks[static_cast<std::size_t>(r)] = r;
+  }
+
+  std::uint64_t prev_topology = 0;
+  bool force_replan = false;  // set by last epoch's drift detector
+  // Sticky planning size per (pipeline, day kind): what the current plan
+  // assumes the job's input is. Re-anchored to the forecast only when the
+  // two diverge by more than size_quantum, so the workload signature — and
+  // with it the cache key — repeats across epochs whose forecasts agree
+  // within the tolerance. 0 = not yet anchored.
+  std::vector<std::array<Bytes, 2>> planning_inputs(
+      pipelines.size(), std::array<Bytes, 2>{0.0, 0.0});
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    EpochReport report;
+    report.epoch = epoch;
+    report.day = config.warmup_days + epoch;
+    report.weekend = is_weekend(report.day);
+    report.outage = epoch == config.outage_epoch;
+
+    // --- topology for this epoch (step 0: what world are we planning in) --
+    std::vector<int> usable_racks = all_racks;
+    if (report.outage) {
+      usable_racks.erase(usable_racks.begin() + config.outage_rack);
+    }
+    report.planning_racks = static_cast<int>(usable_racks.size());
+    const std::uint64_t topology_sig =
+        topology_fingerprint(config.cluster, usable_racks);
+    if (epoch > 0 && topology_sig != prev_topology) {
+      report.invalidations = cache.invalidate_topology_changed(topology_sig);
+    }
+    prev_topology = topology_sig;
+
+    // --- 1. predict -----------------------------------------------------
+    std::vector<JobSpec> planning;  // what the planner (and cache key) see
+    std::vector<JobSpec> realized;  // what actually runs
+    planning.reserve(pipelines.size());
+    realized.reserve(pipelines.size());
+    const std::size_t kind = report.weekend ? 1 : 0;
+    double error_sum = 0;
+    for (std::size_t i = 0; i < pipelines.size(); ++i) {
+      const RecurringPipeline& pipeline = pipelines[i];
+      const JobSpecEstimate estimate = estimate_job_spec(
+          pipeline.reference, pipeline.history, report.day, /*run_of_day=*/0,
+          /*new_id=*/static_cast<int>(i), /*arrival=*/0.0);
+      const JobInstance& truth = timeline_instance(pipeline, report.day);
+      realized.push_back(scale_job_spec(pipeline.reference, truth.input_bytes,
+                                        static_cast<int>(i),
+                                        /*arrival=*/0.0));
+      error_sum += std::abs(static_cast<double>(estimate.predicted_input) -
+                            static_cast<double>(truth.input_bytes)) /
+                   static_cast<double>(truth.input_bytes);
+      // Quantization dead-band: re-anchor the sticky planning size only
+      // when the forecast moved more than size_quantum away from it.
+      Bytes& sticky = planning_inputs[i][kind];
+      if (estimate.predicted_input > 0 &&
+          (sticky <= 0 ||
+           std::abs(estimate.predicted_input - sticky) / sticky >
+               config.size_quantum)) {
+        sticky = estimate.predicted_input;
+        ++report.planning_updates;
+      }
+      planning.push_back(scale_job_spec(pipeline.reference, sticky,
+                                        static_cast<int>(i),
+                                        /*arrival=*/0.0));
+    }
+    report.mean_prediction_error =
+        error_sum / static_cast<double>(pipelines.size());
+
+    // --- 2. plan (through the cache) ------------------------------------
+    const PlanCacheKey key{
+        workload_fingerprint(planning, config.size_quantum), topology_sig,
+        planner_sig};
+    report.cache_key = key.combined();
+    if (force_replan) {
+      report.drift_replan = cache.invalidate(key);
+      if (report.drift_replan) ++report.invalidations;
+      force_replan = false;
+    }
+    const std::uint64_t rf_hits_before = rf_cache.hits();
+    const std::uint64_t rf_misses_before = rf_cache.misses();
+    Plan plan;
+    if (const Plan* cached = cache.find(key); cached != nullptr) {
+      report.cache_hit = true;
+      plan = *cached;
+      report.replan_cost_evals = 0;  // the whole point of the cache
+    } else {
+      planner_config.trace_sink = 1 + 2 * epoch;
+      // Plan on a virtual cluster of |usable_racks| racks (response
+      // functions memoized across epochs), then map virtual rack ids back
+      // onto the surviving physical racks — the §7 subcluster trick
+      // plan_offline's usable_racks overload uses, routed through the memo.
+      const std::vector<ResponseFunction> functions =
+          rf_cache.get_all(planning, report.planning_racks, params);
+      plan = plan_offline(functions, report.planning_racks, planner_config);
+      for (PlannedJob& job : plan.jobs) {
+        for (int& r : job.racks) {
+          r = usable_racks[static_cast<std::size_t>(r)];
+        }
+      }
+      report.replan_cost_evals = plan.evaluated_candidates;
+      cache.insert(key, plan);
+    }
+    report.rf_hits = rf_cache.hits() - rf_hits_before;
+    report.rf_misses = rf_cache.misses() - rf_misses_before;
+    report.predicted_makespan = plan.predicted_makespan;
+
+    // --- 3. execute (the realized instances, not the predictions) -------
+    const PlanLookup lookup(planning, plan);
+    BatchCase batch_case;
+    batch_case.label = "epoch" + std::to_string(epoch);
+    batch_case.jobs = realized;
+    batch_case.config.cluster = config.cluster;
+    batch_case.config.seed = substream(config.seed, epoch);
+    batch_case.config.tracer = config.tracer;
+    batch_case.config.trace_sink = 2 + 2 * epoch;
+    batch_case.config.trace_label = batch_case.label + "/sim";
+    if (report.outage) {
+      for (int m = 0; m < config.cluster.machines_per_rack; ++m) {
+        batch_case.config.failed_machines.push_back(
+            config.outage_rack * config.cluster.machines_per_rack + m);
+      }
+    }
+    batch_case.make_policy = [&lookup] {
+      return std::make_unique<CorralPolicy>(&lookup);
+    };
+    const std::vector<BatchResult> batch =
+        runner.run(std::span<const BatchCase>(&batch_case, 1));
+    const SimResult& sim = batch.front().result;
+
+    // --- 4. measure -----------------------------------------------------
+    report.realized_makespan = sim.makespan;
+    report.makespan_error =
+        plan.predicted_makespan > 0
+            ? std::abs(sim.makespan - plan.predicted_makespan) /
+                  plan.predicted_makespan
+            : 0.0;
+    report.jobs_failed = sim.jobs_failed;
+    double completion_error_sum = 0;
+    int completion_samples = 0;
+    for (std::size_t i = 0; i < pipelines.size(); ++i) {
+      const JobResult* job = sim.find_job(static_cast<int>(i));
+      const PlannedJob* planned = lookup.find(static_cast<int>(i));
+      if (job == nullptr || job->failed || planned == nullptr) continue;
+      const Seconds expected = planned->predicted_completion();
+      if (expected <= 0) continue;
+      completion_error_sum += std::abs(job->finish - expected) / expected;
+      ++completion_samples;
+    }
+    report.mean_completion_error =
+        completion_samples > 0 ? completion_error_sum / completion_samples
+                               : 0.0;
+
+    // --- 5. replan: feedback + drift ------------------------------------
+    for (std::size_t i = 0; i < pipelines.size(); ++i) {
+      const JobResult* job = sim.find_job(static_cast<int>(i));
+      if (job == nullptr || job->failed) continue;  // nothing observed
+      record_instance(pipelines[i].history,
+                      timeline_instance(pipelines[i], report.day));
+      prune_history(pipelines[i].history, config.history_window_days);
+    }
+    if (report.mean_prediction_error > config.drift_threshold) {
+      ++result.drift_trips;
+      force_replan = true;
+    }
+
+    trace.span(obs::TraceTrack::kCtrl, "epoch", "ctrl", /*tid=*/0,
+               /*start=*/epoch, /*end=*/epoch + 1,
+               {obs::arg("day", static_cast<double>(report.day)),
+                obs::arg("key", hex_key(report.cache_key)),
+                obs::arg("hit", static_cast<double>(report.cache_hit)),
+                obs::arg("prediction_error", report.mean_prediction_error),
+                obs::arg("replan_evals",
+                         static_cast<double>(report.replan_cost_evals))});
+
+    result.epochs.push_back(std::move(report));
+  }
+
+  result.cache = cache.stats();
+  result.rf_hits = rf_cache.hits();
+  result.rf_misses = rf_cache.misses();
+  double error_sum = 0;
+  for (const EpochReport& report : result.epochs) {
+    error_sum += report.mean_prediction_error;
+  }
+  result.mean_prediction_error =
+      error_sum / static_cast<double>(result.epochs.size());
+
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config.metrics;
+    m.counter("ctrl.epochs").add(static_cast<double>(config.epochs));
+    m.counter("ctrl.cache.hits").add(static_cast<double>(result.cache.hits));
+    m.counter("ctrl.cache.misses")
+        .add(static_cast<double>(result.cache.misses));
+    m.counter("ctrl.cache.invalidations")
+        .add(static_cast<double>(result.cache.invalidations));
+    m.counter("ctrl.cache.evictions")
+        .add(static_cast<double>(result.cache.evictions));
+    m.counter("ctrl.drift_trips").add(static_cast<double>(result.drift_trips));
+    m.counter("ctrl.rf.hits").add(static_cast<double>(result.rf_hits));
+    m.counter("ctrl.rf.misses").add(static_cast<double>(result.rf_misses));
+    double replan_evals = 0;
+    for (const EpochReport& report : result.epochs) {
+      replan_evals += static_cast<double>(report.replan_cost_evals);
+    }
+    m.counter("ctrl.replan_evals").add(replan_evals);
+    m.gauge("ctrl.mean_prediction_error").set(result.mean_prediction_error);
+    m.gauge("ctrl.hit_rate_after_2").set(result.hit_rate_after(2));
+  }
+  return result;
+}
+
+}  // namespace corral

@@ -1,0 +1,87 @@
+#include "ctrl/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "corral/fingerprint.h"
+#include "util/check.h"
+
+namespace corral {
+
+std::uint64_t PlanCacheKey::combined() const {
+  Fingerprint f;
+  f.mix(workload);
+  f.mix(topology);
+  f.mix(planner);
+  return f.value();
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  require(capacity >= 1, "PlanCache: capacity must be >= 1");
+}
+
+const Plan* PlanCache::find(const PlanCacheKey& key) {
+  const auto it = entries_.find(key.combined());
+  if (it == entries_.end() || !(it->second.key == key)) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second.plan;
+}
+
+void PlanCache::insert(const PlanCacheKey& key, Plan plan) {
+  const std::uint64_t combined = key.combined();
+  const auto it = entries_.find(combined);
+  if (it != entries_.end()) {
+    it->second.key = key;
+    it->second.plan = std::move(plan);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    // FIFO: evict the oldest surviving insertion.
+    while (!insertion_order_.empty()) {
+      const std::uint64_t oldest = insertion_order_.front();
+      insertion_order_.pop_front();
+      if (entries_.erase(oldest) > 0) {
+        ++stats_.evictions;
+        break;
+      }
+    }
+  }
+  entries_.emplace(combined, Entry{key, std::move(plan)});
+  insertion_order_.push_back(combined);
+}
+
+std::size_t PlanCache::invalidate_topology_changed(
+    std::uint64_t current_topology) {
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.key.topology != current_topology) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += dropped;
+  return dropped;
+}
+
+bool PlanCache::invalidate(const PlanCacheKey& key) {
+  const auto it = entries_.find(key.combined());
+  if (it == entries_.end() || !(it->second.key == key)) return false;
+  entries_.erase(it);
+  ++stats_.invalidations;
+  return true;
+}
+
+std::size_t PlanCache::invalidate_all() {
+  const std::size_t dropped = entries_.size();
+  entries_.clear();
+  insertion_order_.clear();
+  stats_.invalidations += dropped;
+  return dropped;
+}
+
+}  // namespace corral

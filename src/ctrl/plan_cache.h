@@ -1,0 +1,103 @@
+// Signature-keyed plan cache (docs/control_plane.md).
+//
+// The paper's deployment story (§2, §3.1) is that recurring jobs are
+// predictable, so offline plans can be computed once and *reused* across
+// instances. The cache keys a plan by the triple the planner consumed:
+//
+//   (workload signature, topology fingerprint, planner-config fingerprint)
+//
+// all computed by corral/fingerprint.h. Workload signatures quantize data
+// sizes and task counts into relative log buckets, so tonight's predicted
+// instance of a recurring workload — within the ~6.5% prediction wiggle of
+// Fig 1 — maps to the key of yesterday's and hits; a genuinely different
+// workload, a changed objective, or a degraded topology misses.
+//
+// Invalidation: when the planning topology changes (a rack outage crosses
+// the health threshold, or the cluster is reconfigured), entries planned
+// against any *other* topology are dropped — their rack sets may reference
+// racks that no longer exist. The drift detector additionally invalidates a
+// single entry when realized behaviour diverges from the plan's prediction
+// (paper §5 fallback: stop trusting the plan, replan).
+//
+// The cache is deterministic (no wall-clock, no randomized eviction: FIFO
+// by insertion) and single-owner: one control loop queries it from the
+// calling thread only.
+#ifndef CORRAL_CTRL_PLAN_CACHE_H_
+#define CORRAL_CTRL_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "corral/planner.h"
+
+namespace corral {
+
+struct PlanCacheKey {
+  std::uint64_t workload = 0;
+  std::uint64_t topology = 0;
+  std::uint64_t planner = 0;
+
+  bool operator==(const PlanCacheKey& other) const = default;
+
+  // Single stable id for logging and trace args.
+  std::uint64_t combined() const;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;  // entries dropped by invalidate_*
+  std::uint64_t evictions = 0;      // entries dropped by the capacity cap
+};
+
+class PlanCache {
+ public:
+  // At most `capacity` cached plans; inserting past it evicts the oldest
+  // entry (FIFO — deterministic, no access-time state). capacity must be
+  // >= 1; throws std::invalid_argument otherwise.
+  explicit PlanCache(std::size_t capacity = 64);
+
+  // Returns the cached plan or nullptr, counting a hit or a miss. The
+  // pointer stays valid until the next insert/invalidate call.
+  const Plan* find(const PlanCacheKey& key);
+
+  // Inserts (or replaces) the plan for `key`. A replacement does not count
+  // as an eviction.
+  void insert(const PlanCacheKey& key, Plan plan);
+
+  // Drops every entry whose topology fingerprint differs from
+  // `current_topology` (rack outage / recovery / reconfiguration); returns
+  // how many entries were dropped, which is also added to
+  // stats().invalidations.
+  std::size_t invalidate_topology_changed(std::uint64_t current_topology);
+
+  // Drops the entry for `key` if present (drift-triggered replan). Returns
+  // true when an entry was dropped (counted as an invalidation).
+  bool invalidate(const PlanCacheKey& key);
+
+  // Drops everything (counted as invalidations).
+  std::size_t invalidate_all();
+
+  const PlanCacheStats& stats() const { return stats_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    PlanCacheKey key;
+    Plan plan;
+  };
+
+  std::size_t capacity_;
+  PlanCacheStats stats_;
+  // Keyed by the combined fingerprint; full keys are stored in the entry
+  // and re-checked on lookup, so a 64-bit collision degrades to a miss,
+  // never to a wrong plan.
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::deque<std::uint64_t> insertion_order_;  // FIFO eviction queue
+};
+
+}  // namespace corral
+
+#endif  // CORRAL_CTRL_PLAN_CACHE_H_

@@ -1,0 +1,82 @@
+#include "ctrl/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/export.h"
+#include "util/check.h"
+
+namespace corral {
+namespace {
+
+std::string hex16(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+const char* json_bool(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+void write_ctrl_report_json(std::ostream& out,
+                            const ControlLoopResult& result) {
+  using obs::format_double;
+  out << "{\n  \"epochs\": [";
+  for (std::size_t i = 0; i < result.epochs.size(); ++i) {
+    const EpochReport& e = result.epochs[i];
+    out << (i > 0 ? "," : "") << "\n    {"
+        << "\"epoch\": " << e.epoch << ", \"day\": " << e.day
+        << ", \"weekend\": " << json_bool(e.weekend)
+        << ", \"cache_key\": \"" << hex16(e.cache_key) << '"'
+        << ", \"cache_hit\": " << json_bool(e.cache_hit)
+        << ", \"outage\": " << json_bool(e.outage)
+        << ", \"drift_replan\": " << json_bool(e.drift_replan)
+        << ", \"invalidations\": " << e.invalidations
+        << ", \"planning_racks\": " << e.planning_racks
+        << ", \"replan_cost_evals\": " << e.replan_cost_evals
+        << ", \"rf_hits\": " << e.rf_hits
+        << ", \"rf_misses\": " << e.rf_misses
+        << ", \"mean_prediction_error\": "
+        << format_double(e.mean_prediction_error)
+        << ", \"predicted_makespan_s\": "
+        << format_double(e.predicted_makespan)
+        << ", \"realized_makespan_s\": " << format_double(e.realized_makespan)
+        << ", \"makespan_error\": " << format_double(e.makespan_error)
+        << ", \"mean_completion_error\": "
+        << format_double(e.mean_completion_error)
+        << ", \"jobs_failed\": " << e.jobs_failed << '}';
+  }
+  out << (result.epochs.empty() ? "" : "\n  ") << "],\n  \"totals\": {"
+      << "\"cache_hits\": " << result.cache.hits
+      << ", \"cache_misses\": " << result.cache.misses
+      << ", \"cache_invalidations\": " << result.cache.invalidations
+      << ", \"cache_evictions\": " << result.cache.evictions
+      << ", \"rf_hits\": " << result.rf_hits
+      << ", \"rf_misses\": " << result.rf_misses
+      << ", \"drift_trips\": " << result.drift_trips
+      << ", \"mean_prediction_error\": "
+      << format_double(result.mean_prediction_error)
+      << ", \"hit_rate_after_epoch_2\": "
+      << format_double(result.hit_rate_after(2)) << "}\n}\n";
+}
+
+void write_ctrl_report_json_file(const std::string& path,
+                                 const ControlLoopResult& result) {
+  std::ofstream out(path);
+  require(out.good(), "write_ctrl_report_json_file: cannot open " + path);
+  write_ctrl_report_json(out, result);
+  require(out.good(),
+          "write_ctrl_report_json_file: write failed for " + path);
+}
+
+std::string ctrl_report_json_string(const ControlLoopResult& result) {
+  std::ostringstream out;
+  write_ctrl_report_json(out, result);
+  return out.str();
+}
+
+}  // namespace corral

@@ -1,0 +1,27 @@
+// Deterministic JSON export of a control-loop run.
+//
+// One object with a per-epoch series plus run totals — the artifact the
+// acceptance gate inspects (per-epoch prediction error, cache hits/misses/
+// invalidations, deterministic replan cost, realized-vs-predicted
+// completions). Numbers are formatted with obs::format_double and epochs
+// are emitted in order, so equal results serialize to equal bytes at any
+// exec:: pool width (the CtrlDeterminism suite pins this).
+#ifndef CORRAL_CTRL_REPORT_H_
+#define CORRAL_CTRL_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "ctrl/control_loop.h"
+
+namespace corral {
+
+void write_ctrl_report_json(std::ostream& out,
+                            const ControlLoopResult& result);
+void write_ctrl_report_json_file(const std::string& path,
+                                 const ControlLoopResult& result);
+std::string ctrl_report_json_string(const ControlLoopResult& result);
+
+}  // namespace corral
+
+#endif  // CORRAL_CTRL_REPORT_H_

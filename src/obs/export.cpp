@@ -13,18 +13,6 @@
 namespace corral::obs {
 namespace {
 
-// Deterministic shortest-round-trip double formatting ("%.17g" prints
-// noise digits; iterate precision up from 15 like the usual idiom).
-std::string format_double(double value) {
-  if (!std::isfinite(value)) return "null";
-  char buffer[64];
-  for (int precision = 15; precision <= 17; ++precision) {
-    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
-    if (std::strtod(buffer, nullptr) == value) break;
-  }
-  return buffer;
-}
-
 void write_args_object(std::ostream& out, const std::vector<TraceArg>& args) {
   out << '{';
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -57,6 +45,18 @@ const TraceArg* find_arg(const TraceEvent& event, std::string_view key) {
 }
 
 }  // namespace
+
+// "%.17g" prints noise digits; iterate precision up from 15 like the usual
+// shortest-round-trip idiom.
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
 
 std::string json_escape(const std::string& text) {
   std::string out;

@@ -26,6 +26,12 @@ namespace corral::obs {
 // JSON string-body escaping (quotes, backslashes, control characters).
 std::string json_escape(const std::string& text);
 
+// Deterministic shortest-round-trip double formatting for JSON output:
+// smallest precision in [15, 17] that round-trips, "null" for non-finite
+// values. Equal doubles always format to equal bytes — the property every
+// deterministic exporter in the tree (obs, ctrl reports) relies on.
+std::string format_double(double value);
+
 void write_chrome_trace(std::ostream& out, const Tracer& tracer);
 void write_chrome_trace_file(const std::string& path, const Tracer& tracer);
 std::string chrome_trace_string(const Tracer& tracer);

@@ -35,6 +35,7 @@ std::string_view to_string(TraceTrack track) {
     case TraceTrack::kPlanner: return "planner";
     case TraceTrack::kBatch: return "batch";
     case TraceTrack::kFaults: return "faults";
+    case TraceTrack::kCtrl: return "ctrl";
   }
   return "?";
 }

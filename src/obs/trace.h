@@ -47,8 +47,9 @@ enum class TraceTrack : int {
   kPlanner = 4, // provisioning / prioritization decision log
   kBatch = 5,   // per-run spans from BatchRunner
   kFaults = 6,  // machine failure / recovery instants (tid = machine id)
+  kCtrl = 7,    // control-plane epochs: predict/plan/execute/measure spans
 };
-constexpr int kTraceTracks = 7;
+constexpr int kTraceTracks = 8;
 std::string_view to_string(TraceTrack track);
 
 enum class TracePhase : int { kSpan = 0, kInstant = 1, kCounter = 2 };

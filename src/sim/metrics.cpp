@@ -5,6 +5,13 @@
 
 namespace corral {
 
+const JobResult* SimResult::find_job(int job_id) const {
+  for (const JobResult& job : jobs) {
+    if (job.job_id == job_id) return &job;
+  }
+  return nullptr;
+}
+
 std::vector<double> SimResult::completion_times() const {
   std::vector<double> out;
   out.reserve(jobs.size());

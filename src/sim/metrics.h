@@ -72,6 +72,11 @@ struct SimResult {
   // degraded mode"), accumulated until the last job finishes.
   Seconds degraded_time = 0;
 
+  // The result row of one job, or nullptr when the id is unknown — the
+  // feedback hook the control plane uses to fold realized completions and
+  // input observations back into per-job histories (docs/control_plane.md).
+  const JobResult* find_job(int job_id) const;
+
   // Completion times of jobs that finished successfully (failed jobs would
   // skew completion statistics with their early abort times).
   std::vector<double> completion_times() const;

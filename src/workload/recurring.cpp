@@ -74,22 +74,18 @@ double prediction_mape(const std::vector<JobInstance>& history,
   return total_error / count;
 }
 
-JobSpecEstimate estimate_job_spec(const JobSpec& reference,
-                                  const std::vector<JobInstance>& history,
-                                  int day, int run_of_day, int new_id,
-                                  Seconds arrival) {
+JobSpec scale_job_spec(const JobSpec& reference, Bytes target_input,
+                       int new_id, Seconds arrival) {
   reference.validate();
-  JobSpecEstimate estimate;
-  estimate.job = reference;
-  estimate.job.id = new_id;
-  estimate.job.arrival = arrival;
-  estimate.predicted_input = predict_input(history, day, run_of_day);
+  JobSpec job = reference;
+  job.id = new_id;
+  job.arrival = arrival;
   const Bytes reference_input = reference.total_input();
-  if (estimate.predicted_input <= 0 || reference_input <= 0) {
-    return estimate;  // nothing to scale from
+  if (target_input <= 0 || reference_input <= 0) {
+    return job;  // nothing to scale from
   }
-  const double scale = estimate.predicted_input / reference_input;
-  for (MapReduceSpec& stage : estimate.job.stages) {
+  const double scale = target_input / reference_input;
+  for (MapReduceSpec& stage : job.stages) {
     stage.input_bytes *= scale;
     stage.shuffle_bytes *= scale;
     stage.output_bytes *= scale;
@@ -100,7 +96,48 @@ JobSpecEstimate estimate_job_spec(const JobSpec& reference,
         stage.num_reduces > 0 ? 1 : 0,
         static_cast<int>(std::lround(stage.num_reduces * scale)));
   }
+  return job;
+}
+
+JobSpecEstimate estimate_job_spec(const JobSpec& reference,
+                                  const std::vector<JobInstance>& history,
+                                  int day, int run_of_day, int new_id,
+                                  Seconds arrival) {
+  JobSpecEstimate estimate;
+  estimate.predicted_input = predict_input(history, day, run_of_day);
+  estimate.job =
+      scale_job_spec(reference, estimate.predicted_input, new_id, arrival);
   return estimate;
+}
+
+std::size_t record_instance(std::vector<JobInstance>& history,
+                            JobInstance instance) {
+  require(instance.day >= 0 && instance.run_of_day >= 0,
+          "record_instance: negative day or run_of_day");
+  require(instance.input_bytes > 0,
+          "record_instance: input_bytes must be positive");
+  if (!history.empty()) {
+    const JobInstance& last = history.back();
+    require(instance.day > last.day ||
+                (instance.day == last.day &&
+                 instance.run_of_day >= last.run_of_day),
+            "record_instance: instance precedes recorded history");
+  }
+  history.push_back(instance);
+  return history.size();
+}
+
+std::size_t prune_history(std::vector<JobInstance>& history, int keep_days) {
+  if (keep_days <= 0 || history.empty()) return 0;
+  const int newest = history.back().day;
+  const int cutoff = newest - keep_days + 1;
+  const std::size_t before = history.size();
+  history.erase(std::remove_if(history.begin(), history.end(),
+                               [cutoff](const JobInstance& instance) {
+                                 return instance.day < cutoff;
+                               }),
+                history.end());
+  return before - history.size();
 }
 
 std::vector<RecurringJobTemplate> fig1_templates() {

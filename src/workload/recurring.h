@@ -66,6 +66,28 @@ double prediction_mape(const std::vector<JobInstance>& history,
 // (Fig 1's six production jobs).
 std::vector<RecurringJobTemplate> fig1_templates();
 
+// --- history update API (the measure -> history feedback edge of the
+// control plane, docs/control_plane.md) ---
+
+// Appends one observed instance. History stays sorted: the instance must
+// not precede the last recorded (day, run_of_day), and its input must be
+// positive; throws std::invalid_argument otherwise. Returns the new size.
+std::size_t record_instance(std::vector<JobInstance>& history,
+                            JobInstance instance);
+
+// Drops instances older than `keep_days` days before the newest recorded
+// day (a bounded-memory rolling window for long-running control loops);
+// keep_days <= 0 keeps everything. Returns how many instances were dropped.
+std::size_t prune_history(std::vector<JobInstance>& history, int keep_days);
+
+// Scales a reference run to a target input size, preserving the split size
+// (bytes per map) and the shuffle/output selectivities — the shared scaling
+// step of estimate_job_spec, exposed so the control plane can also build
+// the *realized* instance of an epoch from its observed input size. A
+// non-positive target returns the reference unchanged (besides id/arrival).
+JobSpec scale_job_spec(const JobSpec& reference, Bytes target_input,
+                       int new_id, Seconds arrival);
+
 // Builds tonight's JobSpec for a recurring job from its history: predicts
 // the input size for (day, run_of_day) and scales the reference run's data
 // sizes and task counts proportionally — the §3.1 step where "the offline

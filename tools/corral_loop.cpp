@@ -1,0 +1,127 @@
+// corral_loop: the closed-loop control plane (docs/control_plane.md).
+//
+// Drives N virtual days of a recurring W1-like fleet through the
+// predict -> plan-cache -> execute -> measure -> replan loop and prints a
+// per-epoch table: plan-cache outcome, deterministic replan cost,
+// prediction error and realized-vs-predicted makespan. Everything is
+// virtual-time and seed-driven, so the table, the --report-out JSON and any
+// --trace-out/--metrics-out artifacts are byte-identical at any --threads.
+//
+//   corral_loop --epochs=10 --jobs=20 --outage-epoch=5 --report-out=loop.json
+//   corral_loop --smoke            # tiny run for CI
+#include <cstdio>
+#include <iostream>
+
+#include "ctrl/control_loop.h"
+#include "ctrl/report.h"
+#include "tool_common.h"
+
+using namespace corral;
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "corral_loop: closed-loop control plane over the recurring-job "
+      "predictor, plan cache and simulator");
+  flags.add_int("epochs", 10, "virtual days to drive (must be positive)");
+  flags.add_int("warmup-days", 14,
+                "days of history each pipeline starts with");
+  flags.add_int("jobs", 20, "recurring W1 pipelines under control");
+  flags.add_double("task-scale", 0.25,
+                   "W1 task-count scale (1.0 = the paper's W1)");
+  flags.add_double("drift-threshold", 0.25,
+                   "mean prediction error that forces a replan (must be "
+                   "positive)");
+  flags.add_double("quantum", 0.15,
+                   "relative size-quantization bucket for cache keys");
+  flags.add_int("history-window", 0,
+                "rolling history window in days; 0 = unbounded");
+  flags.add_int("outage-epoch", -1,
+                "epoch with an injected whole-rack outage; -1 = none");
+  flags.add_int("outage-rack", 0, "rack taken down by --outage-epoch");
+  flags.add_int("cache-capacity", 64, "max cached plans (FIFO eviction)");
+  flags.add_string("objective", "makespan", "makespan | avg-completion");
+  flags.add_int("seed", 2015, "base seed (workload shapes and simulation)");
+  flags.add_bool("smoke", false,
+                 "tiny run for CI (3 epochs, 5 jobs unless overridden)");
+  flags.add_string("report-out", "",
+                   "write the per-epoch control report JSON to this file");
+  tools::add_output_flags(flags);
+  tools::add_cluster_flags(flags);
+  if (!flags.parse(argc, argv, std::cerr)) return 2;
+
+  try {
+    tools::ToolObservability outputs = tools::apply_output_flags(flags);
+    const bool smoke = flags.get_bool("smoke");
+
+    ControlLoopConfig config;
+    config.cluster = tools::cluster_from_flags(flags);
+    config.objective = flags.get_string("objective") == "avg-completion"
+                           ? Objective::kAverageCompletionTime
+                           : Objective::kMakespan;
+    config.epochs = static_cast<int>(flags.get_int("epochs"));
+    if (smoke && !flags.provided("epochs")) config.epochs = 3;
+    config.warmup_days = static_cast<int>(flags.get_int("warmup-days"));
+    config.drift_threshold = flags.get_double("drift-threshold");
+    config.size_quantum = flags.get_double("quantum");
+    config.history_window_days =
+        static_cast<int>(flags.get_int("history-window"));
+    config.outage_epoch = static_cast<int>(flags.get_int("outage-epoch"));
+    config.outage_rack = static_cast<int>(flags.get_int("outage-rack"));
+    config.cache_capacity =
+        static_cast<std::size_t>(flags.get_int("cache-capacity"));
+    config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    config.tracer = outputs.tracer_or_null();
+    config.metrics = outputs.metrics_or_null();
+    config.validate();
+
+    W1Config workload;
+    workload.num_jobs = static_cast<int>(flags.get_int("jobs"));
+    if (smoke && !flags.provided("jobs")) workload.num_jobs = 5;
+    workload.task_scale = flags.get_double("task-scale");
+    if (smoke && !flags.provided("task-scale")) workload.task_scale = 0.2;
+
+    std::vector<RecurringPipeline> fleet = make_recurring_fleet(
+        workload, config.warmup_days, config.epochs, config.seed);
+    const ControlLoopResult result =
+        run_control_loop(std::move(fleet), config);
+
+    std::printf(
+        "epoch day wk  cache  outage drift racks evals  pred.err  "
+        "planned.ms  realized.ms  failed\n");
+    for (const EpochReport& e : result.epochs) {
+      std::printf(
+          "%5d %4d %-3s %-6s %-6s %-5s %5d %5zu %8.2f%% %10.1fs %11.1fs "
+          "%7d\n",
+          e.epoch, e.day, e.weekend ? "we" : "wd",
+          e.cache_hit ? "hit" : "MISS", e.outage ? "down" : "-",
+          e.drift_replan ? "yes" : "-", e.planning_racks,
+          e.replan_cost_evals, 100.0 * e.mean_prediction_error,
+          e.predicted_makespan, e.realized_makespan, e.jobs_failed);
+    }
+    std::printf("cache: %llu hits / %llu misses, %llu invalidations, "
+                "%llu evictions (capacity %zu)\n",
+                static_cast<unsigned long long>(result.cache.hits),
+                static_cast<unsigned long long>(result.cache.misses),
+                static_cast<unsigned long long>(result.cache.invalidations),
+                static_cast<unsigned long long>(result.cache.evictions),
+                config.cache_capacity);
+    std::printf("hit rate after epoch 2:   %.2f\n", result.hit_rate_after(2));
+    std::printf("response-function memo:   %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(result.rf_hits),
+                static_cast<unsigned long long>(result.rf_misses));
+    std::printf("drift trips:              %d\n", result.drift_trips);
+    std::printf("mean prediction error:    %.2f%%\n",
+                100.0 * result.mean_prediction_error);
+
+    if (!flags.get_string("report-out").empty()) {
+      write_ctrl_report_json_file(flags.get_string("report-out"), result);
+      std::printf("control report written to %s\n",
+                  flags.get_string("report-out").c_str());
+    }
+    outputs.write_outputs(std::cout);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -11,9 +11,9 @@ namespace corral::tools {
 
 void add_threads_flag(FlagParser& flags) {
   flags.add_int("threads", 0,
-                "worker threads for planning and simulation batches "
-                "(0 = hardware concurrency); results are identical at any "
-                "thread count");
+                "worker threads for planning, simulation batches and the "
+                "control loop (0 = hardware concurrency); results are "
+                "identical at any thread count");
 }
 
 void apply_threads_flag(const FlagParser& flags) {

@@ -21,9 +21,10 @@ void add_threads_flag(FlagParser& flags);
 void apply_threads_flag(const FlagParser& flags);
 
 // Which pieces of the shared output flag block a tool registers. Every tool
-// gets --threads; tools that trace (corral_plan, corral_simulate) also get
-// --trace-out / --trace-level / --timeline-out / --metrics-out; tools with
-// per-job CSV output (corral_simulate) additionally get --csv.
+// gets --threads; tools that trace (corral_plan, corral_simulate,
+// corral_loop) also get --trace-out / --trace-level / --timeline-out /
+// --metrics-out; tools with per-job CSV output (corral_simulate)
+// additionally get --csv.
 struct OutputFlagSet {
   bool trace = true;
   bool csv = false;
