@@ -66,8 +66,7 @@ int main(int argc, char** argv) {
   config.cluster = bench::testbed();
   config.epochs = smoke ? 4 : 28;  // four weeks of virtual days
   config.warmup_days = 14;
-  config.outage_epoch = smoke ? 2 : 12;
-  config.outage_rack = 3;
+  config.outages = {{smoke ? 2 : 12, 3}};
   config.pool = &bench::pool();
 
   const LoopRun cached = run_loop(workload, config);
@@ -101,7 +100,7 @@ int main(int argc, char** argv) {
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
       << "  \"epochs\": " << config.epochs << ",\n"
       << "  \"jobs\": " << workload.num_jobs << ",\n"
-      << "  \"outage_epoch\": " << config.outage_epoch << ",\n"
+      << "  \"outage_epoch\": " << config.outages[0].epoch << ",\n"
       << "  \"cached\": {\"hits\": " << cached.result.cache.hits
       << ", \"misses\": " << cached.result.cache.misses
       << ", \"invalidations\": " << cached.result.cache.invalidations

@@ -194,4 +194,21 @@ std::vector<ResponseFunction> ResponseFunctionCache::get_all(
 
 void ResponseFunctionCache::clear() { entries_.clear(); }
 
+ResponseFunctionCache::Snapshot ResponseFunctionCache::snapshot() const {
+  Snapshot out(entries_.begin(), entries_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void ResponseFunctionCache::restore(const Snapshot& entries,
+                                    std::uint64_t hits, std::uint64_t misses) {
+  entries_.clear();
+  for (const auto& [key, latencies] : entries) {
+    entries_.emplace(key, latencies);
+  }
+  hits_ = hits;
+  misses_ = misses;
+}
+
 }  // namespace corral

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/topology.h"
@@ -116,6 +117,15 @@ class ResponseFunctionCache {
   std::uint64_t misses() const { return misses_; }
   std::size_t size() const { return entries_.size(); }
   void clear();
+
+  // Checkpoint support (src/ctrl/checkpoint): the memo's entries sorted by
+  // key — a deterministic, restorable image of the cache. restore() replaces
+  // the current contents and counters with the snapshot's.
+  using Snapshot =
+      std::vector<std::pair<std::uint64_t, std::vector<Seconds>>>;
+  Snapshot snapshot() const;
+  void restore(const Snapshot& entries, std::uint64_t hits,
+               std::uint64_t misses);
 
  private:
   double size_quantum_;

@@ -1,0 +1,104 @@
+// Control-loop checkpoint/restore (docs/control_plane.md "Failure modes
+// and guardrails").
+//
+// After every completed epoch the loop can persist its entire mutable
+// state — plan cache, response-function memo, predictor histories, sticky
+// planning sizes, error-budget machine, per-epoch reports and the trace
+// events recorded so far — to a single versioned, checksummed text file. A
+// later `corral_loop --resume <ckpt>` (after a real kill or a chaos kCrash)
+// reconstructs that state and continues from the next epoch; because the
+// loop is virtual-time and seed-driven, the resumed run's reports, traces
+// and metrics are byte-identical to an uninterrupted run at any pool width.
+//
+// Format: line-oriented text. The first line is a version magic; every
+// floating-point value is stored as the hex image of its IEEE-754 bits
+// (exact round-trip — obs::format_double's shortest-decimal form is for
+// human-facing JSON, not for state); strings are length-prefixed raw
+// bytes; the last line is an FNV-1a checksum of everything before it.
+// read_checkpoint rejects a bad magic, a truncated body or a checksum
+// mismatch with std::invalid_argument — a torn write surfaces as a clean
+// error, never as silently wrong state.
+#ifndef CORRAL_CTRL_CHECKPOINT_H_
+#define CORRAL_CTRL_CHECKPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corral/latency_model.h"
+#include "ctrl/control_loop.h"
+#include "ctrl/plan_cache.h"
+#include "ctrl/resilience.h"
+#include "obs/trace.h"
+
+namespace corral {
+
+// Everything run_control_loop mutates across epochs. The loop populates
+// this after each epoch (checkpoint_path) and consumes it before its first
+// epoch (resume_path).
+struct CheckpointState {
+  // control_loop_fingerprint of the run that wrote the checkpoint; resume
+  // refuses a mismatch (different config, chaos regime or fleet).
+  std::uint64_t config_fingerprint = 0;
+
+  int next_epoch = 0;  // first epoch the resumed loop should run
+  std::uint64_t prev_topology = 0;
+  bool force_replan = false;  // pending drift-triggered invalidation
+
+  // ErrorBudget machine state.
+  ControlMode budget_mode = ControlMode::kPlanned;
+  int budget_bad = 0;
+  int budget_good = 0;
+  int budget_demotions = 0;
+  int budget_promotions = 0;
+
+  // Per-pipeline sticky planning sizes [weekday, weekend] and predictor
+  // histories (the feedback edge's accumulated observations).
+  std::vector<std::array<Bytes, 2>> planning_inputs;
+  std::vector<std::vector<JobInstance>> histories;
+
+  // Completed epochs' reports and the running drift-trip count.
+  std::vector<EpochReport> reports;
+  int drift_trips = 0;
+
+  // Last-good plan for deadline-overrun fallback, with the topology it was
+  // planned against (a fallback across a topology change would reference
+  // dead racks).
+  bool has_last_good = false;
+  std::uint64_t last_good_topology = 0;
+  Plan last_good_plan;
+
+  PlanCache::Snapshot plan_cache;
+
+  ResponseFunctionCache::Snapshot rf_entries;
+  std::uint64_t rf_hits = 0;
+  std::uint64_t rf_misses = 0;
+
+  // Trace events recorded so far (empty when tracing is off).
+  obs::TraceSnapshot trace;
+};
+
+// Fingerprint over everything a checkpoint's meaning depends on: the loop
+// config (cluster, objective, thresholds, outage list, chaos spec + seed,
+// resilience knobs) and the fleet (references, shapes and the full
+// exogenous timelines). Pool/tracer/metrics pointers and the checkpoint
+// paths themselves are excluded — resuming under a different thread count
+// or output wiring is exactly the supported case.
+std::uint64_t control_loop_fingerprint(
+    const ControlLoopConfig& config,
+    const std::vector<RecurringPipeline>& pipelines);
+
+std::string serialize_checkpoint(const CheckpointState& state);
+// Throws std::invalid_argument on bad magic, truncation, malformed fields
+// or checksum mismatch.
+CheckpointState deserialize_checkpoint(const std::string& text);
+
+// File wrappers; write is atomic-enough for the single-writer loop (write
+// to path + ".tmp", then rename). Throw std::runtime_error on I/O failure.
+void write_checkpoint(const std::string& path, const CheckpointState& state);
+CheckpointState read_checkpoint(const std::string& path);
+
+}  // namespace corral
+
+#endif  // CORRAL_CTRL_CHECKPOINT_H_

@@ -41,11 +41,14 @@
 #define CORRAL_CTRL_CONTROL_LOOP_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "corral/latency_model.h"
 #include "corral/planner.h"
+#include "ctrl/chaos.h"
 #include "ctrl/plan_cache.h"
+#include "ctrl/resilience.h"
 #include "sim/simulator.h"
 #include "workload/recurring.h"
 #include "workload/workloads.h"
@@ -66,6 +69,15 @@ struct RecurringPipeline {
   RecurringJobTemplate shape;
   std::vector<JobInstance> timeline;  // day 0 .. warmup+epochs-1
   std::vector<JobInstance> history;   // what the predictor may read
+};
+
+// One injected whole-rack outage: rack `rack` is down for the duration of
+// epoch `epoch`.
+struct RackOutage {
+  int epoch = 0;
+  int rack = 0;
+
+  bool operator==(const RackOutage& other) const = default;
 };
 
 struct ControlLoopConfig {
@@ -94,12 +106,34 @@ struct ControlLoopConfig {
   // 0 keeps unbounded history.
   int history_window_days = 0;
 
-  // Optional injected whole-rack outage: during epoch `outage_epoch` rack
-  // `outage_rack` is down (its machines failed in the simulator, the rack
-  // excluded from the planning universe, and every cached plan built on the
-  // full topology invalidated). -1 disables.
-  int outage_epoch = -1;
-  int outage_rack = 0;
+  // Injected whole-rack outages: during epoch `epoch` rack `rack` is down
+  // (its machines failed in the simulator, the rack excluded from the
+  // planning universe, and every cached plan built against a different
+  // topology invalidated). Multiple entries may share an epoch (several
+  // racks down at once) or a rack (the same rack flapping across epochs);
+  // exact duplicates are rejected by validate().
+  std::vector<RackOutage> outages;
+
+  // Control-plane chaos (ctrl/chaos.h): faults injected into the loop
+  // itself. Empty = no chaos. chaos_seed 0 derives the schedule seed from
+  // `seed`, so chaos runs stay reproducible from one flag.
+  ChaosSpec chaos;
+  std::uint64_t chaos_seed = 0;
+
+  // Guardrail policy (ctrl/resilience.h). Disabled by default: the loop
+  // behaves exactly as before this module existed, and chaos faults land
+  // unmitigated.
+  ResilienceConfig resilience;
+
+  // When non-empty, a versioned, checksummed checkpoint (ctrl/checkpoint.h)
+  // is (re)written after every completed epoch, and — crash chaos or not —
+  // a later run can continue from it.
+  std::string checkpoint_path;
+  // When non-empty, the loop restores this checkpoint before its first
+  // epoch and continues from the epoch after the checkpoint's. The config
+  // and fleet must fingerprint-match the checkpointing run; throws
+  // std::invalid_argument otherwise.
+  std::string resume_path;
 
   // Max cached plans (FIFO eviction past it).
   std::size_t cache_capacity = 64;
@@ -160,6 +194,20 @@ struct EpochReport {
   double mean_completion_error = 0;
 
   int jobs_failed = 0;
+
+  // --- resilience (ctrl/resilience.h, ctrl/chaos.h) ---------------------
+  ControlMode mode = ControlMode::kPlanned;  // policy driving this epoch
+  int chaos_injected = 0;   // non-crash chaos events landed this epoch
+  int quarantined = 0;      // forecasts rejected by input validation
+  int exec_retries = 0;     // execution attempts beyond the first
+  bool planner_overrun = false;  // replan exceeded its deadline budget
+  bool fallback_plan = false;    // last-good plan substituted for a replan
+  bool stale_topology = false;   // stale planner view injected this epoch
+  // The epoch gave up: no plan could be published or every execution
+  // attempt aborted. Nothing ran, nothing was measured or fed back.
+  bool aborted = false;
+  bool demoted = false;   // error budget demoted the loop after this epoch
+  bool promoted = false;  // error budget re-promoted after this epoch
 };
 
 struct ControlLoopResult {
@@ -168,7 +216,23 @@ struct ControlLoopResult {
   std::uint64_t rf_hits = 0;  // response-function memo totals
   std::uint64_t rf_misses = 0;
   int drift_trips = 0;        // epochs whose error exceeded the threshold
-  double mean_prediction_error = 0;  // over all epochs
+  double mean_prediction_error = 0;  // over completed (non-aborted) epochs
+
+  // Resilience totals over the run.
+  int epochs_completed = 0;  // epochs that executed and fed back
+  int epochs_aborted = 0;    // epochs that gave up (resilience off)
+  int chaos_events = 0;      // non-crash chaos events injected
+  int quarantined = 0;
+  int exec_retries = 0;
+  int fallbacks = 0;   // epochs served by the last-good plan
+  int overruns = 0;    // planner deadline overruns observed
+  int stale_views = 0; // stale-topology injections observed
+  int demotions = 0;   // error-budget planned -> reactive transitions
+  int promotions = 0;  // error-budget reactive -> planned transitions
+  // Crash chaos ended the run after this epoch (-1: ran to completion).
+  // A later run resumes from the checkpoint; result.epochs then spans the
+  // whole run and crashed_after is -1 again.
+  int crashed_after = -1;
 
   // Cache hit rate over epochs with index > `after_epoch` (the acceptance
   // gate: >= 0.5 after epoch 2 on a stable topology).

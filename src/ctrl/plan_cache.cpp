@@ -8,6 +8,23 @@
 
 namespace corral {
 
+std::uint64_t plan_checksum(const Plan& plan) {
+  Fingerprint f;
+  f.mix(static_cast<std::uint64_t>(plan.jobs.size()));
+  for (const PlannedJob& job : plan.jobs) {
+    f.mix(static_cast<std::uint64_t>(job.job_index));
+    f.mix(static_cast<std::uint64_t>(job.num_racks));
+    for (int rack : job.racks) f.mix(static_cast<std::uint64_t>(rack));
+    f.mix(job.start_time);
+    f.mix(job.predicted_latency);
+    f.mix(static_cast<std::uint64_t>(job.priority));
+  }
+  f.mix(plan.predicted_makespan);
+  f.mix(plan.predicted_avg_completion);
+  f.mix(static_cast<std::uint64_t>(plan.evaluated_candidates));
+  return f.value();
+}
+
 std::uint64_t PlanCacheKey::combined() const {
   Fingerprint f;
   f.mix(workload);
@@ -26,6 +43,13 @@ const Plan* PlanCache::find(const PlanCacheKey& key) {
     ++stats_.misses;
     return nullptr;
   }
+  if (plan_checksum(it->second.plan) != it->second.checksum) {
+    // Scribbled entry: drop it rather than serve a wrong schedule.
+    entries_.erase(it);
+    ++stats_.corruptions;
+    ++stats_.misses;
+    return nullptr;
+  }
   ++stats_.hits;
   return &it->second.plan;
 }
@@ -35,6 +59,7 @@ void PlanCache::insert(const PlanCacheKey& key, Plan plan) {
   const auto it = entries_.find(combined);
   if (it != entries_.end()) {
     it->second.key = key;
+    it->second.checksum = plan_checksum(plan);
     it->second.plan = std::move(plan);
     return;
   }
@@ -49,7 +74,8 @@ void PlanCache::insert(const PlanCacheKey& key, Plan plan) {
       }
     }
   }
-  entries_.emplace(combined, Entry{key, std::move(plan)});
+  const std::uint64_t checksum = plan_checksum(plan);
+  entries_.emplace(combined, Entry{key, std::move(plan), checksum});
   insertion_order_.push_back(combined);
 }
 
@@ -82,6 +108,46 @@ std::size_t PlanCache::invalidate_all() {
   insertion_order_.clear();
   stats_.invalidations += dropped;
   return dropped;
+}
+
+bool PlanCache::corrupt_oldest() {
+  for (const std::uint64_t id : insertion_order_) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) continue;  // already evicted/invalidated
+    // Scribble the plan bytes while leaving the stored checksum intact;
+    // the next find() detects the mismatch.
+    it->second.plan.predicted_makespan =
+        -(it->second.plan.predicted_makespan + 1.0);
+    it->second.plan.evaluated_candidates ^= 0xdeadbeefull;
+    return true;
+  }
+  return false;
+}
+
+PlanCache::Snapshot PlanCache::snapshot() const {
+  Snapshot out;
+  out.stats = stats_;
+  out.entries.reserve(entries_.size());
+  for (const std::uint64_t id : insertion_order_) {
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) continue;  // stale FIFO id (entry dropped)
+    out.entries.push_back({it->second.key, it->second.plan});
+  }
+  return out;
+}
+
+void PlanCache::restore(const Snapshot& snapshot) {
+  require(snapshot.entries.size() <= capacity_,
+          "PlanCache::restore: snapshot larger than capacity");
+  entries_.clear();
+  insertion_order_.clear();
+  for (const Snapshot::Item& item : snapshot.entries) {
+    const std::uint64_t combined = item.key.combined();
+    entries_.emplace(combined,
+                     Entry{item.key, item.plan, plan_checksum(item.plan)});
+    insertion_order_.push_back(combined);
+  }
+  stats_ = snapshot.stats;
 }
 
 }  // namespace corral

@@ -28,10 +28,16 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "corral/planner.h"
 
 namespace corral {
+
+// Content checksum over every field of a plan (FNV-1a). Stored with each
+// cache entry and re-verified on lookup, so scribbled plan bytes surface as
+// a detected corruption instead of a silently wrong schedule.
+std::uint64_t plan_checksum(const Plan& plan);
 
 struct PlanCacheKey {
   std::uint64_t workload = 0;
@@ -49,6 +55,7 @@ struct PlanCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t invalidations = 0;  // entries dropped by invalidate_*
   std::uint64_t evictions = 0;      // entries dropped by the capacity cap
+  std::uint64_t corruptions = 0;    // checksum mismatches caught by find()
 };
 
 class PlanCache {
@@ -58,8 +65,11 @@ class PlanCache {
   // >= 1; throws std::invalid_argument otherwise.
   explicit PlanCache(std::size_t capacity = 64);
 
-  // Returns the cached plan or nullptr, counting a hit or a miss. The
-  // pointer stays valid until the next insert/invalidate call.
+  // Returns the cached plan or nullptr, counting a hit or a miss. A stored
+  // plan whose checksum no longer matches its bytes (memory scribble, chaos
+  // kCacheCorrupt) is dropped and counted in stats().corruptions, and the
+  // lookup degrades to a miss. The pointer stays valid until the next
+  // insert/invalidate call.
   const Plan* find(const PlanCacheKey& key);
 
   // Inserts (or replaces) the plan for `key`. A replacement does not count
@@ -79,6 +89,25 @@ class PlanCache {
   // Drops everything (counted as invalidations).
   std::size_t invalidate_all();
 
+  // Chaos hook (ctrl/chaos.h kCacheCorrupt): scribbles the stored plan for
+  // the entry FIFO-oldest in the cache so the next find() detects a
+  // checksum mismatch. Returns false when the cache is empty.
+  bool corrupt_oldest();
+
+  // Checkpoint support (src/ctrl/checkpoint): entries in FIFO insertion
+  // order plus the running stats. restore() replaces the cache contents,
+  // eviction order and counters with the snapshot's.
+  struct Snapshot {
+    struct Item {
+      PlanCacheKey key;
+      Plan plan;
+    };
+    std::vector<Item> entries;  // FIFO order, oldest first
+    PlanCacheStats stats;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snapshot);
+
   const PlanCacheStats& stats() const { return stats_; }
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -87,6 +116,7 @@ class PlanCache {
   struct Entry {
     PlanCacheKey key;
     Plan plan;
+    std::uint64_t checksum = 0;
   };
 
   std::size_t capacity_;

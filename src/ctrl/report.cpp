@@ -48,20 +48,42 @@ void write_ctrl_report_json(std::ostream& out,
         << ", \"makespan_error\": " << format_double(e.makespan_error)
         << ", \"mean_completion_error\": "
         << format_double(e.mean_completion_error)
-        << ", \"jobs_failed\": " << e.jobs_failed << '}';
+        << ", \"jobs_failed\": " << e.jobs_failed
+        << ", \"mode\": \"" << to_string(e.mode) << '"'
+        << ", \"chaos_injected\": " << e.chaos_injected
+        << ", \"quarantined\": " << e.quarantined
+        << ", \"exec_retries\": " << e.exec_retries
+        << ", \"planner_overrun\": " << json_bool(e.planner_overrun)
+        << ", \"fallback_plan\": " << json_bool(e.fallback_plan)
+        << ", \"stale_topology\": " << json_bool(e.stale_topology)
+        << ", \"aborted\": " << json_bool(e.aborted)
+        << ", \"demoted\": " << json_bool(e.demoted)
+        << ", \"promoted\": " << json_bool(e.promoted) << '}';
   }
   out << (result.epochs.empty() ? "" : "\n  ") << "],\n  \"totals\": {"
       << "\"cache_hits\": " << result.cache.hits
       << ", \"cache_misses\": " << result.cache.misses
       << ", \"cache_invalidations\": " << result.cache.invalidations
       << ", \"cache_evictions\": " << result.cache.evictions
+      << ", \"cache_corruptions\": " << result.cache.corruptions
       << ", \"rf_hits\": " << result.rf_hits
       << ", \"rf_misses\": " << result.rf_misses
       << ", \"drift_trips\": " << result.drift_trips
       << ", \"mean_prediction_error\": "
       << format_double(result.mean_prediction_error)
       << ", \"hit_rate_after_epoch_2\": "
-      << format_double(result.hit_rate_after(2)) << "}\n}\n";
+      << format_double(result.hit_rate_after(2))
+      << ", \"epochs_completed\": " << result.epochs_completed
+      << ", \"epochs_aborted\": " << result.epochs_aborted
+      << ", \"chaos_events\": " << result.chaos_events
+      << ", \"quarantined\": " << result.quarantined
+      << ", \"exec_retries\": " << result.exec_retries
+      << ", \"fallbacks\": " << result.fallbacks
+      << ", \"overruns\": " << result.overruns
+      << ", \"stale_views\": " << result.stale_views
+      << ", \"demotions\": " << result.demotions
+      << ", \"promotions\": " << result.promotions
+      << ", \"crashed_after\": " << result.crashed_after << "}\n}\n";
 }
 
 void write_ctrl_report_json_file(const std::string& path,

@@ -1,0 +1,77 @@
+#include "ctrl/resilience.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace corral {
+
+std::string_view to_string(ControlMode mode) {
+  switch (mode) {
+    case ControlMode::kPlanned: return "planned";
+    case ControlMode::kReactive: return "reactive";
+  }
+  return "?";
+}
+
+void ResilienceConfig::validate() const {
+  require(max_retries >= 0, "ResilienceConfig: max_retries must be >= 0");
+  require(std::isfinite(retry_backoff) && retry_backoff > 0,
+          "ResilienceConfig: retry_backoff must be positive");
+  require(std::isfinite(outlier_factor) && outlier_factor > 1,
+          "ResilienceConfig: outlier_factor must be > 1");
+  require(demote_after >= 0, "ResilienceConfig: demote_after must be >= 0");
+  require(promote_after >= 1,
+          "ResilienceConfig: promote_after must be >= 1");
+}
+
+ErrorBudget::ErrorBudget(int demote_after, int promote_after)
+    : demote_after_(demote_after), promote_after_(promote_after) {
+  require(demote_after >= 0, "ErrorBudget: demote_after must be >= 0");
+  require(promote_after >= 1, "ErrorBudget: promote_after must be >= 1");
+}
+
+bool ErrorBudget::record(bool over_threshold) {
+  if (mode_ == ControlMode::kPlanned) {
+    if (over_threshold) {
+      ++bad_;
+      if (demote_after_ > 0 && bad_ >= demote_after_) {
+        mode_ = ControlMode::kReactive;
+        bad_ = 0;
+        good_ = 0;
+        ++demotions_;
+        return true;
+      }
+    } else {
+      bad_ = 0;
+    }
+    return false;
+  }
+  // Reactive: count clean epochs toward re-promotion.
+  if (over_threshold) {
+    good_ = 0;
+    return false;
+  }
+  ++good_;
+  if (good_ >= promote_after_) {
+    mode_ = ControlMode::kPlanned;
+    bad_ = 0;
+    good_ = 0;
+    ++promotions_;
+    return true;
+  }
+  return false;
+}
+
+void ErrorBudget::restore(ControlMode mode, int bad, int good, int demotions,
+                          int promotions) {
+  require(bad >= 0 && good >= 0 && demotions >= 0 && promotions >= 0,
+          "ErrorBudget::restore: negative counter");
+  mode_ = mode;
+  bad_ = bad;
+  good_ = good;
+  demotions_ = demotions;
+  promotions_ = promotions;
+}
+
+}  // namespace corral

@@ -103,6 +103,28 @@ std::uint64_t Tracer::total_dropped() const {
   return total;
 }
 
+TraceSnapshot snapshot_tracer(const Tracer& tracer) {
+  TraceSnapshot snapshot;
+  for (const TraceSink* sink : tracer.sinks()) {
+    TraceSnapshot::Sink out;
+    out.id = sink->id();
+    out.label = sink->label();
+    out.events = sink->events();
+    snapshot.sinks.push_back(std::move(out));
+  }
+  return snapshot;
+}
+
+void restore_tracer(Tracer& tracer, const TraceSnapshot& snapshot) {
+  require(tracer.sinks().empty(),
+          "restore_tracer: tracer already has sinks; restore requires a "
+          "fresh tracer");
+  for (const TraceSnapshot::Sink& saved : snapshot.sinks) {
+    TraceSink& sink = tracer.sink(saved.id, saved.label);
+    for (const TraceEvent& event : saved.events) sink.record(event);
+  }
+}
+
 TraceRecorder::TraceRecorder(Tracer* tracer, int sink_id,
                              std::string_view label) {
   if (tracer == nullptr || tracer->level() == TraceLevel::kOff) return;

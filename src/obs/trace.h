@@ -156,6 +156,30 @@ class Tracer {
   std::map<int, std::unique_ptr<TraceSink>> sinks_;
 };
 
+// A value snapshot of every sink's retained events, in ascending sink id
+// order. The control plane's checkpoint/restore path (src/ctrl/checkpoint)
+// persists this so a resumed run replays the completed epochs' trace
+// events verbatim and its exports stay byte-identical to an uninterrupted
+// run. Events overwritten by ring overflow before the snapshot are gone —
+// size sink_capacity for the run length when checkpointing traced runs.
+struct TraceSnapshot {
+  struct Sink {
+    int id = 0;
+    std::string label;
+    std::vector<TraceEvent> events;
+  };
+  std::vector<Sink> sinks;
+};
+
+// Captures the tracer's sinks (ascending id, insertion order within each).
+TraceSnapshot snapshot_tracer(const Tracer& tracer);
+
+// Replays a snapshot into `tracer`, creating sinks with their recorded ids
+// and labels. The tracer must be freshly constructed (no sinks yet);
+// throws std::invalid_argument otherwise — replaying over live sinks would
+// interleave old and new events nondeterministically.
+void restore_tracer(Tracer& tracer, const TraceSnapshot& snapshot);
+
 // Cheap copyable handle the instrumented layers hold: a cached level plus a
 // sink pointer. Default-constructed recorders are permanently off, so
 // instrumentation needs no null checks beyond `at()`.

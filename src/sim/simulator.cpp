@@ -297,6 +297,9 @@ class Simulator {
       }
       ensure(next >= now_ - kTimeEps, "time went backwards");
       if (next > config_.max_time) throw SimulationTimeout(config_.max_time);
+      if (config_.abort_at_time > 0 && next > config_.abort_at_time) {
+        throw SimulationAborted(config_.abort_at_time);
+      }
 
       // Batch flow completions within one quantum (never past an event):
       // staggered completions then share a single rate recomputation.
@@ -2034,6 +2037,11 @@ SimulationTimeout::SimulationTimeout(Seconds limit)
     : std::runtime_error("simulation exceeded max_time (" +
                          std::to_string(limit) + "s)"),
       limit_(limit) {}
+
+SimulationAborted::SimulationAborted(Seconds at)
+    : std::runtime_error("simulation aborted by injected failure at " +
+                         std::to_string(at) + "s"),
+      at_(at) {}
 
 SimResult run_simulation(std::span<const JobSpec> jobs,
                          SchedulingPolicy& policy, const SimConfig& config) {

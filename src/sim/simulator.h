@@ -50,6 +50,20 @@ class SimulationTimeout : public std::runtime_error {
   Seconds limit_;
 };
 
+// Thrown when virtual time passes SimConfig::abort_at_time — the
+// deterministic execution-failure hook the control plane's chaos harness
+// uses to model an epoch run dying mid-flight (docs/control_plane.md
+// "Failure modes and guardrails"). Distinct from SimulationTimeout so retry
+// policies can absorb injected failures without masking real runaways.
+class SimulationAborted : public std::runtime_error {
+ public:
+  explicit SimulationAborted(Seconds at);
+  Seconds at() const { return at_; }
+
+ private:
+  Seconds at_;
+};
+
 struct SimConfig {
   ClusterConfig cluster;
   DfsConfig dfs;
@@ -115,6 +129,10 @@ struct SimConfig {
   std::uint64_t seed = 42;
   // Watchdog: the simulation throws if it passes this virtual time.
   Seconds max_time = 90 * kDay;
+  // Injected execution failure: the run throws SimulationAborted when
+  // virtual time passes this (<= 0 disables). Deterministic — used by the
+  // control plane's chaos schedule to kill an epoch's attempt mid-run.
+  Seconds abort_at_time = 0;
   // Event-batching quantum: task completions and flow completions landing
   // within one quantum are processed together, collapsing thousands of
   // rate recomputations on large workloads. The approximation error per

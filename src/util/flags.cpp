@@ -61,10 +61,17 @@ void FlagParser::add_bool(const std::string& name, bool default_value,
            std::move(help));
 }
 
+void FlagParser::add_string_list(const std::string& name, std::string help) {
+  add_flag(name, Type::kStringList, "", std::move(help));
+}
+
 bool FlagParser::set_value(Flag& flag, const std::string& text) {
   switch (flag.type) {
     case Type::kString:
       flag.value = text;
+      return true;
+    case Type::kStringList:
+      flag.values.push_back(text);
       return true;
     case Type::kInt: {
       long value = 0;
@@ -170,6 +177,11 @@ double FlagParser::get_double(const std::string& name) const {
 
 bool FlagParser::get_bool(const std::string& name) const {
   return flag_of(name, Type::kBool).value == "true";
+}
+
+std::vector<std::string> FlagParser::get_string_list(
+    const std::string& name) const {
+  return flag_of(name, Type::kStringList).values;
 }
 
 bool FlagParser::provided(const std::string& name) const {

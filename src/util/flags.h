@@ -28,6 +28,9 @@ class FlagParser {
                   std::string help);
   void add_bool(const std::string& name, bool default_value,
                 std::string help);
+  // A repeatable string flag: every occurrence appends one value (defaults
+  // to the empty list). Retrieve with get_string_list.
+  void add_string_list(const std::string& name, std::string help);
 
   // Parses argv. Returns false (after printing usage to `out`) when --help
   // was requested or arguments are malformed: unknown flag, missing value,
@@ -40,6 +43,7 @@ class FlagParser {
   long get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
+  std::vector<std::string> get_string_list(const std::string& name) const;
 
   // True when the user supplied the flag explicitly.
   bool provided(const std::string& name) const;
@@ -47,11 +51,12 @@ class FlagParser {
   void print_usage(std::ostream& out) const;
 
  private:
-  enum class Type { kString, kInt, kDouble, kBool };
+  enum class Type { kString, kInt, kDouble, kBool, kStringList };
   struct Flag {
     Type type;
     std::string help;
     std::string value;  // canonical textual form
+    std::vector<std::string> values;  // kStringList: one entry per occurrence
     bool provided = false;
   };
 

@@ -81,8 +81,9 @@ JobSpec scale_job_spec(const JobSpec& reference, Bytes target_input,
   job.id = new_id;
   job.arrival = arrival;
   const Bytes reference_input = reference.total_input();
-  if (target_input <= 0 || reference_input <= 0) {
-    return job;  // nothing to scale from
+  if (!std::isfinite(target_input) || target_input <= 0 ||
+      reference_input <= 0) {
+    return job;  // nothing to scale from (incl. NaN/Inf predictor garbage)
   }
   const double scale = target_input / reference_input;
   for (MapReduceSpec& stage : job.stages) {
@@ -114,8 +115,8 @@ std::size_t record_instance(std::vector<JobInstance>& history,
                             JobInstance instance) {
   require(instance.day >= 0 && instance.run_of_day >= 0,
           "record_instance: negative day or run_of_day");
-  require(instance.input_bytes > 0,
-          "record_instance: input_bytes must be positive");
+  require(std::isfinite(instance.input_bytes) && instance.input_bytes > 0,
+          "record_instance: input_bytes must be positive and finite");
   if (!history.empty()) {
     const JobInstance& last = history.back();
     require(instance.day > last.day ||

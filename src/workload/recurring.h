@@ -84,7 +84,8 @@ std::size_t prune_history(std::vector<JobInstance>& history, int keep_days);
 // (bytes per map) and the shuffle/output selectivities — the shared scaling
 // step of estimate_job_spec, exposed so the control plane can also build
 // the *realized* instance of an epoch from its observed input size. A
-// non-positive target returns the reference unchanged (besides id/arrival).
+// non-positive or non-finite (NaN/Inf) target returns the reference
+// unchanged (besides id/arrival) — predictor garbage never scales a job.
 JobSpec scale_job_spec(const JobSpec& reference, Bytes target_input,
                        int new_id, Seconds arrival);
 

@@ -27,8 +27,7 @@ ControlLoopConfig loop_config() {
   config.cluster.nic_bandwidth = 2.5 * kGbps;
   config.epochs = 6;
   config.warmup_days = 14;
-  config.outage_epoch = 2;
-  config.outage_rack = 1;
+  config.outages = {{2, 1}};
   return config;
 }
 

@@ -5,6 +5,7 @@
 // rack outage, and fold realized observations back into the histories.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -184,13 +185,66 @@ TEST(CtrlConfig, RejectsNonPositiveSizeQuantum) {
   EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
+TEST(CtrlConfig, RejectsNonFiniteThresholds) {
+  const double bad[] = {std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity()};
+  for (double value : bad) {
+    ControlLoopConfig config = loop_config(5);
+    config.drift_threshold = value;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config = loop_config(5);
+    config.size_quantum = value;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+  }
+}
+
+TEST(CtrlConfig, PredictorEntryPointsRejectNonFiniteInputs) {
+  // scale_job_spec treats NaN/Inf targets like "no prediction": the
+  // reference spec comes back unscaled instead of poisoning task counts.
+  MapReduceSpec stage;
+  stage.input_bytes = 100 * kGB;
+  stage.num_maps = 10;
+  const JobSpec reference = JobSpec::map_reduce(1, "daily", stage);
+  for (double target : {std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity()}) {
+    const JobSpec scaled = scale_job_spec(reference, target, 9, 0.0);
+    EXPECT_EQ(scaled.stages[0].input_bytes, stage.input_bytes);
+    EXPECT_EQ(scaled.stages[0].num_maps, stage.num_maps);
+  }
+  // The feedback edge refuses to record a non-finite observation.
+  std::vector<JobInstance> history;
+  EXPECT_THROW(
+      record_instance(history,
+                      JobInstance{0, 0,
+                                  std::numeric_limits<double>::quiet_NaN()}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      record_instance(history,
+                      JobInstance{0, 0,
+                                  std::numeric_limits<double>::infinity()}),
+      std::invalid_argument);
+  EXPECT_TRUE(history.empty());
+}
+
 TEST(CtrlConfig, RejectsBadOutage) {
   ControlLoopConfig config = loop_config(5);
-  config.outage_epoch = 5;  // must be < epochs
+  config.outages = {{5, 0}};  // epoch must be < epochs
   EXPECT_THROW(config.validate(), std::invalid_argument);
-  config.outage_epoch = 2;
-  config.outage_rack = config.cluster.racks;
+  config.outages = {{2, config.cluster.racks}};  // rack out of range
   EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.outages = {{2, -1}};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.outages = {{2, 1}, {2, 1}};  // duplicate
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  // Taking down every rack in one epoch leaves nothing to plan on.
+  config.outages.clear();
+  for (int r = 0; r < config.cluster.racks; ++r) {
+    config.outages.push_back({2, r});
+  }
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.outages = {{2, 1}, {4, 0}};  // distinct epochs are fine
+  EXPECT_NO_THROW(config.validate());
 }
 
 TEST(CtrlConfig, AcceptsDefaults) {
@@ -229,8 +283,7 @@ TEST(CtrlLoop, StableTopologyReusesPlans) {
 
 TEST(CtrlLoop, RackOutageInvalidatesAndReplans) {
   ControlLoopConfig config = loop_config(6);
-  config.outage_epoch = 3;
-  config.outage_rack = 1;
+  config.outages = {{3, 1}};
   auto fleet = make_recurring_fleet(small_fleet_config(), config.warmup_days,
                                     config.epochs, config.seed);
   const ControlLoopResult result =

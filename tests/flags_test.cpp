@@ -128,5 +128,42 @@ TEST(Flags, NegativeNumbersParse) {
   EXPECT_DOUBLE_EQ(flags.get_double("ratio"), -0.25);
 }
 
+TEST(Flags, StringListCollectsEveryOccurrenceInOrder) {
+  FlagParser flags("x");
+  flags.add_string_list("outage", "epoch:rack, repeatable");
+  std::vector<const char*> args{"tool", "--outage=2:1", "--outage", "4:0",
+                                "--outage=2:3"};
+  std::ostringstream out;
+  ASSERT_TRUE(
+      flags.parse(static_cast<int>(args.size()), args.data(), out));
+  const std::vector<std::string> values = flags.get_string_list("outage");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], "2:1");
+  EXPECT_EQ(values[1], "4:0");
+  EXPECT_EQ(values[2], "2:3");
+  EXPECT_TRUE(flags.provided("outage"));
+}
+
+TEST(Flags, StringListDefaultsEmptyAndTypeChecks) {
+  FlagParser flags("x");
+  flags.add_string_list("outage", "epoch:rack");
+  flags.add_string("name", "d", "s");
+  std::ostringstream out;
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(flags.parse(1, argv, out));
+  EXPECT_TRUE(flags.get_string_list("outage").empty());
+  EXPECT_FALSE(flags.provided("outage"));
+  EXPECT_THROW(flags.get_string_list("name"), std::invalid_argument);
+  EXPECT_THROW(flags.get_string("outage"), std::invalid_argument);
+}
+
+TEST(Flags, StringListRequiresValue) {
+  FlagParser flags("x");
+  flags.add_string_list("outage", "epoch:rack");
+  std::ostringstream out;
+  const char* argv[] = {"tool", "--outage"};
+  EXPECT_FALSE(flags.parse(2, argv, out));
+}
+
 }  // namespace
 }  // namespace corral

@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
+#include <vector>
 
+#include "corral/fingerprint.h"
 #include "corral/planner.h"
+#include "ctrl/plan_cache.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "workload/workloads.h"
@@ -312,6 +316,95 @@ INSTANTIATE_TEST_SUITE_P(
                       SimCase{"tcp_write_b", 15, false, true},
                       SimCase{"varys_write_b", 16, true, true}),
     [](const auto& info) { return std::string(info.param.name); });
+
+// ---------------------------------------------------------------- plan cache
+
+// The plan cache must never serve a plan keyed under a topology fingerprint
+// other than the current one: after every invalidate_topology_changed(), a
+// find() against the current usable-rack set can only hit entries inserted
+// under that same set, no matter how inserts, invalidations and FIFO
+// evictions interleave.
+class PlanCacheTopologyProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanCacheTopologyProperty, NeverServesMismatchedTopology) {
+  ClusterConfig cluster;
+  cluster.racks = 6;
+  cluster.machines_per_rack = 4;
+
+  Rng rng(GetParam());
+  PlanCache cache(8);  // small capacity so evictions happen constantly
+
+  // The usable-rack set drives the topology fingerprint; racks toggle
+  // up/down at random through the run.
+  std::set<int> down;
+  auto current_topology = [&] {
+    std::vector<int> usable;
+    for (int r = 0; r < cluster.racks; ++r) {
+      if (down.count(r) == 0) usable.push_back(r);
+    }
+    return topology_fingerprint(cluster, usable);
+  };
+
+  // Model: which (workload, planner) keys were inserted under which
+  // topology, and the tag each plan carries.
+  std::map<std::uint64_t, std::uint64_t> inserted_under;  // tag -> topology
+
+  std::uint64_t next_tag = 1;
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t topology = current_topology();
+    const int op = rng.uniform_int(0, 9);
+    if (op < 5) {  // insert a plan for the current topology
+      const std::uint64_t workload =
+          static_cast<std::uint64_t>(rng.uniform_int(1, 12));
+      Plan plan;
+      plan.predicted_makespan = static_cast<double>(next_tag);
+      plan.evaluated_candidates = next_tag;
+      inserted_under[next_tag] = topology;
+      ++next_tag;
+      cache.insert(PlanCacheKey{workload, topology, /*planner=*/1}, plan);
+    } else if (op < 8) {  // lookup under the current topology
+      const std::uint64_t workload =
+          static_cast<std::uint64_t>(rng.uniform_int(1, 12));
+      const Plan* hit =
+          cache.find(PlanCacheKey{workload, topology, /*planner=*/1});
+      if (hit != nullptr) {
+        const auto it = inserted_under.find(hit->evaluated_candidates);
+        ASSERT_NE(it, inserted_under.end());
+        EXPECT_EQ(it->second, topology)
+            << "seed " << GetParam() << " step " << step
+            << ": served a plan planned for a different topology";
+      }
+    } else {  // flip a rack and tell the cache the world changed
+      const int rack = rng.uniform_int(0, cluster.racks - 1);
+      if (down.count(rack) != 0) {
+        down.erase(rack);
+      } else if (down.size() + 1 < static_cast<std::size_t>(cluster.racks)) {
+        down.insert(rack);
+      }
+      cache.invalidate_topology_changed(current_topology());
+    }
+  }
+
+  // Terminal sweep: every entry still resident must be keyed under the
+  // final topology after one last invalidation pass.
+  const std::uint64_t final_topology = current_topology();
+  cache.invalidate_topology_changed(final_topology);
+  for (std::uint64_t workload = 1; workload <= 12; ++workload) {
+    const Plan* hit =
+        cache.find(PlanCacheKey{workload, final_topology, /*planner=*/1});
+    if (hit != nullptr) {
+      EXPECT_EQ(inserted_under.at(hit->evaluated_candidates),
+                final_topology);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanCacheTopologyProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace corral

@@ -7,16 +7,47 @@
 // virtual-time and seed-driven, so the table, the --report-out JSON and any
 // --trace-out/--metrics-out artifacts are byte-identical at any --threads.
 //
-//   corral_loop --epochs=10 --jobs=20 --outage-epoch=5 --report-out=loop.json
+// Robustness tooling (docs/control_plane.md "Failure modes and
+// guardrails"): --outage epoch:rack (repeatable) injects rack outages,
+// --chaos-spec/--chaos-seed injects control-plane faults, --resilience
+// turns the guardrail policy on, --checkpoint-out persists the loop state
+// after every epoch and --resume continues a killed run byte-identically.
+//
+//   corral_loop --epochs=10 --jobs=20 --outage 5:3 --report-out=loop.json
+//   corral_loop --chaos-spec=spike=0.2,exec@4 --resilience --error-budget=3
+//   corral_loop --checkpoint-out=loop.ckpt --chaos-spec=crash@5
+//   corral_loop --resume=loop.ckpt --checkpoint-out=loop.ckpt
 //   corral_loop --smoke            # tiny run for CI
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "ctrl/control_loop.h"
 #include "ctrl/report.h"
 #include "tool_common.h"
+#include "util/check.h"
 
 using namespace corral;
+
+namespace {
+
+// Parses one --outage value of the form "epoch:rack".
+RackOutage parse_outage(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  require(colon != std::string::npos && colon > 0 &&
+              colon + 1 < text.size(),
+          "--outage expects epoch:rack, got '" + text + "'");
+  std::size_t used = 0;
+  RackOutage outage;
+  outage.epoch = std::stoi(text.substr(0, colon), &used);
+  require(used == colon, "--outage: bad epoch in '" + text + "'");
+  const std::string rack_text = text.substr(colon + 1);
+  outage.rack = std::stoi(rack_text, &used);
+  require(used == rack_text.size(), "--outage: bad rack in '" + text + "'");
+  return outage;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   FlagParser flags(
@@ -35,9 +66,38 @@ int main(int argc, char** argv) {
                    "relative size-quantization bucket for cache keys");
   flags.add_int("history-window", 0,
                 "rolling history window in days; 0 = unbounded");
+  flags.add_string_list("outage",
+                        "injected whole-rack outage as epoch:rack "
+                        "(repeatable)");
   flags.add_int("outage-epoch", -1,
-                "epoch with an injected whole-rack outage; -1 = none");
+                "legacy alias for --outage; epoch with an injected "
+                "whole-rack outage; -1 = none");
   flags.add_int("outage-rack", 0, "rack taken down by --outage-epoch");
+  flags.add_string("chaos-spec", "",
+                   "control-plane fault schedule: kind@epoch and kind=rate "
+                   "tokens, comma separated (kinds: spike nan overrun "
+                   "corrupt loss stale exec crash)");
+  flags.add_int("chaos-seed", 0,
+                "seed for the chaos schedule; 0 derives it from --seed");
+  flags.add_bool("resilience", false,
+                 "enable the guardrail policy (quarantine, retries, "
+                 "fallback plans, error budget)");
+  flags.add_int("planner-budget", 0,
+                "max planner candidate evaluations per epoch before the "
+                "fallback plan kicks in; 0 = unlimited");
+  flags.add_int("max-retries", 2,
+                "execution retries per epoch when --resilience is on");
+  flags.add_int("error-budget", 0,
+                "consecutive over-threshold epochs before demoting to the "
+                "reactive baseline; 0 = never demote");
+  flags.add_int("promote-after", 3,
+                "consecutive clean epochs before re-promoting to planned "
+                "mode");
+  flags.add_string("checkpoint-out", "",
+                   "write a resumable checkpoint to this file after every "
+                   "epoch");
+  flags.add_string("resume", "",
+                   "resume a previously checkpointed run from this file");
   flags.add_int("cache-capacity", 64, "max cached plans (FIFO eviction)");
   flags.add_string("objective", "makespan", "makespan | avg-completion");
   flags.add_int("seed", 2015, "base seed (workload shapes and simulation)");
@@ -65,8 +125,28 @@ int main(int argc, char** argv) {
     config.size_quantum = flags.get_double("quantum");
     config.history_window_days =
         static_cast<int>(flags.get_int("history-window"));
-    config.outage_epoch = static_cast<int>(flags.get_int("outage-epoch"));
-    config.outage_rack = static_cast<int>(flags.get_int("outage-rack"));
+    for (const std::string& token : flags.get_string_list("outage")) {
+      config.outages.push_back(parse_outage(token));
+    }
+    if (flags.get_int("outage-epoch") >= 0) {
+      config.outages.push_back(
+          RackOutage{static_cast<int>(flags.get_int("outage-epoch")),
+                     static_cast<int>(flags.get_int("outage-rack"))});
+    }
+    config.chaos = parse_chaos_spec(flags.get_string("chaos-spec"));
+    config.chaos_seed =
+        static_cast<std::uint64_t>(flags.get_int("chaos-seed"));
+    config.resilience.enabled = flags.get_bool("resilience");
+    config.resilience.planner_budget_evals =
+        static_cast<std::size_t>(flags.get_int("planner-budget"));
+    config.resilience.max_retries =
+        static_cast<int>(flags.get_int("max-retries"));
+    config.resilience.demote_after =
+        static_cast<int>(flags.get_int("error-budget"));
+    config.resilience.promote_after =
+        static_cast<int>(flags.get_int("promote-after"));
+    config.checkpoint_path = flags.get_string("checkpoint-out");
+    config.resume_path = flags.get_string("resume");
     config.cache_capacity =
         static_cast<std::size_t>(flags.get_int("cache-capacity"));
     config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
@@ -86,17 +166,27 @@ int main(int argc, char** argv) {
         run_control_loop(std::move(fleet), config);
 
     std::printf(
-        "epoch day wk  cache  outage drift racks evals  pred.err  "
-        "planned.ms  realized.ms  failed\n");
+        "epoch day wk  mode     cache  outage drift racks evals  pred.err  "
+        "planned.ms  realized.ms  failed chaos quar retry flags\n");
     for (const EpochReport& e : result.epochs) {
+      std::string notes;
+      if (e.planner_overrun) notes += "overrun ";
+      if (e.fallback_plan) notes += "fallback ";
+      if (e.stale_topology) notes += "stale ";
+      if (e.aborted) notes += "ABORT ";
+      if (e.demoted) notes += "demote ";
+      if (e.promoted) notes += "promote ";
+      if (notes.empty()) notes = "-";
       std::printf(
-          "%5d %4d %-3s %-6s %-6s %-5s %5d %5zu %8.2f%% %10.1fs %11.1fs "
-          "%7d\n",
+          "%5d %4d %-3s %-8s %-6s %-6s %-5s %5d %5zu %8.2f%% %10.1fs "
+          "%11.1fs %7d %5d %4d %5d %s\n",
           e.epoch, e.day, e.weekend ? "we" : "wd",
+          std::string(to_string(e.mode)).c_str(),
           e.cache_hit ? "hit" : "MISS", e.outage ? "down" : "-",
           e.drift_replan ? "yes" : "-", e.planning_racks,
           e.replan_cost_evals, 100.0 * e.mean_prediction_error,
-          e.predicted_makespan, e.realized_makespan, e.jobs_failed);
+          e.predicted_makespan, e.realized_makespan, e.jobs_failed,
+          e.chaos_injected, e.quarantined, e.exec_retries, notes.c_str());
     }
     std::printf("cache: %llu hits / %llu misses, %llu invalidations, "
                 "%llu evictions (capacity %zu)\n",
@@ -112,6 +202,28 @@ int main(int argc, char** argv) {
     std::printf("drift trips:              %d\n", result.drift_trips);
     std::printf("mean prediction error:    %.2f%%\n",
                 100.0 * result.mean_prediction_error);
+    std::printf("epochs completed/aborted: %d / %d\n",
+                result.epochs_completed, result.epochs_aborted);
+    if (result.chaos_events > 0 || config.resilience.enabled) {
+      std::printf("chaos events injected:    %d\n", result.chaos_events);
+      std::printf("forecasts quarantined:    %d\n", result.quarantined);
+      std::printf("exec retries:             %d\n", result.exec_retries);
+      std::printf("fallback plans served:    %d\n", result.fallbacks);
+      std::printf("planner overruns:         %d\n", result.overruns);
+      std::printf("stale topology views:     %d\n", result.stale_views);
+      std::printf("mode demotions/promotions: %d / %d\n", result.demotions,
+                  result.promotions);
+      std::printf("cache corruptions caught: %llu\n",
+                  static_cast<unsigned long long>(result.cache.corruptions));
+    }
+    if (result.crashed_after >= 0) {
+      std::printf("CRASHED after epoch %d", result.crashed_after);
+      if (!config.checkpoint_path.empty()) {
+        std::printf(" -- resume with --resume=%s",
+                    config.checkpoint_path.c_str());
+      }
+      std::printf("\n");
+    }
 
     if (!flags.get_string("report-out").empty()) {
       write_ctrl_report_json_file(flags.get_string("report-out"), result);
