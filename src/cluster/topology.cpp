@@ -42,12 +42,6 @@ ClusterTopology::ClusterTopology(ClusterConfig config) : config_(config) {
                            config_.machines_per_rack);
 }
 
-int ClusterTopology::rack_of(int machine) const {
-  require(machine >= 0 && machine < machines(),
-          "rack_of: machine id out of range");
-  return machine / config_.machines_per_rack;
-}
-
 std::vector<int> ClusterTopology::machines_in_rack(int rack) const {
   require(rack >= 0 && rack < racks(), "machines_in_rack: rack out of range");
   std::vector<int> ids;
@@ -57,12 +51,6 @@ std::vector<int> ClusterTopology::machines_in_rack(int rack) const {
     ids.push_back(m);
   }
   return ids;
-}
-
-int ClusterTopology::first_machine_of_rack(int rack) const {
-  require(rack >= 0 && rack < racks(),
-          "first_machine_of_rack: rack out of range");
-  return rack * config_.machines_per_rack;
 }
 
 void ClusterTopology::fail_machine(int machine) {
@@ -81,22 +69,6 @@ void ClusterTopology::restore_machine(int machine) {
     up_[static_cast<std::size_t>(machine)] = true;
     ++healthy_per_rack_[static_cast<std::size_t>(rack_of(machine))];
   }
-}
-
-bool ClusterTopology::is_up(int machine) const {
-  require(machine >= 0 && machine < machines(),
-          "is_up: machine id out of range");
-  return up_[static_cast<std::size_t>(machine)];
-}
-
-int ClusterTopology::healthy_in_rack(int rack) const {
-  require(rack >= 0 && rack < racks(), "healthy_in_rack: rack out of range");
-  return healthy_per_rack_[static_cast<std::size_t>(rack)];
-}
-
-bool ClusterTopology::rack_usable(int rack, double min_fraction) const {
-  return healthy_in_rack(rack) >=
-         min_fraction * static_cast<double>(config_.machines_per_rack);
 }
 
 std::vector<int> ClusterTopology::usable_racks(double min_fraction) const {

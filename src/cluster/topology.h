@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "util/check.h"
 #include "util/units.h"
 
 namespace corral {
@@ -66,18 +67,38 @@ class ClusterTopology {
 
   int racks() const { return config_.racks; }
   int machines() const { return config_.machines_per_rack * config_.racks; }
-  int rack_of(int machine) const;
+  // The accessors below sit on the simulator's innermost loops (millions of
+  // calls per bench run), so they are defined inline here.
+  int rack_of(int machine) const {
+    require(machine >= 0 && machine < machines(),
+            "rack_of: machine id out of range");
+    return machine / config_.machines_per_rack;
+  }
   // Machine ids of rack r, in increasing order.
   std::vector<int> machines_in_rack(int rack) const;
-  int first_machine_of_rack(int rack) const;
+  int first_machine_of_rack(int rack) const {
+    require(rack >= 0 && rack < racks(),
+            "first_machine_of_rack: rack out of range");
+    return rack * config_.machines_per_rack;
+  }
 
   void fail_machine(int machine);
   void restore_machine(int machine);
-  bool is_up(int machine) const;
+  bool is_up(int machine) const {
+    require(machine >= 0 && machine < machines(),
+            "is_up: machine id out of range");
+    return up_[static_cast<std::size_t>(machine)];
+  }
   // Number of healthy machines in `rack`.
-  int healthy_in_rack(int rack) const;
+  int healthy_in_rack(int rack) const {
+    require(rack >= 0 && rack < racks(), "healthy_in_rack: rack out of range");
+    return healthy_per_rack_[static_cast<std::size_t>(rack)];
+  }
   // True when at least `min_fraction` of the rack's machines are healthy.
-  bool rack_usable(int rack, double min_fraction) const;
+  bool rack_usable(int rack, double min_fraction) const {
+    return healthy_in_rack(rack) >=
+           min_fraction * static_cast<double>(config_.machines_per_rack);
+  }
   // Ids of all racks passing rack_usable(min_fraction), ascending — the
   // planning universe after failures (§7 plan repair).
   std::vector<int> usable_racks(double min_fraction) const;

@@ -18,8 +18,10 @@ namespace {
 // J*R evaluations do not allocate.
 struct Scratch {
   std::vector<int> order;        // job indices in scheduling order
+  std::vector<Seconds> key;      // L_j(r_j) per job, precomputed for sorting
   std::vector<Seconds> finish;   // F_i per rack
   std::vector<int> rack_order;   // rack indices sorted by F_i
+  std::vector<Seconds> sorted_finish;  // F values ascending (evaluation path)
 };
 
 // Timestamp source for planner trace events: logical step indices by
@@ -67,6 +69,13 @@ std::pair<Seconds, Seconds> run_prioritization(
 
   scratch.order.resize(J);
   std::iota(scratch.order.begin(), scratch.order.end(), 0);
+  // Precompute L_j(r_j) once per job: the sort comparators would otherwise
+  // walk ResponseFunction::at's piecewise table O(J log J) times, which
+  // dominates the provisioning search's J*R evaluations.
+  scratch.key.resize(J);
+  for (std::size_t s = 0; s < J; ++s) {
+    scratch.key[s] = jobs[s].at(racks_per_job[s]);
+  }
   const auto batch_less = [&](int a, int b) {
     const auto sa = static_cast<std::size_t>(a);
     const auto sb = static_cast<std::size_t>(b);
@@ -74,8 +83,8 @@ std::pair<Seconds, Seconds> run_prioritization(
     if (config.widest_job_first && racks_per_job[sa] != racks_per_job[sb]) {
       return racks_per_job[sa] > racks_per_job[sb];
     }
-    const Seconds la = jobs[sa].at(racks_per_job[sa]);
-    const Seconds lb = jobs[sb].at(racks_per_job[sb]);
+    const Seconds la = scratch.key[sa];
+    const Seconds lb = scratch.key[sb];
     if (la != lb) return la > lb;
     return a < b;
   };
@@ -89,6 +98,46 @@ std::pair<Seconds, Seconds> run_prioritization(
     std::sort(scratch.order.begin(), scratch.order.end(), batch_less);
   } else {
     std::sort(scratch.order.begin(), scratch.order.end(), online_less);
+  }
+
+  // Evaluation-only path: the provisioning search calls this J*R times and
+  // only reads the returned (makespan, avg). The objective depends on the
+  // *multiset* of per-rack finish times, never on which physical rack holds
+  // which value, so we keep the finish values as one sorted array instead of
+  // partial-sorting rack ids per job: the r_j racks that free up earliest
+  // are simply the first r_j entries, start = max(arrival, sorted[r_j - 1]),
+  // and the update shifts the survivors down and writes r_j copies of the
+  // completion at their sorted position. Value-identical to the plan-building
+  // path below (max over the same operand set, same add per job, same job
+  // order), just O(log R + shift) instead of a rack-id partial sort.
+  if (plan == nullptr && final_finish == nullptr && trace == nullptr) {
+    auto& sorted = scratch.sorted_finish;
+    if (initial_finish != nullptr) {
+      require(initial_finish->size() == static_cast<std::size_t>(num_racks),
+              "run_prioritization: initial finish size mismatch");
+      sorted = *initial_finish;
+      std::sort(sorted.begin(), sorted.end());
+    } else {
+      sorted.assign(static_cast<std::size_t>(num_racks), 0.0);
+    }
+    Seconds makespan = 0;
+    Seconds total_flow = 0;
+    for (int j : scratch.order) {
+      const auto sj = static_cast<std::size_t>(j);
+      const int rj = racks_per_job[sj];
+      const Seconds start = std::max(
+          jobs[sj].arrival(), sorted[static_cast<std::size_t>(rj) - 1]);
+      const Seconds completion = start + scratch.key[sj];
+      const auto pos =
+          std::upper_bound(sorted.begin() + rj, sorted.end(), completion);
+      std::move(sorted.begin() + rj, pos, sorted.begin());
+      std::fill(pos - rj, pos, completion);
+      makespan = std::max(makespan, completion);
+      total_flow += completion - jobs[sj].arrival();
+    }
+    const Seconds avg =
+        J == 0 ? 0.0 : total_flow / static_cast<double>(J);
+    return {makespan, avg};
   }
 
   if (initial_finish != nullptr) {
@@ -106,7 +155,7 @@ std::pair<Seconds, Seconds> run_prioritization(
   for (int j : scratch.order) {
     const auto sj = static_cast<std::size_t>(j);
     const int rj = racks_per_job[sj];
-    const Seconds latency = jobs[sj].at(rj);
+    const Seconds latency = scratch.key[sj];
 
     // Pick the r_j racks that free up earliest.
     std::iota(scratch.rack_order.begin(), scratch.rack_order.end(), 0);
@@ -190,6 +239,10 @@ std::vector<int> widening_chain(std::span<const ResponseFunction> jobs,
   std::vector<int> racks(J, 1);
   std::vector<int> chain;
   chain.reserve(J * static_cast<std::size_t>(num_racks));
+  // Cache L_j(r_j): each widening step changes exactly one job's latency,
+  // so the argmax scan below need not re-walk every response function.
+  std::vector<Seconds> latency(J);
+  for (std::size_t j = 0; j < J; ++j) latency[j] = jobs[j].at(racks[j]);
   // Total allocated racks among widened jobs, for the [19]-style stop rule.
   long widened_total = 0;
   while (true) {
@@ -198,9 +251,8 @@ std::vector<int> widening_chain(std::span<const ResponseFunction> jobs,
     Seconds longest_latency = -1;
     for (std::size_t j = 0; j < J; ++j) {
       if (racks[j] >= num_racks) continue;
-      const Seconds latency = jobs[j].at(racks[j]);
-      if (latency > longest_latency) {
-        longest_latency = latency;
+      if (latency[j] > longest_latency) {
+        longest_latency = latency[j];
         longest = static_cast<int>(j);
       }
     }
@@ -210,6 +262,7 @@ std::vector<int> widening_chain(std::span<const ResponseFunction> jobs,
     if (racks[sj] == 1) widened_total += 2;  // 1 -> 2 racks
     else ++widened_total;
     ++racks[sj];
+    latency[sj] = jobs[sj].at(racks[sj]);
     chain.push_back(longest);
 
     if (!config.explore_full_range && widened_total >= num_racks) break;

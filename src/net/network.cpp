@@ -138,7 +138,12 @@ Seconds Network::time_to_next_completion() {
   recompute_if_dirty();
   Seconds horizon = kInf;
   for (const Flow& flow : flows_) {
-    if (flow.rate > 0) {
+    if (flow.remaining <= kCompletionSlack) {
+      // Finished but not yet retired (e.g. injected with zero bytes left):
+      // completes immediately — the next advance() sweeps it out even when
+      // no time passes, so such a flow can never stall the simulation.
+      horizon = 0;
+    } else if (flow.rate > 0) {
       horizon = std::min(horizon, flow.remaining / flow.rate);
     }
   }
@@ -147,37 +152,41 @@ Seconds Network::time_to_next_completion() {
   return horizon;
 }
 
-std::vector<CompletedFlow> Network::advance(Seconds dt) {
+const std::vector<CompletedFlow>& Network::advance(Seconds dt) {
   require(dt >= 0, "advance: dt must be non-negative");
-  std::vector<CompletedFlow> completed;
-  if (flows_.empty() || dt == 0) return completed;
+  completed_.clear();  // reused buffer: valid until the next advance()
+  if (flows_.empty()) return completed_;
   recompute_if_dirty();
 
-  for (Flow& flow : flows_) {
-    const Bytes moved = std::min(flow.remaining, flow.rate * dt);
-    flow.remaining -= moved;
-    if (flow.cross_rack) cross_rack_bytes_ += moved;
-    for (int i = 0; i < flow.path.count; ++i) {
-      link_bytes_[static_cast<std::size_t>(flow.path.links[i])] += moved;
+  if (dt > 0) {
+    for (Flow& flow : flows_) {
+      const Bytes moved = std::min(flow.remaining, flow.rate * dt);
+      flow.remaining -= moved;
+      if (flow.cross_rack) cross_rack_bytes_ += moved;
+      for (int i = 0; i < flow.path.count; ++i) {
+        link_bytes_[static_cast<std::size_t>(flow.path.links[i])] += moved;
+      }
     }
   }
   // Batch-remove everything that finished in this step; symmetric shuffles
-  // complete in groups, so a single recompute serves many completions.
+  // complete in groups, so a single recompute serves many completions. The
+  // sweep runs even for dt == 0 so already-finished flows retire instead of
+  // spinning the event loop at a zero horizon.
   auto keep = flows_.begin();
   for (auto it = flows_.begin(); it != flows_.end(); ++it) {
     if (it->remaining <= kCompletionSlack) {
-      completed.push_back(CompletedFlow{it->id, it->tag, it->coflow,
-                                        it->total, it->cross_rack});
+      completed_.push_back(CompletedFlow{it->id, it->tag, it->coflow,
+                                         it->total, it->cross_rack});
     } else {
       if (keep != it) *keep = std::move(*it);
       ++keep;
     }
   }
-  if (!completed.empty()) {
+  if (!completed_.empty()) {
     flows_.erase(keep, flows_.end());
     dirty_ = true;
   }
-  return completed;
+  return completed_;
 }
 
 void Network::set_background_fraction(double fraction) {

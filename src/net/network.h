@@ -87,8 +87,10 @@ class Network {
 
   // Moves all flows forward by dt seconds (dt must not exceed the value
   // returned by time_to_next_completion, modulo rounding) and returns flows
-  // that completed.
-  std::vector<CompletedFlow> advance(Seconds dt);
+  // that completed. The returned reference points at a reused internal
+  // buffer: it stays valid until the next advance() call (starting or
+  // cancelling flows does not touch it).
+  const std::vector<CompletedFlow>& advance(Seconds dt);
 
   // Changes background load (Fig 12 sweeps) and forces a rate recompute.
   void set_background_fraction(double fraction);
@@ -110,6 +112,7 @@ class Network {
   LinkSet links_;
   std::unique_ptr<RateAllocator> allocator_;
   std::vector<Flow> flows_;
+  std::vector<CompletedFlow> completed_;  // reused by advance()
   int next_flow_id_ = 0;
   bool dirty_ = false;
   Bytes cross_rack_bytes_ = 0;

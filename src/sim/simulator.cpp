@@ -12,7 +12,9 @@
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/event_queue.h"
 #include "util/check.h"
+#include "util/flat_map.h"
 
 namespace corral {
 namespace {
@@ -171,12 +173,14 @@ struct Rerep {
   int dst = -1;
 };
 
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
+// Pop order is ascending (time, seq) — see sim/event_queue.h. The calendar
+// queue is the default; -DCORRAL_LEGACY_EVENT_HEAP selects the original
+// binary heap (same order, kept for the differential test and as a fallback).
+#ifdef CORRAL_LEGACY_EVENT_HEAP
+using SimEventQueue = BinaryHeapEventQueue<Event>;
+#else
+using SimEventQueue = CalendarEventQueue<Event>;
+#endif
 
 class Simulator {
  public:
@@ -312,7 +316,7 @@ class Simulator {
         if (machines_down_ > 0 && unfinished_count_ > 0) {
           degraded_time_ += next - now_;
         }
-        const auto completed = network_.advance(next - now_);
+        const auto& completed = network_.advance(next - now_);
         now_ = next;
         for (const CompletedFlow& flow : completed) on_flow_complete(flow);
       } else {
@@ -1129,8 +1133,9 @@ class Simulator {
         }
         const auto it = reduce_machine_.find(reduce_key(j, s, task, attempt));
         ensure(it != reduce_machine_.end(), "write finished for unknown task");
-        finish_reduce_task(j, s, task, it->second);
-        reduce_machine_.erase(it);
+        const int machine = it->second;
+        reduce_machine_.erase(it);  // before finish: it may mutate the map
+        finish_reduce_task(j, s, task, machine);
         break;
       }
       case FlowKind::kRereplicate:
@@ -1372,8 +1377,7 @@ class Simulator {
   // cancellation pass.
   void kill_backups_on(int machine,
                        std::unordered_map<std::uint64_t, Backup>& backups,
-                       std::unordered_map<std::uint64_t, int>& fetches,
-                       bool is_map) {
+                       FlatMap<int>& fetches, bool is_map) {
     for (auto it = backups.begin(); it != backups.end();) {
       if (it->second.machine != machine) {
         ++it;
@@ -1993,7 +1997,10 @@ class Simulator {
   std::vector<int> freed_machines_;
   bool new_work_ = false;
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  // Bucket width: one batching quantum, so quantum-aligned events map one
+  // timestamp per bucket (the queue is correct for any width).
+  SimEventQueue events_{config_.time_quantum > 0 ? config_.time_quantum
+                                                 : 0.25};
   long next_seq_ = 0;
   Seconds now_ = 0;
 
@@ -2003,16 +2010,19 @@ class Simulator {
   std::unordered_map<int, Seconds> flow_started_;
 
   // In-flight task bookkeeping keyed by packed (kind, attempt, job, stage,
-  // task).
-  std::unordered_map<std::uint64_t, int> map_fetches_;   // outstanding flows
-  std::unordered_map<std::uint64_t, int> map_machine_;   // task -> machine
-  std::unordered_map<std::uint64_t, int> reduce_fetches_;
-  std::unordered_map<std::uint64_t, int> reduce_machine_;
+  // task). These sit on the hot path and are never iterated, so they use the
+  // flat open-addressing map (packed tags are never 0; see pack_tag).
+  FlatMap<int> map_fetches_;   // outstanding flows
+  FlatMap<int> map_machine_;   // task -> machine
+  FlatMap<int> reduce_fetches_;
+  FlatMap<int> reduce_machine_;
   // Speculative backups, keyed by the task's attempt-0 key (one per task).
+  // Iterated (kill_backups_on, fail_job), so they stay on std::unordered_map
+  // — FlatMap has no iteration and the visit order feeds slot accounting.
   std::unordered_map<std::uint64_t, Backup> map_backups_;
   std::unordered_map<std::uint64_t, Backup> reduce_backups_;
   // Straggler slowdowns drawn at launch, consumed when compute starts.
-  std::unordered_map<std::uint64_t, double> straggler_factor_;
+  FlatMap<double> straggler_factor_;
   // In-flight DFS healing transfers, keyed by their kRereplicate tag.
   std::unordered_map<std::uint64_t, Rerep> rereps_;
   std::uint64_t next_rerep_ = 0;

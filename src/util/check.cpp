@@ -4,17 +4,15 @@
 #include <string>
 
 namespace corral {
+namespace detail {
 
-void require(bool condition, std::string_view message) {
-  if (!condition) {
-    throw std::invalid_argument(std::string(message));
-  }
+void throw_invalid_argument(std::string_view message) {
+  throw std::invalid_argument(std::string(message));
 }
 
-void ensure(bool condition, std::string_view message) {
-  if (!condition) {
-    throw std::logic_error(std::string(message));
-  }
+void throw_logic_error(std::string_view message) {
+  throw std::logic_error(std::string(message));
 }
 
+}  // namespace detail
 }  // namespace corral

@@ -3,6 +3,11 @@
 // The library throws std::invalid_argument / std::logic_error on contract
 // violations rather than asserting, so misuse is testable and callers at the
 // application boundary can recover.
+//
+// The checks themselves are inline — profiling showed tens of millions of
+// calls per bench run, almost all on the happy path — while the throwing
+// slow path stays out of line behind [[noreturn]] helpers so the hot callers
+// compile down to a compare-and-branch.
 #ifndef CORRAL_UTIL_CHECK_H_
 #define CORRAL_UTIL_CHECK_H_
 
@@ -10,13 +15,26 @@
 
 namespace corral {
 
+namespace detail {
+[[noreturn]] void throw_invalid_argument(std::string_view message);
+[[noreturn]] void throw_logic_error(std::string_view message);
+}  // namespace detail
+
 // Throws std::invalid_argument with `message` when `condition` is false.
 // Use for validating arguments at public API boundaries.
-void require(bool condition, std::string_view message);
+inline void require(bool condition, std::string_view message) {
+  if (!condition) [[unlikely]] {
+    detail::throw_invalid_argument(message);
+  }
+}
 
 // Throws std::logic_error with `message` when `condition` is false.
 // Use for internal invariants that indicate a bug in this library.
-void ensure(bool condition, std::string_view message);
+inline void ensure(bool condition, std::string_view message) {
+  if (!condition) [[unlikely]] {
+    detail::throw_logic_error(message);
+  }
+}
 
 }  // namespace corral
 

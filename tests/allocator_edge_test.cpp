@@ -1,0 +1,234 @@
+// Allocator edge cases: zero-remaining flows, NaN guards, capacity safety.
+//
+// A flow can reach remaining == 0 without having been retired yet (the
+// Network sweeps completions after the advance that drains them, and
+// injected or restored states can carry such flows). Historically Varys's
+// MADD divided by the group's Γ, which is 0 when every member is drained —
+// the rate went NaN and poisoned the fill. These tests pin the guards:
+// rates stay finite and non-negative, per-link rate sums respect capacity,
+// drained flows are costless in MADD, and the thread_local scratch path
+// stays bit-exact under the pool with drained flows in the mix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "exec/exec.h"
+#include "net/network.h"
+
+namespace corral {
+namespace {
+
+ClusterConfig tiny_cluster() {
+  ClusterConfig config;
+  config.racks = 2;
+  config.machines_per_rack = 4;
+  config.slots_per_machine = 2;
+  config.nic_bandwidth = 8;
+  config.oversubscription = 2.0;  // rack uplink = 4*8/2 = 16 B/s
+  return config;
+}
+
+// Builds a machine-to-machine flow with the same path Network::start_flow
+// charges, but with a caller-controlled `remaining` (the Network API cannot
+// create drained-but-unretired flows, which is exactly the state under
+// test).
+Flow make_flow(const LinkSet& links, const ClusterConfig& config, int id,
+               int src, int dst, Bytes remaining, double width, int coflow) {
+  Flow flow;
+  flow.id = id;
+  flow.total = std::max(remaining, 1.0);
+  flow.remaining = remaining;
+  flow.width = width;
+  flow.coflow = coflow;
+  const int src_rack = src / config.machines_per_rack;
+  const int dst_rack = dst / config.machines_per_rack;
+  flow.cross_rack = src_rack != dst_rack;
+  flow.path.add(links.host_up(src));
+  if (flow.cross_rack) {
+    flow.path.add(links.rack_up(src_rack));
+    flow.path.add(links.rack_down(dst_rack));
+  }
+  flow.path.add(links.host_down(dst));
+  return flow;
+}
+
+// `require_progress` additionally asserts every live flow got a positive
+// rate. Always true for max-min (progressive filling's shares are
+// non-decreasing from a positive first bottleneck); for Varys it holds in
+// the simulator's fan-in patterns but not for arbitrary random topologies,
+// where MADD can exactly saturate a link an unrelated later coflow crosses.
+void check_rates_sane(const std::vector<Flow>& flows, const LinkSet& links,
+                      bool require_progress = true) {
+  std::vector<double> used(static_cast<std::size_t>(links.count()), 0.0);
+  for (const Flow& flow : flows) {
+    EXPECT_TRUE(std::isfinite(flow.rate)) << "flow " << flow.id;
+    EXPECT_GE(flow.rate, 0.0) << "flow " << flow.id;
+    if (require_progress && flow.remaining > 0) {
+      // Work conservation: live flows always make progress.
+      EXPECT_GT(flow.rate, 0.0) << "flow " << flow.id;
+    }
+    for (int i = 0; i < flow.path.count; ++i) {
+      used[static_cast<std::size_t>(flow.path.links[i])] += flow.rate;
+    }
+  }
+  for (int l = 0; l < links.count(); ++l) {
+    const double cap = links.capacity(l);
+    EXPECT_LE(used[static_cast<std::size_t>(l)], cap + 1e-6 + 1e-9 * cap)
+        << "link " << l;
+  }
+}
+
+TEST(VarysEdge, FullyDrainedCoflowYieldsFiniteRates) {
+  // Coflow 0: every member drained (Γ == 0 — the old NaN division). Coflow
+  // 1 carries real bytes and must still get sane MADD rates.
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  std::vector<Flow> flows;
+  flows.push_back(make_flow(links, config, 0, 0, 4, 0.0, 1.0, 0));
+  flows.push_back(make_flow(links, config, 1, 1, 5, 0.0, 2.0, 0));
+  flows.push_back(make_flow(links, config, 2, 2, 6, 64.0, 1.0, 1));
+  flows.push_back(make_flow(links, config, 3, 3, 7, 32.0, 1.0, 1));
+  VarysAllocator allocator;
+  allocator.allocate(flows, links);
+  check_rates_sane(flows, links);
+}
+
+TEST(VarysEdge, PartiallyDrainedCoflowChargesNoCapacityForDrainedFlows) {
+  // One drained member inside a live coflow: MADD must skip it (no residual
+  // consumed), so the live sibling sharing its NIC keeps the full rate it
+  // would get if the drained flow were already retired.
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  std::vector<Flow> with_drained;
+  with_drained.push_back(make_flow(links, config, 0, 0, 4, 80.0, 1.0, 0));
+  with_drained.push_back(make_flow(links, config, 1, 1, 5, 0.0, 1.0, 0));
+  std::vector<Flow> without;
+  without.push_back(make_flow(links, config, 0, 0, 4, 80.0, 1.0, 0));
+
+  VarysAllocator allocator;
+  allocator.allocate(with_drained, links);
+  check_rates_sane(with_drained, links);
+  VarysAllocator reference;
+  reference.allocate(without, links);
+  EXPECT_EQ(with_drained[0].rate, without[0].rate);
+}
+
+TEST(MaxMinEdge, DrainedFlowsKeepFillFinite) {
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  std::vector<Flow> flows;
+  flows.push_back(make_flow(links, config, 0, 0, 1, 0.0, 1.0, -1));
+  flows.push_back(make_flow(links, config, 1, 0, 2, 40.0, 1.0, -1));
+  MaxMinFairAllocator allocator;
+  allocator.allocate(flows, links);
+  check_rates_sane(flows, links);
+}
+
+TEST(AllocatorProperty, RandomFlowSetsRespectLinkCapacities) {
+  // Randomized mixes of live and drained flows, singleton and coflowed,
+  // through both allocators: rates must stay finite, positive for live
+  // flows, and sum within capacity on every link.
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  std::mt19937 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Flow> flows;
+    const int n = 1 + static_cast<int>(rng() % 12);
+    for (int f = 0; f < n; ++f) {
+      const int src = static_cast<int>(rng() % 8);
+      int dst = static_cast<int>(rng() % 8);
+      if (dst == src) dst = (dst + 1) % 8;
+      const Bytes remaining =
+          rng() % 5 == 0 ? 0.0 : 1.0 + static_cast<double>(rng() % 100);
+      const double width = 1.0 + static_cast<double>(rng() % 3);
+      const int coflow = rng() % 2 == 0 ? static_cast<int>(rng() % 3) : -1;
+      flows.push_back(
+          make_flow(links, config, f, src, dst, remaining, width, coflow));
+    }
+    std::vector<Flow> varys_flows = flows;
+    VarysAllocator varys;
+    varys.allocate(varys_flows, links);
+    check_rates_sane(varys_flows, links, /*require_progress=*/false);
+
+    MaxMinFairAllocator maxmin;
+    maxmin.allocate(flows, links);
+    check_rates_sane(flows, links);
+  }
+}
+
+TEST(AllocatorProperty, DrainedFlowsParallelMatchesSerialExactly) {
+  // AllocatorConcurrency (net_test) with drained flows in the mix: the
+  // thread_local scratch's lazy-clear load/touched state must produce
+  // bit-identical rates no matter which pool worker ran what before.
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  const int kCases = 32;
+  auto drive = [&](int c) {
+    std::vector<Flow> flows;
+    const int n = 2 + c % 6;
+    for (int f = 0; f < n; ++f) {
+      const int src = (c + f) % 8;
+      int dst = (c + 3 * f + 1) % 8;
+      if (dst == src) dst = (dst + 1) % 8;
+      const Bytes remaining =
+          (c + f) % 3 == 0 ? 0.0 : 16.0 + static_cast<double>(8 * f);
+      flows.push_back(make_flow(links, config, f, src, dst, remaining,
+                                1.0 + f % 2, f % 2 == 0 ? c % 2 : -1));
+    }
+    std::vector<double> rates;
+    VarysAllocator varys;
+    varys.allocate(flows, links);
+    for (const Flow& flow : flows) rates.push_back(flow.rate);
+    MaxMinFairAllocator maxmin;
+    maxmin.allocate(flows, links);
+    for (const Flow& flow : flows) rates.push_back(flow.rate);
+    return rates;
+  };
+
+  std::vector<std::vector<double>> serial(kCases);
+  for (int c = 0; c < kCases; ++c) serial[c] = drive(c);
+
+  exec::ThreadPool pool(8);
+  const auto parallel = exec::parallel_map(
+      pool, kCases, [&](int, std::size_t c) { return drive(int(c)); });
+  for (int c = 0; c < kCases; ++c) {
+    ASSERT_EQ(parallel[c].size(), serial[c].size()) << "case " << c;
+    for (std::size_t i = 0; i < serial[c].size(); ++i) {
+      EXPECT_EQ(parallel[c][i], serial[c][i]) << "case " << c << " rate " << i;
+    }
+  }
+}
+
+TEST(NetworkEdge, ZeroDtAdvanceSweepsWithoutMovingBytes) {
+  // advance(0) must be a pure sweep: no byte movement, no completions for
+  // live flows, and repeated calls cannot stall or corrupt the flow set.
+  Network net(tiny_cluster(), std::make_unique<MaxMinFairAllocator>());
+  net.start_flow({0, 1, 80, 1.0, -1, 0});
+  EXPECT_TRUE(net.advance(0).empty());
+  EXPECT_TRUE(net.advance(0).empty());
+  EXPECT_EQ(net.active_flows(), 1);
+  const Seconds horizon = net.time_to_next_completion();
+  EXPECT_NEAR(horizon, 10.0, 1e-9);
+  EXPECT_EQ(net.advance(horizon).size(), 1u);
+  EXPECT_TRUE(net.idle());
+}
+
+TEST(NetworkEdge, NearCompleteFlowRetiresImmediately) {
+  // Drive a flow to within the completion slack but not exactly to zero:
+  // the next horizon must be 0 (not a tiny positive dt) and a zero-dt
+  // advance must retire it — the "finished but unretired" stall guard.
+  Network net(tiny_cluster(), std::make_unique<MaxMinFairAllocator>());
+  net.start_flow({0, 1, 80, 1.0, -1, 7});
+  const Seconds horizon = net.time_to_next_completion();
+  // Stop 1e-4 bytes short of completion (slack is 1e-3 bytes; rate 8 B/s).
+  const auto done = net.advance(horizon - 1e-4 / 8.0);
+  ASSERT_EQ(done.size(), 1u);  // already within slack: swept on this advance
+  EXPECT_EQ(done[0].tag, 7u);
+  EXPECT_TRUE(net.idle());
+}
+
+}  // namespace
+}  // namespace corral
