@@ -26,6 +26,7 @@
 
 #include "bench_common.h"
 #include "ctrl/control_loop.h"
+#include "ctrl/service.h"
 
 using namespace corral;
 
@@ -99,6 +100,30 @@ double ctrl_workload() {
   });
 }
 
+// The multi-tenant service: four weighted fleets arbitrated over the
+// testbed, dealt across two shard lanes. Covers the cross-tenant arbiter,
+// the admission queue and the per-tenant merge on top of the ctrl hot
+// path.
+double multitenant_workload() {
+  W1Config workload;
+  workload.num_jobs = 4;
+  workload.task_scale = 0.2;
+  ServiceConfig config;
+  config.loop.cluster = bench::testbed();
+  config.loop.epochs = 8;
+  config.loop.warmup_days = 14;
+  config.loop.outages = {{3, 3}};
+  config.loop.pool = &bench::pool();
+  config.shards = 2;
+  const std::vector<int> priorities = {3, 1, 1, 2};
+  return min_of(2, [&] {
+    std::vector<ServiceTenant> fleet = make_service_fleet(
+        workload, config.loop.warmup_days, config.loop.epochs,
+        config.loop.seed, 4, priorities);
+    (void)run_control_service(std::move(fleet), config);
+  });
+}
+
 // Minimal flat-JSON number lookup: finds `"key":` and parses the number
 // after it. Good enough for the baseline file this binary itself writes.
 bool json_number(const std::string& text, const std::string& key,
@@ -128,8 +153,10 @@ int main(int argc, char** argv) {
   const double calib = std::min(calibration_run(), calibration_run());
   const double planner_s = planner_workload();
   const double ctrl_s = ctrl_workload();
+  const double multitenant_s = multitenant_workload();
   const double planner_norm = planner_s / calib;
   const double ctrl_norm = ctrl_s / calib;
+  const double multitenant_norm = multitenant_s / calib;
 
   std::printf("\n%-22s %12s %12s\n", "measurement", "wall (s)", "normalized");
   std::printf("%-22s %12.3f %12s\n", "calibration", calib, "1.000");
@@ -137,14 +164,18 @@ int main(int argc, char** argv) {
               planner_norm);
   std::printf("%-22s %12.3f %12.3f\n", "ctrl loop (smoke)", ctrl_s,
               ctrl_norm);
+  std::printf("%-22s %12.3f %12.3f\n", "multitenant (4x2)", multitenant_s,
+              multitenant_norm);
 
   std::ofstream series("BENCH_perf_gate.json");
   series << "{\n  \"bench\": \"perf_gate\",\n"
          << "  \"calibration_s\": " << calib << ",\n"
          << "  \"planner_s\": " << planner_s << ",\n"
          << "  \"ctrl_s\": " << ctrl_s << ",\n"
+         << "  \"multitenant_s\": " << multitenant_s << ",\n"
          << "  \"planner_norm\": " << planner_norm << ",\n"
-         << "  \"ctrl_norm\": " << ctrl_norm << "\n}\n";
+         << "  \"ctrl_norm\": " << ctrl_norm << ",\n"
+         << "  \"multitenant_norm\": " << multitenant_norm << "\n}\n";
   std::printf("\nseries written to BENCH_perf_gate.json\n");
 
   if (baseline_path.empty()) {
@@ -155,7 +186,8 @@ int main(int argc, char** argv) {
     std::ofstream out(baseline_path);
     out << "{\n  \"bench\": \"perf_gate_baseline\",\n"
         << "  \"planner_norm\": " << planner_norm << ",\n"
-        << "  \"ctrl_norm\": " << ctrl_norm << "\n}\n";
+        << "  \"ctrl_norm\": " << ctrl_norm << ",\n"
+        << "  \"multitenant_norm\": " << multitenant_norm << "\n}\n";
     std::printf("baseline updated: %s\n", baseline_path.c_str());
     return 0;
   }
@@ -171,9 +203,13 @@ int main(int argc, char** argv) {
   const std::string text = buffer.str();
   double base_planner = 0;
   double base_ctrl = 0;
+  double base_multitenant = 0;
   if (!json_number(text, "planner_norm", &base_planner) ||
-      !json_number(text, "ctrl_norm", &base_ctrl)) {
-    std::printf("FAIL: baseline file unparsable: %s\n", baseline_path.c_str());
+      !json_number(text, "ctrl_norm", &base_ctrl) ||
+      !json_number(text, "multitenant_norm", &base_multitenant)) {
+    std::printf("FAIL: baseline file unparsable: %s (regenerate with "
+                "--update)\n",
+                baseline_path.c_str());
     return 1;
   }
 
@@ -189,6 +225,7 @@ int main(int argc, char** argv) {
   std::printf("\ngate (tolerance %.0f%%):\n", (kTolerance - 1.0) * 100);
   gate("planner_norm", planner_norm, base_planner);
   gate("ctrl_norm", ctrl_norm, base_ctrl);
+  gate("multitenant_norm", multitenant_norm, base_multitenant);
   if (!ok) {
     std::printf("\nFAIL: performance regressed beyond tolerance. If the\n"
                 "slowdown is intentional, refresh bench/perf_baseline.json\n"

@@ -1,0 +1,111 @@
+#include "ctrl/arbiter.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace corral {
+
+RackGrants arbitrate_racks(std::span<const int> usable,
+                           std::span<const TenantClaim> claims) {
+  const std::size_t tenants = claims.size();
+  require(tenants >= 1, "arbitrate_racks: need at least one claim");
+  require(usable.size() >= tenants,
+          "arbitrate_racks: need at least one usable rack per tenant");
+  for (std::size_t i = 0; i + 1 < usable.size(); ++i) {
+    require(usable[i] < usable[i + 1],
+            "arbitrate_racks: usable racks must be sorted and unique");
+  }
+  std::int64_t total_weight = 0;
+  for (const TenantClaim& claim : claims) {
+    require(claim.priority >= 1, "arbitrate_racks: priority must be >= 1");
+    total_weight += claim.priority;
+  }
+
+  // --- 1. largest-remainder fair-share quotas (integer arithmetic) ------
+  const std::int64_t racks = static_cast<std::int64_t>(usable.size());
+  RackGrants out;
+  out.quotas.resize(tenants, 0);
+  std::vector<std::int64_t> remainder(tenants, 0);
+  std::int64_t assigned = 0;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    const std::int64_t scaled = racks * claims[t].priority;
+    out.quotas[t] = static_cast<int>(scaled / total_weight);
+    remainder[t] = scaled % total_weight;
+    assigned += out.quotas[t];
+  }
+  std::vector<std::size_t> order(tenants);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Leftover racks go to the largest remainders; ties to the higher
+  // priority, then the lower tenant id — a total, deterministic order.
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (remainder[a] != remainder[b]) {
+                return remainder[a] > remainder[b];
+              }
+              if (claims[a].priority != claims[b].priority) {
+                return claims[a].priority > claims[b].priority;
+              }
+              return claims[a].tenant < claims[b].tenant;
+            });
+  const std::int64_t leftover = racks - assigned;  // always < tenants
+  for (std::int64_t i = 0; i < leftover; ++i) {
+    ++out.quotas[order[static_cast<std::size_t>(i)]];
+  }
+  // Starvation floor: every tenant runs *something* each epoch. A zero
+  // quota borrows one rack from the currently largest quota (ties to the
+  // lower tenant id); usable >= tenants guarantees a donor with >= 2.
+  for (std::size_t t = 0; t < tenants; ++t) {
+    if (out.quotas[t] > 0) continue;
+    std::size_t donor = 0;
+    for (std::size_t d = 1; d < tenants; ++d) {
+      if (out.quotas[d] > out.quotas[donor]) donor = d;
+    }
+    --out.quotas[donor];
+    ++out.quotas[t];
+  }
+
+  // --- 2. grant pass: sticky claims first, then lowest-numbered fill ----
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (claims[a].priority != claims[b].priority) {
+                return claims[a].priority > claims[b].priority;
+              }
+              return claims[a].tenant < claims[b].tenant;
+            });
+  out.racks.assign(tenants, {});
+  std::vector<char> taken(usable.size(), 0);
+  const auto usable_index = [&](int rack) -> std::ptrdiff_t {
+    const auto it = std::lower_bound(usable.begin(), usable.end(), rack);
+    if (it == usable.end() || *it != rack) return -1;
+    return it - usable.begin();
+  };
+  for (std::size_t t : order) {
+    std::vector<int>& grant = out.racks[t];
+    grant.reserve(static_cast<std::size_t>(out.quotas[t]));
+    for (int rack : claims[t].preferred) {
+      if (static_cast<int>(grant.size()) >= out.quotas[t]) break;
+      const std::ptrdiff_t index = usable_index(rack);
+      if (index < 0 || taken[static_cast<std::size_t>(index)]) continue;
+      taken[static_cast<std::size_t>(index)] = 1;
+      grant.push_back(rack);
+    }
+  }
+  for (std::size_t t : order) {
+    std::vector<int>& grant = out.racks[t];
+    for (std::size_t i = 0;
+         i < usable.size() &&
+         static_cast<int>(grant.size()) < out.quotas[t];
+         ++i) {
+      if (taken[i]) continue;
+      taken[i] = 1;
+      grant.push_back(usable[i]);
+    }
+    std::sort(grant.begin(), grant.end());
+  }
+  return out;
+}
+
+}  // namespace corral

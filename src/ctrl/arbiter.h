@@ -1,0 +1,59 @@
+// Cross-tenant capacity arbitration (docs/control_plane.md "Multi-tenant
+// service").
+//
+// Every epoch, T tenants compete for the same usable racks. The arbiter
+// resolves the contention with a deterministic weighted fair-share policy:
+//
+//   1. Quotas. Each tenant's rack quota is its largest-remainder share of
+//      the usable racks, weighted by priority — pure integer arithmetic
+//      (base = R*w/W, the R - sum(base) leftover racks go to the largest
+//      remainders; remainder ties break by higher priority, then lower
+//      tenant id). Every tenant is then guaranteed at least one rack
+//      (taken from the largest quota), which is why the service requires
+//      usable racks >= tenants.
+//   2. Grants. In (priority desc, tenant id asc) order each tenant first
+//      keeps the racks it *claims* (its previous grant — sticky grants keep
+//      topology fingerprints, and with them plan-cache keys, stable across
+//      epochs) up to its quota, then fills any shortfall from the lowest-
+//      numbered unclaimed racks. Losers whose claims were arbitrated away
+//      replan on their residual subcluster through the existing
+//      topology-fingerprint invalidation path; no new mechanism needed.
+//
+// The outcome is a pure function of (usable racks, claims, priorities):
+// byte-identical across shard and thread widths, and exactly "grant
+// everything" for a single tenant — which is how the single-tenant loop
+// stays bit-compatible with its pre-service behavior.
+#ifndef CORRAL_CTRL_ARBITER_H_
+#define CORRAL_CTRL_ARBITER_H_
+
+#include <span>
+#include <vector>
+
+namespace corral {
+
+// One tenant's standing in this epoch's arbitration.
+struct TenantClaim {
+  int tenant = 0;    // position in the service's tenant list
+  int priority = 1;  // fair-share weight, >= 1
+  // Racks the tenant held last epoch (sorted ascending). Empty on the
+  // first epoch: the tenant takes whatever the fill pass hands it.
+  std::vector<int> preferred;
+};
+
+struct RackGrants {
+  // grants[t] = racks granted to claims[t].tenant, sorted ascending.
+  // Every usable rack is granted to exactly one tenant.
+  std::vector<std::vector<int>> racks;
+  // The fair-share quota each grant was filled to (|racks[t]| == quotas[t]).
+  std::vector<int> quotas;
+};
+
+// Resolves one epoch's rack contention. `usable` must be sorted ascending
+// and unique; requires usable.size() >= claims.size() >= 1 and every
+// priority >= 1. Throws std::invalid_argument otherwise.
+RackGrants arbitrate_racks(std::span<const int> usable,
+                           std::span<const TenantClaim> claims);
+
+}  // namespace corral
+
+#endif  // CORRAL_CTRL_ARBITER_H_

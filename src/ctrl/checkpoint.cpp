@@ -16,6 +16,7 @@ namespace {
 
 constexpr std::string_view kMagic = "corral-checkpoint";
 constexpr std::string_view kVersion = "v1";
+constexpr std::string_view kVersionService = "v2";
 
 std::uint64_t fnv1a(std::string_view text) {
   std::uint64_t hash = 14695981039346656037ull;
@@ -275,60 +276,10 @@ EpochReport get_report(Reader& r) {
   return report;
 }
 
-}  // namespace
-
-std::uint64_t control_loop_fingerprint(
-    const ControlLoopConfig& config,
-    const std::vector<RecurringPipeline>& pipelines) {
-  Fingerprint f;
-  f.mix(topology_fingerprint(config.cluster));
-  f.mix(static_cast<std::uint64_t>(config.objective ==
-                                   Objective::kMakespan
-                                       ? 0
-                                       : 1));
-  f.mix(static_cast<std::uint64_t>(config.epochs));
-  f.mix(static_cast<std::uint64_t>(config.warmup_days));
-  f.mix(config.drift_threshold);
-  f.mix(config.size_quantum);
-  f.mix(static_cast<std::uint64_t>(config.history_window_days));
-  f.mix(static_cast<std::uint64_t>(config.outages.size()));
-  for (const RackOutage& outage : config.outages) {
-    f.mix(static_cast<std::uint64_t>(outage.epoch));
-    f.mix(static_cast<std::uint64_t>(outage.rack));
-  }
-  f.mix(static_cast<std::uint64_t>(config.cache_capacity));
-  f.mix(config.seed);
-  f.mix(config.chaos.fingerprint());
-  f.mix(config.chaos_seed);
-  f.mix(static_cast<std::uint64_t>(config.resilience.enabled ? 1 : 0));
-  f.mix(static_cast<std::uint64_t>(config.resilience.planner_budget_evals));
-  f.mix(static_cast<std::uint64_t>(config.resilience.max_retries));
-  f.mix(config.resilience.retry_backoff);
-  f.mix(config.resilience.outlier_factor);
-  f.mix(static_cast<std::uint64_t>(config.resilience.demote_after));
-  f.mix(static_cast<std::uint64_t>(config.resilience.promote_after));
-  f.mix(static_cast<std::uint64_t>(pipelines.size()));
-  for (const RecurringPipeline& pipeline : pipelines) {
-    f.mix(job_fingerprint(pipeline.reference, config.size_quantum));
-    f.mix(pipeline.shape.base_input);
-    f.mix(static_cast<std::uint64_t>(pipeline.timeline.size()));
-    for (const JobInstance& instance : pipeline.timeline) {
-      f.mix(static_cast<std::uint64_t>(instance.day));
-      f.mix(static_cast<std::uint64_t>(instance.run_of_day));
-      f.mix(instance.input_bytes);
-    }
-  }
-  return f.value();
-}
-
-std::string serialize_checkpoint(const CheckpointState& state) {
-  Writer w;
-  w.word(kMagic);
-  w.word(kVersion);
-  w.endl();
-  w.word("config");
-  w.u64(state.config_fingerprint);
-  w.endl();
+// The per-tenant body: everything one TenantLoop mutates across epochs,
+// from the "state" line through the "rf" section. A v1 checkpoint has
+// exactly one; a v2 service checkpoint has one per tenant.
+void put_body(Writer& w, const CheckpointState& state) {
   w.word("state");
   w.integer(state.next_epoch);
   w.u64(state.prev_topology);
@@ -401,60 +352,9 @@ std::string serialize_checkpoint(const CheckpointState& state) {
     for (Seconds latency : latencies) w.real(latency);
     w.endl();
   }
-
-  w.word("trace");
-  w.integer(static_cast<long long>(state.trace.sinks.size()));
-  w.endl();
-  for (const obs::TraceSnapshot::Sink& sink : state.trace.sinks) {
-    w.word("sink");
-    w.integer(sink.id);
-    w.str(sink.label);
-    w.integer(static_cast<long long>(sink.events.size()));
-    w.endl();
-    for (const obs::TraceEvent& event : sink.events) {
-      w.integer(static_cast<int>(event.phase));
-      w.integer(static_cast<int>(event.track));
-      w.integer(event.tid);
-      w.real(event.ts);
-      w.real(event.dur);
-      w.real(event.value);
-      w.str(event.name);
-      w.str(event.cat);
-      w.integer(static_cast<long long>(event.args.size()));
-      for (const obs::TraceArg& arg : event.args) {
-        w.boolean(arg.numeric);
-        w.real(arg.num);
-        w.str(arg.key);
-        w.str(arg.str);
-      }
-      w.endl();
-    }
-  }
-
-  std::string body = w.take();
-  const std::uint64_t checksum = fnv1a(body);
-  body += "checksum " + hex16(checksum) + "\n";
-  return body;
 }
 
-CheckpointState deserialize_checkpoint(const std::string& text) {
-  const std::size_t trailer = text.rfind("\nchecksum ");
-  require(trailer != std::string::npos, "checkpoint: missing checksum");
-  const std::string_view body(text.data(), trailer + 1);
-  {
-    Reader tail(std::string_view(text).substr(trailer + 1));
-    tail.expect("checksum");
-    const std::uint64_t expected = tail.u64();
-    tail.finish();
-    require(fnv1a(body) == expected, "checkpoint: checksum mismatch");
-  }
-
-  Reader r(body);
-  r.expect(kMagic);
-  r.expect(kVersion);
-  CheckpointState state;
-  r.expect("config");
-  state.config_fingerprint = r.u64();
+void get_body(Reader& r, CheckpointState& state) {
   r.expect("state");
   state.next_epoch = static_cast<int>(r.integer());
   state.prev_topology = r.u64();
@@ -533,10 +433,43 @@ CheckpointState deserialize_checkpoint(const std::string& text) {
     for (int j = 0; j < count; ++j) latencies.push_back(r.real());
     state.rf_entries.emplace_back(key, std::move(latencies));
   }
+}
 
+void put_trace(Writer& w, const obs::TraceSnapshot& trace) {
+  w.word("trace");
+  w.integer(static_cast<long long>(trace.sinks.size()));
+  w.endl();
+  for (const obs::TraceSnapshot::Sink& sink : trace.sinks) {
+    w.word("sink");
+    w.integer(sink.id);
+    w.str(sink.label);
+    w.integer(static_cast<long long>(sink.events.size()));
+    w.endl();
+    for (const obs::TraceEvent& event : sink.events) {
+      w.integer(static_cast<int>(event.phase));
+      w.integer(static_cast<int>(event.track));
+      w.integer(event.tid);
+      w.real(event.ts);
+      w.real(event.dur);
+      w.real(event.value);
+      w.str(event.name);
+      w.str(event.cat);
+      w.integer(static_cast<long long>(event.args.size()));
+      for (const obs::TraceArg& arg : event.args) {
+        w.boolean(arg.numeric);
+        w.real(arg.num);
+        w.str(arg.key);
+        w.str(arg.str);
+      }
+      w.endl();
+    }
+  }
+}
+
+void get_trace(Reader& r, obs::TraceSnapshot& trace) {
   r.expect("trace");
   const int sinks = r.count();
-  state.trace.sinks.reserve(static_cast<std::size_t>(sinks));
+  trace.sinks.reserve(static_cast<std::size_t>(sinks));
   for (int i = 0; i < sinks; ++i) {
     r.expect("sink");
     obs::TraceSnapshot::Sink sink;
@@ -571,8 +504,148 @@ CheckpointState deserialize_checkpoint(const std::string& text) {
       }
       sink.events.push_back(std::move(event));
     }
-    state.trace.sinks.push_back(std::move(sink));
+    trace.sinks.push_back(std::move(sink));
   }
+}
+
+// Appends the checksum trailer; the inverse of verify_checksum.
+std::string seal(Writer& w) {
+  std::string body = w.take();
+  const std::uint64_t checksum = fnv1a(body);
+  body += "checksum " + hex16(checksum) + "\n";
+  return body;
+}
+
+// Verifies the trailer and returns the body it covers.
+std::string_view verify_checksum(const std::string& text) {
+  const std::size_t trailer = text.rfind("\nchecksum ");
+  require(trailer != std::string::npos, "checkpoint: missing checksum");
+  const std::string_view body(text.data(), trailer + 1);
+  Reader tail(std::string_view(text).substr(trailer + 1));
+  tail.expect("checksum");
+  const std::uint64_t expected = tail.u64();
+  tail.finish();
+  require(fnv1a(body) == expected, "checkpoint: checksum mismatch");
+  return body;
+}
+
+}  // namespace
+
+std::uint64_t control_loop_fingerprint(
+    const ControlLoopConfig& config,
+    const std::vector<RecurringPipeline>& pipelines) {
+  Fingerprint f;
+  f.mix(topology_fingerprint(config.cluster));
+  f.mix(static_cast<std::uint64_t>(config.objective ==
+                                   Objective::kMakespan
+                                       ? 0
+                                       : 1));
+  f.mix(static_cast<std::uint64_t>(config.epochs));
+  f.mix(static_cast<std::uint64_t>(config.warmup_days));
+  f.mix(config.drift_threshold);
+  f.mix(config.size_quantum);
+  f.mix(static_cast<std::uint64_t>(config.history_window_days));
+  f.mix(static_cast<std::uint64_t>(config.outages.size()));
+  for (const RackOutage& outage : config.outages) {
+    f.mix(static_cast<std::uint64_t>(outage.epoch));
+    f.mix(static_cast<std::uint64_t>(outage.rack));
+  }
+  f.mix(static_cast<std::uint64_t>(config.cache_capacity));
+  f.mix(config.seed);
+  f.mix(config.chaos.fingerprint());
+  f.mix(config.chaos_seed);
+  f.mix(static_cast<std::uint64_t>(config.resilience.enabled ? 1 : 0));
+  f.mix(static_cast<std::uint64_t>(config.resilience.planner_budget_evals));
+  f.mix(static_cast<std::uint64_t>(config.resilience.max_retries));
+  f.mix(config.resilience.retry_backoff);
+  f.mix(config.resilience.outlier_factor);
+  f.mix(static_cast<std::uint64_t>(config.resilience.demote_after));
+  f.mix(static_cast<std::uint64_t>(config.resilience.promote_after));
+  f.mix(static_cast<std::uint64_t>(pipelines.size()));
+  for (const RecurringPipeline& pipeline : pipelines) {
+    f.mix(job_fingerprint(pipeline.reference, config.size_quantum));
+    f.mix(pipeline.shape.base_input);
+    f.mix(static_cast<std::uint64_t>(pipeline.timeline.size()));
+    for (const JobInstance& instance : pipeline.timeline) {
+      f.mix(static_cast<std::uint64_t>(instance.day));
+      f.mix(static_cast<std::uint64_t>(instance.run_of_day));
+      f.mix(instance.input_bytes);
+    }
+  }
+  return f.value();
+}
+
+std::string serialize_checkpoint(const CheckpointState& state) {
+  Writer w;
+  w.word(kMagic);
+  w.word(kVersion);
+  w.endl();
+  w.word("config");
+  w.u64(state.config_fingerprint);
+  w.endl();
+  put_body(w, state);
+  put_trace(w, state.trace);
+  return seal(w);
+}
+
+CheckpointState deserialize_checkpoint(const std::string& text) {
+  const std::string_view body = verify_checksum(text);
+  Reader r(body);
+  r.expect(kMagic);
+  r.expect(kVersion);
+  CheckpointState state;
+  r.expect("config");
+  state.config_fingerprint = r.u64();
+  get_body(r, state);
+  get_trace(r, state.trace);
+  r.finish();
+  return state;
+}
+
+std::string serialize_service_checkpoint(const ServiceCheckpointState& state) {
+  Writer w;
+  w.word(kMagic);
+  w.word(kVersionService);
+  w.endl();
+  w.word("config");
+  w.u64(state.config_fingerprint);
+  w.endl();
+  w.word("service");
+  w.integer(state.next_epoch);
+  w.integer(static_cast<long long>(state.tenants.size()));
+  w.endl();
+  for (std::size_t t = 0; t < state.tenants.size(); ++t) {
+    w.word("tenant");
+    w.integer(static_cast<long long>(t));
+    w.endl();
+    put_body(w, state.tenants[t]);
+  }
+  put_trace(w, state.trace);
+  return seal(w);
+}
+
+ServiceCheckpointState deserialize_service_checkpoint(
+    const std::string& text) {
+  const std::string_view body = verify_checksum(text);
+  Reader r(body);
+  r.expect(kMagic);
+  r.expect(kVersionService);
+  ServiceCheckpointState state;
+  r.expect("config");
+  state.config_fingerprint = r.u64();
+  r.expect("service");
+  state.next_epoch = static_cast<int>(r.integer());
+  const int tenants = r.count();
+  state.tenants.reserve(static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    r.expect("tenant");
+    const long long index = r.integer();
+    require(index == t, "checkpoint: tenant sections out of order");
+    CheckpointState tenant;
+    get_body(r, tenant);
+    state.tenants.push_back(std::move(tenant));
+  }
+  get_trace(r, state.trace);
   r.finish();
   return state;
 }
@@ -599,6 +672,31 @@ CheckpointState read_checkpoint(const std::string& path) {
     throw std::runtime_error("read from " + path + " failed");
   }
   return deserialize_checkpoint(buffer.str());
+}
+
+void write_service_checkpoint(const std::string& path,
+                              const ServiceCheckpointState& state) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + tmp + " for write");
+    out << serialize_service_checkpoint(state);
+    if (!out) throw std::runtime_error("write to " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("rename " + tmp + " -> " + path + " failed");
+  }
+}
+
+ServiceCheckpointState read_service_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open checkpoint " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("read from " + path + " failed");
+  }
+  return deserialize_service_checkpoint(buffer.str());
 }
 
 }  // namespace corral

@@ -99,6 +99,40 @@ CheckpointState deserialize_checkpoint(const std::string& text);
 void write_checkpoint(const std::string& path, const CheckpointState& state);
 CheckpointState read_checkpoint(const std::string& path);
 
+// ---------------------------------------------------------------------------
+// Multi-tenant service checkpoint (format v2).
+//
+// The v2 format carries one per-tenant section per TenantLoop — the same
+// body layout a v1 checkpoint uses for its single fleet — behind a
+// service-level fingerprint (control_service_fingerprint, which mixes
+// every tenant's control_loop_fingerprint with its name and priority) and
+// one shared trace snapshot spanning every tenant's sinks. Shard count and
+// pool width are excluded from the gate: resuming under a different
+// execution width is exactly the supported case. v1 files are unchanged
+// and the two formats reject each other by version magic.
+
+struct ServiceCheckpointState {
+  // control_service_fingerprint of the run that wrote the checkpoint.
+  std::uint64_t config_fingerprint = 0;
+  int next_epoch = 0;  // first epoch the resumed service should run
+  // One section per tenant, in tenant-id order. The driver-level fields of
+  // each section (config_fingerprint, next_epoch, trace) are unused; the
+  // service owns those at the top level.
+  std::vector<CheckpointState> tenants;
+  // Trace events recorded so far across every tenant's sinks.
+  obs::TraceSnapshot trace;
+};
+
+std::string serialize_service_checkpoint(const ServiceCheckpointState& state);
+// Throws std::invalid_argument on bad magic/version (including a v1 file),
+// truncation, malformed fields or checksum mismatch.
+ServiceCheckpointState deserialize_service_checkpoint(
+    const std::string& text);
+
+void write_service_checkpoint(const std::string& path,
+                              const ServiceCheckpointState& state);
+ServiceCheckpointState read_service_checkpoint(const std::string& path);
+
 }  // namespace corral
 
 #endif  // CORRAL_CTRL_CHECKPOINT_H_

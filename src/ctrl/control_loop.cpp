@@ -2,14 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
-#include <limits>
-#include <optional>
-#include <string>
 #include <utility>
 
 #include "corral/fingerprint.h"
 #include "ctrl/checkpoint.h"
+#include "ctrl/tenant.h"
 #include "exec/exec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -17,48 +14,6 @@
 #include "util/check.h"
 
 namespace corral {
-namespace {
-
-// Splitmix-style per-index stream separation, matching the seed derivation
-// used elsewhere in the tree (one independent stream per epoch / pipeline).
-std::uint64_t substream(std::uint64_t seed, std::uint64_t index) {
-  return seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
-}
-
-bool is_weekend(int day) { return day % 7 == 5 || day % 7 == 6; }
-
-std::string hex_key(std::uint64_t key) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%016llx",
-                static_cast<unsigned long long>(key));
-  return buffer;
-}
-
-// The realized instance for (day, run 0) of a pipeline's exogenous
-// timeline; throws when the timeline does not cover the day.
-const JobInstance& timeline_instance(const RecurringPipeline& pipeline,
-                                     int day) {
-  for (const JobInstance& instance : pipeline.timeline) {
-    if (instance.day == day && instance.run_of_day == 0) return instance;
-  }
-  require(false, "run_control_loop: pipeline '" + pipeline.reference.name +
-                     "' timeline does not cover day " + std::to_string(day));
-  return pipeline.timeline.front();  // unreachable
-}
-
-// Racks down during this epoch, sorted, deduplicated.
-std::vector<int> outage_racks_for_epoch(const ControlLoopConfig& config,
-                                        int epoch) {
-  std::vector<int> racks;
-  for (const RackOutage& outage : config.outages) {
-    if (outage.epoch == epoch) racks.push_back(outage.rack);
-  }
-  std::sort(racks.begin(), racks.end());
-  racks.erase(std::unique(racks.begin(), racks.end()), racks.end());
-  return racks;
-}
-
-}  // namespace
 
 void ControlLoopConfig::validate() const {
   require(epochs > 0, "ControlLoopConfig: epochs must be positive");
@@ -110,7 +65,11 @@ double ControlLoopResult::hit_rate_after(int after_epoch) const {
   std::uint64_t hits = 0;
   std::uint64_t total = 0;
   for (const EpochReport& report : epochs) {
-    if (report.epoch <= after_epoch) continue;
+    // Aborted epochs published nothing — their cache outcome is not a
+    // miss, it is absent — so they stay out of the denominator. A run
+    // where *every* counted epoch aborted therefore divides by nothing;
+    // return 0 instead of NaN.
+    if (report.epoch <= after_epoch || report.aborted) continue;
     ++total;
     if (report.cache_hit) ++hits;
   }
@@ -142,7 +101,7 @@ std::vector<RecurringPipeline> make_recurring_fleet(const W1Config& config,
     shape.noise = 0.065;  // the paper's 6.5% prediction error (§2, Fig 1)
     shape.drift_per_day = 0.001 + 0.0005 * static_cast<double>(j % 3);
     shape.runs_per_day = 1;
-    Rng job_rng(substream(seed, j));
+    Rng job_rng(ctrl_detail::substream(seed, j));
     pipeline.timeline = generate_history(shape, days, job_rng);
     pipeline.history.assign(
         pipeline.timeline.begin(),
@@ -154,159 +113,95 @@ std::vector<RecurringPipeline> make_recurring_fleet(const W1Config& config,
   return fleet;
 }
 
+void record_ctrl_metrics(obs::MetricsRegistry* metrics,
+                         const ControlLoopResult& result) {
+  if (metrics == nullptr) return;
+  obs::MetricsRegistry& m = *metrics;
+  m.counter("ctrl.epochs")
+      .add(static_cast<double>(result.epochs.size()));
+  m.counter("ctrl.cache.hits").add(static_cast<double>(result.cache.hits));
+  m.counter("ctrl.cache.misses")
+      .add(static_cast<double>(result.cache.misses));
+  m.counter("ctrl.cache.invalidations")
+      .add(static_cast<double>(result.cache.invalidations));
+  m.counter("ctrl.cache.evictions")
+      .add(static_cast<double>(result.cache.evictions));
+  m.counter("ctrl.cache.corruptions")
+      .add(static_cast<double>(result.cache.corruptions));
+  m.counter("ctrl.drift_trips").add(static_cast<double>(result.drift_trips));
+  m.counter("ctrl.rf.hits").add(static_cast<double>(result.rf_hits));
+  m.counter("ctrl.rf.misses").add(static_cast<double>(result.rf_misses));
+  double replan_evals = 0;
+  for (const EpochReport& report : result.epochs) {
+    replan_evals += static_cast<double>(report.replan_cost_evals);
+  }
+  m.counter("ctrl.replan_evals").add(replan_evals);
+  m.gauge("ctrl.mean_prediction_error").set(result.mean_prediction_error);
+  m.gauge("ctrl.hit_rate_after_2").set(result.hit_rate_after(2));
+  m.counter("ctrl.resilience.chaos_events")
+      .add(static_cast<double>(result.chaos_events));
+  m.counter("ctrl.resilience.quarantined")
+      .add(static_cast<double>(result.quarantined));
+  m.counter("ctrl.resilience.exec_retries")
+      .add(static_cast<double>(result.exec_retries));
+  m.counter("ctrl.resilience.fallbacks")
+      .add(static_cast<double>(result.fallbacks));
+  m.counter("ctrl.resilience.overruns")
+      .add(static_cast<double>(result.overruns));
+  m.counter("ctrl.resilience.stale_views")
+      .add(static_cast<double>(result.stale_views));
+  m.counter("ctrl.resilience.demotions")
+      .add(static_cast<double>(result.demotions));
+  m.counter("ctrl.resilience.promotions")
+      .add(static_cast<double>(result.promotions));
+  m.counter("ctrl.resilience.epochs_aborted")
+      .add(static_cast<double>(result.epochs_aborted));
+  m.counter("ctrl.resilience.epochs_completed")
+      .add(static_cast<double>(result.epochs_completed));
+}
+
 ControlLoopResult run_control_loop(std::vector<RecurringPipeline> pipelines,
                                    const ControlLoopConfig& config) {
   config.validate();
-  require(!pipelines.empty(), "run_control_loop: need at least one pipeline");
-  for (const RecurringPipeline& pipeline : pipelines) {
-    pipeline.reference.validate();
-    require(!pipeline.timeline.empty(),
-            "run_control_loop: pipeline timeline is empty");
-    for (const JobInstance& instance : pipeline.timeline) {
-      require(std::isfinite(instance.input_bytes) && instance.input_bytes > 0,
-              "run_control_loop: pipeline '" + pipeline.reference.name +
-                  "' timeline has a non-finite or non-positive input");
-    }
-  }
-
-  PlannerConfig planner_config;
-  planner_config.objective = config.objective;
-  planner_config.pool = config.pool;
-  planner_config.tracer = config.tracer;
-  const std::uint64_t planner_sig = planner_fingerprint(planner_config);
-  const LatencyModelParams params =
-      LatencyModelParams::from_cluster(config.cluster);
+  ctrl_detail::validate_pipelines(pipelines, "run_control_loop");
   const std::uint64_t config_sig =
       control_loop_fingerprint(config, pipelines);
 
-  ChaosSchedule chaos_schedule;
-  if (!config.chaos.empty()) {
-    const std::uint64_t chaos_seed =
-        config.chaos_seed != 0 ? config.chaos_seed
-                               : substream(config.seed, 0xC4A05u);
-    chaos_schedule =
-        ChaosSchedule(config.chaos, config.epochs,
-                      static_cast<int>(pipelines.size()), chaos_seed);
-  }
-  const ResilienceConfig& guard = config.resilience;
-  ErrorBudget budget(guard.enabled ? guard.demote_after : 0,
-                     guard.promote_after);
-
-  PlanCache cache(config.cache_capacity);
-  ResponseFunctionCache rf_cache(config.size_quantum);
-  const BatchRunner runner(config.pool);
-
-  ControlLoopResult result;
-  result.epochs.reserve(static_cast<std::size_t>(config.epochs));
-
-  std::vector<int> all_racks(static_cast<std::size_t>(config.cluster.racks));
-  for (int r = 0; r < config.cluster.racks; ++r) {
-    all_racks[static_cast<std::size_t>(r)] = r;
-  }
+  // The whole single-tenant loop is one tenant of the service core: base
+  // seed, sink base 0 and an empty label prefix make its outputs
+  // bit-compatible with the pre-service implementation.
+  TenantLoop tenant(std::move(pipelines), config, config.seed,
+                    config.chaos_seed, /*sink_base=*/0,
+                    /*label_prefix=*/"");
 
   int start_epoch = 0;
-  std::uint64_t prev_topology = 0;
-  bool force_replan = false;  // set by a past epoch's drift detector
-  // Sticky planning size per (pipeline, day kind): what the current plan
-  // assumes the job's input is. Re-anchored to the forecast only when the
-  // two diverge by more than size_quantum, so the workload signature — and
-  // with it the cache key — repeats across epochs whose forecasts agree
-  // within the tolerance. 0 = not yet anchored.
-  std::vector<std::array<Bytes, 2>> planning_inputs(
-      pipelines.size(), std::array<Bytes, 2>{0.0, 0.0});
-  // Last plan that drove a successful epoch, for deadline-overrun fallback.
-  bool has_last_good = false;
-  Plan last_good_plan;
-  std::uint64_t last_good_topology = 0;
-
   if (!config.resume_path.empty()) {
     CheckpointState saved = read_checkpoint(config.resume_path);
     require(saved.config_fingerprint == config_sig,
             "run_control_loop: checkpoint '" + config.resume_path +
                 "' was written by a different config or fleet");
-    require(saved.planning_inputs.size() == pipelines.size() &&
-                saved.histories.size() == pipelines.size(),
-            "run_control_loop: checkpoint pipeline count mismatch");
     require(saved.next_epoch >= 0 && saved.next_epoch <= config.epochs,
             "run_control_loop: checkpoint next_epoch out of range");
     start_epoch = saved.next_epoch;
-    prev_topology = saved.prev_topology;
-    force_replan = saved.force_replan;
-    budget.restore(saved.budget_mode, saved.budget_bad, saved.budget_good,
-                   saved.budget_demotions, saved.budget_promotions);
-    planning_inputs = saved.planning_inputs;
-    for (std::size_t i = 0; i < pipelines.size(); ++i) {
-      pipelines[i].history = saved.histories[i];
-    }
-    result.epochs = saved.reports;
-    result.drift_trips = saved.drift_trips;
-    has_last_good = saved.has_last_good;
-    last_good_plan = saved.last_good_plan;
-    last_good_topology = saved.last_good_topology;
-    cache.restore(saved.plan_cache);
-    rf_cache.restore(saved.rf_entries, saved.rf_hits, saved.rf_misses);
+    tenant.restore_state(saved);
     if (config.tracer != nullptr) {
       obs::restore_tracer(*config.tracer, saved.trace);
     }
   }
 
   // Bound *after* a possible restore replays old sinks into the tracer.
-  const obs::TraceRecorder trace(config.tracer, /*sink_id=*/0, "ctrl");
+  tenant.bind_trace();
 
-  const auto save_checkpoint = [&](int completed_epoch) {
-    if (config.checkpoint_path.empty()) return;
-    CheckpointState state;
-    state.config_fingerprint = config_sig;
-    state.next_epoch = completed_epoch + 1;
-    state.prev_topology = prev_topology;
-    state.force_replan = force_replan;
-    state.budget_mode = budget.mode();
-    state.budget_bad = budget.consecutive_bad();
-    state.budget_good = budget.consecutive_good();
-    state.budget_demotions = budget.demotions();
-    state.budget_promotions = budget.promotions();
-    state.planning_inputs = planning_inputs;
-    state.histories.reserve(pipelines.size());
-    for (const RecurringPipeline& pipeline : pipelines) {
-      state.histories.push_back(pipeline.history);
-    }
-    state.reports = result.epochs;
-    state.drift_trips = result.drift_trips;
-    state.has_last_good = has_last_good;
-    state.last_good_topology = last_good_topology;
-    if (has_last_good) state.last_good_plan = last_good_plan;
-    state.plan_cache = cache.snapshot();
-    state.rf_entries = rf_cache.snapshot();
-    state.rf_hits = rf_cache.hits();
-    state.rf_misses = rf_cache.misses();
-    if (config.tracer != nullptr) {
-      state.trace = obs::snapshot_tracer(*config.tracer);
-    }
-    write_checkpoint(config.checkpoint_path, state);
-  };
+  const BatchRunner runner(config.pool);
+
+  std::vector<int> all_racks(static_cast<std::size_t>(config.cluster.racks));
+  for (int r = 0; r < config.cluster.racks; ++r) {
+    all_racks[static_cast<std::size_t>(r)] = r;
+  }
 
   for (int epoch = start_epoch; epoch < config.epochs; ++epoch) {
-    EpochReport report;
-    report.epoch = epoch;
-    report.day = config.warmup_days + epoch;
-    report.weekend = is_weekend(report.day);
-    report.mode = budget.mode();
-
-    const std::vector<ChaosEvent> chaos_events =
-        chaos_schedule.for_epoch(epoch);
-    report.chaos_injected = static_cast<int>(chaos_events.size());
-    const auto chaos_count = [&](ChaosFault fault) {
-      int n = 0;
-      for (const ChaosEvent& event : chaos_events) {
-        if (event.fault == fault) ++n;
-      }
-      return n;
-    };
-
-    // --- topology for this epoch (step 0: what world are we planning in) --
     const std::vector<int> outage_racks =
-        outage_racks_for_epoch(config, epoch);
-    report.outage = !outage_racks.empty();
+        ctrl_detail::outage_racks_for_epoch(config, epoch);
     std::vector<int> usable_racks;
     usable_racks.reserve(all_racks.size());
     for (int r : all_racks) {
@@ -314,413 +209,26 @@ ControlLoopResult run_control_loop(std::vector<RecurringPipeline> pipelines,
         usable_racks.push_back(r);
       }
     }
-    // The planner's *view* of the topology. Stale-topology chaos hands the
-    // planner a view with one healthy rack spuriously missing; the guardrail
-    // revalidates the view against the authoritative rack set and plans on
-    // the refreshed truth, while the unguarded loop plans on the stale view.
-    std::vector<int> planner_view = usable_racks;
-    if (chaos_count(ChaosFault::kStaleTopology) > 0) {
-      report.stale_topology = true;
-      if (!guard.enabled && planner_view.size() > 1) {
-        int drop = 0;
-        for (const ChaosEvent& event : chaos_events) {
-          if (event.fault == ChaosFault::kStaleTopology) drop = event.target;
-        }
-        planner_view.erase(planner_view.begin() +
-                           (drop % static_cast<int>(planner_view.size())));
-      } else if (guard.enabled) {
-        trace.instant(obs::TraceTrack::kCtrl, "stale_view_refreshed", "ctrl",
-                      /*tid=*/0, /*ts=*/epoch);
-      }
-    }
-    report.planning_racks = static_cast<int>(planner_view.size());
-    const std::uint64_t topology_sig =
-        topology_fingerprint(config.cluster, usable_racks);
-    const std::uint64_t view_sig =
-        planner_view == usable_racks
-            ? topology_sig
-            : topology_fingerprint(config.cluster, planner_view);
-    if (epoch > 0 && topology_sig != prev_topology) {
-      report.invalidations = cache.invalidate_topology_changed(topology_sig);
-    }
-    prev_topology = topology_sig;
+    tenant.run_epoch(epoch, usable_racks, !outage_racks.empty(), runner);
 
-    bool aborted = false;
-    std::string abort_reason;
-
-    // --- 1. predict -----------------------------------------------------
-    std::vector<JobSpec> planning;  // what the planner (and cache key) see
-    std::vector<JobSpec> realized;  // what actually runs
-    planning.reserve(pipelines.size());
-    realized.reserve(pipelines.size());
-    const std::size_t kind = report.weekend ? 1 : 0;
-    double error_sum = 0;
-    for (std::size_t i = 0; i < pipelines.size() && !aborted; ++i) {
-      const RecurringPipeline& pipeline = pipelines[i];
-      const JobSpecEstimate estimate = estimate_job_spec(
-          pipeline.reference, pipeline.history, report.day, /*run_of_day=*/0,
-          /*new_id=*/static_cast<int>(i), /*arrival=*/0.0);
-      double forecast = estimate.predicted_input;
-      for (const ChaosEvent& event : chaos_events) {
-        if (event.target != static_cast<int>(i)) continue;
-        if (event.fault == ChaosFault::kPredictorSpike) {
-          forecast *= event.magnitude;
-        } else if (event.fault == ChaosFault::kPredictorNonFinite) {
-          forecast = std::numeric_limits<double>::quiet_NaN();
-        }
+    if (!config.checkpoint_path.empty()) {
+      CheckpointState state;
+      state.config_fingerprint = config_sig;
+      state.next_epoch = epoch + 1;
+      tenant.save_state(state);
+      if (config.tracer != nullptr) {
+        state.trace = obs::snapshot_tracer(*config.tracer);
       }
-      Bytes& sticky = planning_inputs[i][kind];
-      if (guard.enabled) {
-        // Input validation: quarantine non-finite, non-positive and outlier
-        // forecasts; the planner sees the last anchored size instead.
-        const Bytes reference =
-            sticky > 0 ? sticky
-                       : (pipeline.shape.base_input > 0
-                              ? pipeline.shape.base_input
-                              : pipeline.reference.total_input());
-        if (!std::isfinite(forecast) || forecast <= 0 ||
-            forecast > reference * guard.outlier_factor ||
-            forecast < reference / guard.outlier_factor) {
-          forecast = reference;
-          ++report.quarantined;
-          trace.instant(obs::TraceTrack::kCtrl, "quarantine", "ctrl",
-                        /*tid=*/static_cast<long>(i), /*ts=*/epoch);
-        }
-      } else if (!std::isfinite(forecast) || forecast <= 0) {
-        // Unguarded: a garbage forecast kills the epoch — nothing sane can
-        // be planned or published.
-        aborted = true;
-        abort_reason = "nonfinite_forecast";
-        break;
-      }
-      const JobInstance& truth = timeline_instance(pipeline, report.day);
-      realized.push_back(scale_job_spec(pipeline.reference, truth.input_bytes,
-                                        static_cast<int>(i),
-                                        /*arrival=*/0.0));
-      error_sum += std::abs(forecast -
-                            static_cast<double>(truth.input_bytes)) /
-                   static_cast<double>(truth.input_bytes);
-      // Quantization dead-band: re-anchor the sticky planning size only
-      // when the forecast moved more than size_quantum away from it.
-      if (forecast > 0 &&
-          (sticky <= 0 ||
-           std::abs(forecast - sticky) / sticky > config.size_quantum)) {
-        sticky = forecast;
-        ++report.planning_updates;
-      }
-      planning.push_back(scale_job_spec(pipeline.reference, sticky,
-                                        static_cast<int>(i),
-                                        /*arrival=*/0.0));
+      write_checkpoint(config.checkpoint_path, state);
     }
-    if (!aborted) {
-      report.mean_prediction_error =
-          error_sum / static_cast<double>(pipelines.size());
-    }
-
-    // --- 2. plan (through the cache; skipped when demoted) ---------------
-    Plan plan;
-    bool have_plan = false;
-    if (!aborted && report.mode == ControlMode::kPlanned) {
-      // Cache-store chaos lands before the lookup.
-      if (chaos_count(ChaosFault::kCacheCorrupt) > 0) cache.corrupt_oldest();
-      if (chaos_count(ChaosFault::kCacheLoss) > 0) {
-        report.invalidations += cache.invalidate_all();
-      }
-      const PlanCacheKey key{
-          workload_fingerprint(planning, config.size_quantum), view_sig,
-          planner_sig};
-      report.cache_key = key.combined();
-      if (force_replan) {
-        report.drift_replan = cache.invalidate(key);
-        if (report.drift_replan) ++report.invalidations;
-        force_replan = false;
-      }
-      const std::uint64_t rf_hits_before = rf_cache.hits();
-      const std::uint64_t rf_misses_before = rf_cache.misses();
-      if (const Plan* cached = cache.find(key); cached != nullptr) {
-        report.cache_hit = true;
-        plan = *cached;
-        report.replan_cost_evals = 0;  // the whole point of the cache
-        have_plan = true;
-      } else {
-        planner_config.trace_sink = 1 + 2 * epoch;
-        // Plan on a virtual cluster of |planner_view| racks (response
-        // functions memoized across epochs), then map virtual rack ids back
-        // onto the surviving physical racks — the §7 subcluster trick
-        // plan_offline's usable_racks overload uses, routed through the
-        // memo.
-        const std::vector<ResponseFunction> functions =
-            rf_cache.get_all(planning, report.planning_racks, params);
-        plan =
-            plan_offline(functions, report.planning_racks, planner_config);
-        for (PlannedJob& job : plan.jobs) {
-          for (int& r : job.racks) {
-            r = planner_view[static_cast<std::size_t>(r)];
-          }
-        }
-        report.replan_cost_evals = plan.evaluated_candidates;
-        // Planner deadline: a chaos overrun, or a real provisioning search
-        // that blew its evaluation budget.
-        report.planner_overrun =
-            chaos_count(ChaosFault::kPlannerOverrun) > 0 ||
-            (guard.enabled && guard.planner_budget_evals > 0 &&
-             plan.evaluated_candidates > guard.planner_budget_evals);
-        if (report.planner_overrun) {
-          trace.instant(obs::TraceTrack::kCtrl, "planner_overrun", "ctrl",
-                        /*tid=*/0, /*ts=*/epoch);
-        }
-        if (report.planner_overrun && !guard.enabled) {
-          // Unguarded: the deadline passed with nothing published.
-          aborted = true;
-          abort_reason = "planner_overrun";
-        } else {
-          cache.insert(key, plan);
-          have_plan = true;
-          if (report.planner_overrun && has_last_good &&
-              last_good_topology == view_sig) {
-            // Guarded: publish the last good plan instead of publishing
-            // late. The fresh plan stays cached for the next epoch.
-            plan = last_good_plan;
-            report.fallback_plan = true;
-            trace.instant(obs::TraceTrack::kCtrl, "fallback_plan", "ctrl",
-                          /*tid=*/0, /*ts=*/epoch);
-          }
-        }
-      }
-      report.rf_hits = rf_cache.hits() - rf_hits_before;
-      report.rf_misses = rf_cache.misses() - rf_misses_before;
-      if (have_plan) report.predicted_makespan = plan.predicted_makespan;
-    }
-
-    // --- 3. execute (the realized instances, not the predictions) -------
-    std::optional<PlanLookup> lookup;
-    if (have_plan) lookup.emplace(planning, plan);
-    const SimResult* sim = nullptr;
-    std::vector<BatchResult> batch;
-    if (!aborted) {
-      const int failing_attempts = chaos_count(ChaosFault::kExecFailure);
-      double abort_fraction = 0;
-      for (const ChaosEvent& event : chaos_events) {
-        if (event.fault == ChaosFault::kExecFailure) {
-          abort_fraction = event.magnitude;
-        }
-      }
-      const int max_attempts = guard.enabled ? 1 + guard.max_retries : 1;
-      Seconds backoff = guard.retry_backoff;
-      for (int attempt = 0; attempt < max_attempts; ++attempt) {
-        BatchCase batch_case;
-        batch_case.label = "epoch" + std::to_string(epoch);
-        batch_case.jobs = realized;
-        batch_case.config.cluster = config.cluster;
-        batch_case.config.seed = substream(config.seed, epoch);
-        batch_case.config.tracer = config.tracer;
-        batch_case.config.trace_sink = 2 + 2 * epoch;
-        batch_case.config.trace_label = batch_case.label + "/sim";
-        if (attempt < failing_attempts) {
-          // Injected execution failure: this attempt dies partway through
-          // the epoch's predicted span.
-          const Seconds horizon = report.predicted_makespan > 0
-                                      ? report.predicted_makespan
-                                      : 3600.0;
-          batch_case.config.abort_at_time =
-              std::max(1.0, abort_fraction * horizon);
-        }
-        for (int rack : outage_racks) {
-          for (int m = 0; m < config.cluster.machines_per_rack; ++m) {
-            batch_case.config.failed_machines.push_back(
-                rack * config.cluster.machines_per_rack + m);
-          }
-        }
-        batch_case.make_policy =
-            [&lookup]() -> std::unique_ptr<SchedulingPolicy> {
-          if (lookup.has_value()) {
-            return std::make_unique<CorralPolicy>(&*lookup);
-          }
-          return std::make_unique<YarnCapacityPolicy>();
-        };
-        try {
-          batch = runner.run(std::span<const BatchCase>(&batch_case, 1));
-          sim = &batch.front().result;
-          break;
-        } catch (const SimulationAborted&) {
-          if (attempt + 1 >= max_attempts) {
-            aborted = true;
-            abort_reason = "exec_failure";
-            break;
-          }
-          ++report.exec_retries;
-          trace.instant(obs::TraceTrack::kCtrl, "exec_retry", "ctrl",
-                        /*tid=*/0, /*ts=*/epoch,
-                        {obs::arg("backoff_s", backoff)});
-          backoff *= 2;  // virtual-time backoff before the next attempt
-        }
-      }
-    }
-
-    // --- 4. measure -----------------------------------------------------
-    if (sim != nullptr) {
-      report.realized_makespan = sim->makespan;
-      report.makespan_error =
-          report.predicted_makespan > 0
-              ? std::abs(sim->makespan - report.predicted_makespan) /
-                    report.predicted_makespan
-              : 0.0;
-      report.jobs_failed = sim->jobs_failed;
-      double completion_error_sum = 0;
-      int completion_samples = 0;
-      if (lookup.has_value()) {
-        for (std::size_t i = 0; i < pipelines.size(); ++i) {
-          const JobResult* job = sim->find_job(static_cast<int>(i));
-          const PlannedJob* planned = lookup->find(static_cast<int>(i));
-          if (job == nullptr || job->failed || planned == nullptr) continue;
-          const Seconds expected = planned->predicted_completion();
-          if (expected <= 0) continue;
-          completion_error_sum += std::abs(job->finish - expected) / expected;
-          ++completion_samples;
-        }
-      }
-      report.mean_completion_error =
-          completion_samples > 0 ? completion_error_sum / completion_samples
-                                 : 0.0;
-
-      // --- 5. replan: feedback + drift ----------------------------------
-      for (std::size_t i = 0; i < pipelines.size(); ++i) {
-        const JobResult* job = sim->find_job(static_cast<int>(i));
-        if (job == nullptr || job->failed) continue;  // nothing observed
-        record_instance(pipelines[i].history,
-                        timeline_instance(pipelines[i], report.day));
-        prune_history(pipelines[i].history, config.history_window_days);
-      }
-    }
-
-    report.aborted = aborted;
-    if (aborted) {
-      report.mean_prediction_error = 0;
-      trace.instant(obs::TraceTrack::kCtrl, "epoch_aborted", "ctrl",
-                    /*tid=*/0, /*ts=*/epoch,
-                    {obs::arg("reason", abort_reason)});
-    }
-
-    const bool over_threshold =
-        aborted || report.mean_prediction_error > config.drift_threshold;
-    if (!aborted && report.mean_prediction_error > config.drift_threshold) {
-      ++result.drift_trips;
-      force_replan = true;
-    }
-    if (!aborted && report.mode == ControlMode::kPlanned && have_plan) {
-      has_last_good = true;
-      last_good_plan = plan;
-      last_good_topology = view_sig;
-    }
-    // Error budget: aborted and over-drift epochs burn it; clean epochs
-    // restore it. Transitions fire *after* the epoch that spent the budget.
-    if (budget.record(over_threshold)) {
-      if (budget.mode() == ControlMode::kReactive) {
-        report.demoted = true;
-        trace.instant(obs::TraceTrack::kCtrl, "demote", "ctrl", /*tid=*/0,
-                      /*ts=*/epoch);
-      } else {
-        report.promoted = true;
-        trace.instant(obs::TraceTrack::kCtrl, "promote", "ctrl", /*tid=*/0,
-                      /*ts=*/epoch);
-      }
-    }
-
-    trace.span(obs::TraceTrack::kCtrl, "epoch", "ctrl", /*tid=*/0,
-               /*start=*/epoch, /*end=*/epoch + 1,
-               {obs::arg("day", static_cast<double>(report.day)),
-                obs::arg("key", hex_key(report.cache_key)),
-                obs::arg("hit", static_cast<double>(report.cache_hit)),
-                obs::arg("prediction_error", report.mean_prediction_error),
-                obs::arg("replan_evals",
-                         static_cast<double>(report.replan_cost_evals)),
-                obs::arg("mode", std::string(to_string(report.mode))),
-                obs::arg("chaos", static_cast<double>(report.chaos_injected)),
-                obs::arg("aborted", static_cast<double>(report.aborted))});
-
-    result.epochs.push_back(std::move(report));
-    save_checkpoint(epoch);
-    if (chaos_schedule.crash_after(epoch)) {
-      // Whole-process crash: the run ends here; a later run resumes from
-      // the checkpoint just written and replays nothing.
-      result.crashed_after = epoch;
-      trace.instant(obs::TraceTrack::kCtrl, "crash", "ctrl", /*tid=*/0,
-                    /*ts=*/epoch + 1);
+    if (tenant.crash_after(epoch)) {
+      tenant.note_crash(epoch);
       break;
     }
   }
 
-  result.cache = cache.stats();
-  result.rf_hits = rf_cache.hits();
-  result.rf_misses = rf_cache.misses();
-  double error_sum = 0;
-  int completed = 0;
-  for (const EpochReport& report : result.epochs) {
-    if (report.aborted) {
-      ++result.epochs_aborted;
-      continue;
-    }
-    ++completed;
-    error_sum += report.mean_prediction_error;
-  }
-  result.epochs_completed = completed;
-  result.mean_prediction_error =
-      completed > 0 ? error_sum / static_cast<double>(completed) : 0.0;
-  for (const EpochReport& report : result.epochs) {
-    result.chaos_events += report.chaos_injected;
-    result.quarantined += report.quarantined;
-    result.exec_retries += report.exec_retries;
-    if (report.fallback_plan) ++result.fallbacks;
-    if (report.planner_overrun) ++result.overruns;
-    if (report.stale_topology) ++result.stale_views;
-  }
-  result.demotions = budget.demotions();
-  result.promotions = budget.promotions();
-
-  if (config.metrics != nullptr) {
-    obs::MetricsRegistry& m = *config.metrics;
-    m.counter("ctrl.epochs")
-        .add(static_cast<double>(result.epochs.size()));
-    m.counter("ctrl.cache.hits").add(static_cast<double>(result.cache.hits));
-    m.counter("ctrl.cache.misses")
-        .add(static_cast<double>(result.cache.misses));
-    m.counter("ctrl.cache.invalidations")
-        .add(static_cast<double>(result.cache.invalidations));
-    m.counter("ctrl.cache.evictions")
-        .add(static_cast<double>(result.cache.evictions));
-    m.counter("ctrl.cache.corruptions")
-        .add(static_cast<double>(result.cache.corruptions));
-    m.counter("ctrl.drift_trips").add(static_cast<double>(result.drift_trips));
-    m.counter("ctrl.rf.hits").add(static_cast<double>(result.rf_hits));
-    m.counter("ctrl.rf.misses").add(static_cast<double>(result.rf_misses));
-    double replan_evals = 0;
-    for (const EpochReport& report : result.epochs) {
-      replan_evals += static_cast<double>(report.replan_cost_evals);
-    }
-    m.counter("ctrl.replan_evals").add(replan_evals);
-    m.gauge("ctrl.mean_prediction_error").set(result.mean_prediction_error);
-    m.gauge("ctrl.hit_rate_after_2").set(result.hit_rate_after(2));
-    m.counter("ctrl.resilience.chaos_events")
-        .add(static_cast<double>(result.chaos_events));
-    m.counter("ctrl.resilience.quarantined")
-        .add(static_cast<double>(result.quarantined));
-    m.counter("ctrl.resilience.exec_retries")
-        .add(static_cast<double>(result.exec_retries));
-    m.counter("ctrl.resilience.fallbacks")
-        .add(static_cast<double>(result.fallbacks));
-    m.counter("ctrl.resilience.overruns")
-        .add(static_cast<double>(result.overruns));
-    m.counter("ctrl.resilience.stale_views")
-        .add(static_cast<double>(result.stale_views));
-    m.counter("ctrl.resilience.demotions")
-        .add(static_cast<double>(result.demotions));
-    m.counter("ctrl.resilience.promotions")
-        .add(static_cast<double>(result.promotions));
-    m.counter("ctrl.resilience.epochs_aborted")
-        .add(static_cast<double>(result.epochs_aborted));
-    m.counter("ctrl.resilience.epochs_completed")
-        .add(static_cast<double>(result.epochs_completed));
-  }
+  ControlLoopResult result = tenant.finish();
+  record_ctrl_metrics(config.metrics, result);
   return result;
 }
 

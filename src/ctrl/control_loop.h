@@ -234,8 +234,10 @@ struct ControlLoopResult {
   // whole run and crashed_after is -1 again.
   int crashed_after = -1;
 
-  // Cache hit rate over epochs with index > `after_epoch` (the acceptance
-  // gate: >= 0.5 after epoch 2 on a stable topology).
+  // Cache hit rate over non-aborted epochs with index > `after_epoch` (the
+  // acceptance gate: >= 0.5 after epoch 2 on a stable topology). Aborted
+  // epochs published nothing and stay out of the denominator; when every
+  // counted epoch aborted this is 0, never NaN.
   double hit_rate_after(int after_epoch) const;
 };
 
@@ -246,9 +248,17 @@ std::vector<RecurringPipeline> make_recurring_fleet(
     const W1Config& config, int warmup_days, int epochs, std::uint64_t seed);
 
 // Drives the loop. Pipelines are taken by value: the loop owns and mutates
-// their histories (the feedback edge).
+// their histories (the feedback edge). Internally a thin wrapper over one
+// TenantLoop (ctrl/tenant.h) of the multi-tenant service (ctrl/service.h);
+// outputs are bit-compatible with the pre-service implementation.
 ControlLoopResult run_control_loop(std::vector<RecurringPipeline> pipelines,
                                    const ControlLoopConfig& config);
+
+// Writes the run's ctrl.* counters and gauges into `metrics` (no-op when
+// null). Shared by run_control_loop and the multi-tenant service, which
+// records the same names over its combined result.
+void record_ctrl_metrics(obs::MetricsRegistry* metrics,
+                         const ControlLoopResult& result);
 
 }  // namespace corral
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "ctrl/control_loop.h"
+#include "ctrl/service.h"
 
 namespace corral {
 
@@ -21,6 +22,17 @@ void write_ctrl_report_json(std::ostream& out,
 void write_ctrl_report_json_file(const std::string& path,
                                  const ControlLoopResult& result);
 std::string ctrl_report_json_string(const ControlLoopResult& result);
+
+// Multi-tenant service report: per-tenant ctrl report objects (name,
+// priority, grant_changes, the tenant's full epoch/totals report), the
+// epoch-by-epoch arbitration log and the combined totals. Same determinism
+// contract as the single-tenant report: equal results serialize to equal
+// bytes at any (shards, threads) combination.
+void write_service_report_json(std::ostream& out,
+                               const ServiceResult& result);
+void write_service_report_json_file(const std::string& path,
+                                    const ServiceResult& result);
+std::string service_report_json_string(const ServiceResult& result);
 
 }  // namespace corral
 

@@ -139,6 +139,45 @@ TEST(CtrlChaos, ExplicitEventsPastHorizonAreDropped) {
   EXPECT_TRUE(schedule.empty());
 }
 
+// --- all-epochs-aborted aggregates ---------------------------------------
+
+TEST(CtrlChaos, AllAbortedRunHasFiniteAggregates) {
+  // A NaN forecast every epoch with the guardrails off aborts every epoch:
+  // nothing is published, so the hit rate and the mean-error aggregates
+  // must come back as 0, never NaN (the denominators are empty).
+  ControlLoopConfig config = loop_config(/*epochs=*/3);
+  config.chaos = parse_chaos_spec("nan=1.0");
+  const ControlLoopResult result = run_loop(config);
+  ASSERT_EQ(result.epochs_aborted, 3);
+  EXPECT_EQ(result.epochs_completed, 0);
+  EXPECT_EQ(result.hit_rate_after(0), 0.0);
+  EXPECT_EQ(result.hit_rate_after(2), 0.0);
+  EXPECT_EQ(result.mean_prediction_error, 0.0);
+  // The exported report must also be NaN-free (NaN is not valid JSON).
+  const std::string json = ctrl_report_json_string(result);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(CtrlChaos, HitRateIgnoresAbortedEpochs) {
+  // One aborted epoch among counted ones: the denominator excludes it (an
+  // aborted epoch published no cache outcome).
+  ControlLoopConfig config = loop_config(/*epochs=*/6);
+  config.chaos = parse_chaos_spec("nan@4");
+  const ControlLoopResult result = run_loop(config);
+  ASSERT_EQ(result.epochs_aborted, 1);
+  int counted = 0;
+  int hits = 0;
+  for (const EpochReport& e : result.epochs) {
+    if (e.epoch <= 2 || e.aborted) continue;
+    ++counted;
+    hits += e.cache_hit ? 1 : 0;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_DOUBLE_EQ(result.hit_rate_after(2),
+                   static_cast<double>(hits) / counted);
+}
+
 // --- plan-cache integrity ------------------------------------------------
 
 TEST(CtrlPlanCacheIntegrity, CorruptionIsDetectedAtLookup) {
@@ -173,6 +212,67 @@ TEST(CtrlPlanCacheIntegrity, SnapshotRestoreRoundTrips) {
   EXPECT_EQ(restored.find(PlanCacheKey{4, 5, 6})->predicted_makespan, 9);
   // Stats resume from the snapshot (plus the two finds above).
   EXPECT_EQ(restored.stats().hits, snapshot.stats.hits + 2);
+}
+
+TEST(CtrlPlanCacheIntegrity, SnapshotRestoreAtCapacityOne) {
+  PlanCache cache(1);
+  Plan plan;
+  plan.predicted_makespan = 7;
+  cache.insert(PlanCacheKey{1, 2, 3}, plan);
+  plan.predicted_makespan = 9;
+  cache.insert(PlanCacheKey{4, 5, 6}, plan);  // evicts {1,2,3}
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  const PlanCache::Snapshot snapshot = cache.snapshot();
+  ASSERT_EQ(snapshot.entries.size(), 1u);
+  EXPECT_EQ(snapshot.entries[0].key, (PlanCacheKey{4, 5, 6}));
+
+  PlanCache restored(1);
+  restored.restore(snapshot);
+  EXPECT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored.stats().evictions, 1u);
+  EXPECT_EQ(restored.find(PlanCacheKey{1, 2, 3}), nullptr);
+  ASSERT_NE(restored.find(PlanCacheKey{4, 5, 6}), nullptr);
+  // The restored cache keeps evicting at capacity 1.
+  restored.insert(PlanCacheKey{7, 8, 9}, plan);
+  EXPECT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored.stats().evictions, 2u);
+}
+
+TEST(CtrlPlanCacheIntegrity, FifoOrderAndCountersSurviveRestore) {
+  PlanCache cache(3);
+  Plan plan;
+  for (int i = 0; i < 3; ++i) {
+    plan.predicted_makespan = i;
+    cache.insert(PlanCacheKey{static_cast<std::uint64_t>(i + 1), 0, 0},
+                 plan);
+  }
+  cache.find(PlanCacheKey{1, 0, 0});
+  cache.find(PlanCacheKey{99, 0, 0});  // a miss, for the stats
+
+  PlanCache restored(3);
+  restored.restore(cache.snapshot());
+  // Byte-for-byte identical snapshots: same entries in the same FIFO
+  // order, same counters.
+  const PlanCache::Snapshot a = cache.snapshot();
+  const PlanCache::Snapshot b = restored.snapshot();
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].key, b.entries[i].key);
+    EXPECT_EQ(a.entries[i].plan.predicted_makespan,
+              b.entries[i].plan.predicted_makespan);
+  }
+  EXPECT_EQ(a.stats.hits, b.stats.hits);
+  EXPECT_EQ(a.stats.misses, b.stats.misses);
+  EXPECT_EQ(a.stats.evictions, b.stats.evictions);
+
+  // Inserting past capacity evicts the FIFO-oldest entry ({1,0,0}) in
+  // both, so eviction behaviour (not just counters) survived the trip.
+  plan.predicted_makespan = 42;
+  cache.insert(PlanCacheKey{50, 0, 0}, plan);
+  restored.insert(PlanCacheKey{50, 0, 0}, plan);
+  EXPECT_EQ(cache.find(PlanCacheKey{1, 0, 0}), nullptr);
+  EXPECT_EQ(restored.find(PlanCacheKey{1, 0, 0}), nullptr);
+  EXPECT_EQ(cache.stats().evictions, restored.stats().evictions);
 }
 
 // --- error budget --------------------------------------------------------

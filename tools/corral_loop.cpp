@@ -13,10 +13,17 @@
 // turns the guardrail policy on, --checkpoint-out persists the loop state
 // after every epoch and --resume continues a killed run byte-identically.
 //
+// Multi-tenant service mode (docs/control_plane.md "Multi-tenant
+// service"): --tenants N runs N independent fleets against one cluster
+// with cross-tenant rack arbitration, --shards S deals their per-epoch
+// work across S lanes (byte-identical at any S), --tenant-priority t:w
+// weights tenant t's fair share.
+//
 //   corral_loop --epochs=10 --jobs=20 --outage 5:3 --report-out=loop.json
 //   corral_loop --chaos-spec=spike=0.2,exec@4 --resilience --error-budget=3
 //   corral_loop --checkpoint-out=loop.ckpt --chaos-spec=crash@5
 //   corral_loop --resume=loop.ckpt --checkpoint-out=loop.ckpt
+//   corral_loop --tenants=4 --shards=2 --tenant-priority=0:3
 //   corral_loop --smoke            # tiny run for CI
 #include <cstdio>
 #include <iostream>
@@ -24,6 +31,7 @@
 
 #include "ctrl/control_loop.h"
 #include "ctrl/report.h"
+#include "ctrl/service.h"
 #include "tool_common.h"
 #include "util/check.h"
 
@@ -31,20 +39,26 @@ using namespace corral;
 
 namespace {
 
-// Parses one --outage value of the form "epoch:rack".
-RackOutage parse_outage(const std::string& text) {
+// Parses one --tenant-priority value of the form "tenant:weight".
+void apply_tenant_priority(const std::string& text,
+                           std::vector<int>& priorities) {
   const std::size_t colon = text.find(':');
   require(colon != std::string::npos && colon > 0 &&
               colon + 1 < text.size(),
-          "--outage expects epoch:rack, got '" + text + "'");
+          "--tenant-priority expects tenant:weight, got '" + text + "'");
   std::size_t used = 0;
-  RackOutage outage;
-  outage.epoch = std::stoi(text.substr(0, colon), &used);
-  require(used == colon, "--outage: bad epoch in '" + text + "'");
-  const std::string rack_text = text.substr(colon + 1);
-  outage.rack = std::stoi(rack_text, &used);
-  require(used == rack_text.size(), "--outage: bad rack in '" + text + "'");
-  return outage;
+  const int tenant = std::stoi(text.substr(0, colon), &used);
+  require(used == colon,
+          "--tenant-priority: bad tenant in '" + text + "'");
+  const std::string weight_text = text.substr(colon + 1);
+  const int weight = std::stoi(weight_text, &used);
+  require(used == weight_text.size(),
+          "--tenant-priority: bad weight in '" + text + "'");
+  require(tenant >= 0 && tenant < static_cast<int>(priorities.size()),
+          "--tenant-priority: tenant out of range in '" + text + "'");
+  require(weight >= 1, "--tenant-priority: weight must be >= 1 in '" +
+                           text + "'");
+  priorities[static_cast<std::size_t>(tenant)] = weight;
 }
 
 }  // namespace
@@ -66,13 +80,17 @@ int main(int argc, char** argv) {
                    "relative size-quantization bucket for cache keys");
   flags.add_int("history-window", 0,
                 "rolling history window in days; 0 = unbounded");
-  flags.add_string_list("outage",
-                        "injected whole-rack outage as epoch:rack "
-                        "(repeatable)");
-  flags.add_int("outage-epoch", -1,
-                "legacy alias for --outage; epoch with an injected "
-                "whole-rack outage; -1 = none");
-  flags.add_int("outage-rack", 0, "rack taken down by --outage-epoch");
+  tools::add_outage_flags(flags);
+  flags.add_int("tenants", 1,
+                "independent fleets sharing the cluster through the "
+                "cross-tenant rack arbiter (1 = classic single-tenant "
+                "loop)");
+  flags.add_int("shards", 1,
+                "shard lanes the admission queue deals tenants across; "
+                "results are byte-identical at any value");
+  flags.add_string_list("tenant-priority",
+                        "fair-share weight override as tenant:weight "
+                        "(repeatable; default weight 1)");
   flags.add_string("chaos-spec", "",
                    "control-plane fault schedule: kind@epoch and kind=rate "
                    "tokens, comma separated (kinds: spike nan overrun "
@@ -125,14 +143,7 @@ int main(int argc, char** argv) {
     config.size_quantum = flags.get_double("quantum");
     config.history_window_days =
         static_cast<int>(flags.get_int("history-window"));
-    for (const std::string& token : flags.get_string_list("outage")) {
-      config.outages.push_back(parse_outage(token));
-    }
-    if (flags.get_int("outage-epoch") >= 0) {
-      config.outages.push_back(
-          RackOutage{static_cast<int>(flags.get_int("outage-epoch")),
-                     static_cast<int>(flags.get_int("outage-rack"))});
-    }
+    config.outages = tools::outages_from_flags(flags);
     config.chaos = parse_chaos_spec(flags.get_string("chaos-spec"));
     config.chaos_seed =
         static_cast<std::uint64_t>(flags.get_int("chaos-seed"));
@@ -159,6 +170,78 @@ int main(int argc, char** argv) {
     if (smoke && !flags.provided("jobs")) workload.num_jobs = 5;
     workload.task_scale = flags.get_double("task-scale");
     if (smoke && !flags.provided("task-scale")) workload.task_scale = 0.2;
+
+    const int tenants = static_cast<int>(flags.get_int("tenants"));
+    require(tenants >= 1, "--tenants must be >= 1");
+    const int shards = static_cast<int>(flags.get_int("shards"));
+    require(shards >= 1, "--shards must be >= 1");
+    std::vector<int> priorities(static_cast<std::size_t>(tenants), 1);
+    for (const std::string& token :
+         flags.get_string_list("tenant-priority")) {
+      apply_tenant_priority(token, priorities);
+    }
+
+    if (tenants > 1) {
+      ServiceConfig service;
+      service.loop = config;
+      service.shards = shards;
+      std::vector<ServiceTenant> fleet = make_service_fleet(
+          workload, config.warmup_days, config.epochs, config.seed, tenants,
+          priorities);
+      const ServiceResult result =
+          run_control_service(std::move(fleet), service);
+
+      std::printf("tenants: %d  shards: %d  epochs: %d\n", tenants, shards,
+                  config.epochs);
+      std::printf("epoch usable  grants (racks per tenant, * = changed)\n");
+      for (const ServiceEpochArbitration& e : result.arbitration) {
+        std::printf("%5d %6d ", e.epoch, e.usable_racks);
+        for (std::size_t t = 0; t < e.granted_racks.size(); ++t) {
+          std::printf(" %s:%d%s", result.tenants[t].name.c_str(),
+                      e.granted_racks[t], e.grant_changed[t] ? "*" : "");
+        }
+        std::printf("\n");
+      }
+      std::printf(
+          "tenant  prio  grant.chg  cache h/m  hit.rate  pred.err  "
+          "done/abort\n");
+      for (const TenantResult& tenant : result.tenants) {
+        const ControlLoopResult& loop = tenant.loop;
+        std::printf("%-7s %5d %10d %5llu/%-4llu %9.2f %8.2f%% %6d/%-4d\n",
+                    tenant.name.c_str(), tenant.priority,
+                    tenant.grant_changes,
+                    static_cast<unsigned long long>(loop.cache.hits),
+                    static_cast<unsigned long long>(loop.cache.misses),
+                    loop.hit_rate_after(2),
+                    100.0 * loop.mean_prediction_error,
+                    loop.epochs_completed, loop.epochs_aborted);
+      }
+      const ControlLoopResult& combined = result.combined;
+      std::printf("combined: %llu/%llu cache h/m, %llu invalidations, "
+                  "%.2f%% pred.err, %d/%d done/abort\n",
+                  static_cast<unsigned long long>(combined.cache.hits),
+                  static_cast<unsigned long long>(combined.cache.misses),
+                  static_cast<unsigned long long>(
+                      combined.cache.invalidations),
+                  100.0 * combined.mean_prediction_error,
+                  combined.epochs_completed, combined.epochs_aborted);
+      if (result.crashed_after >= 0) {
+        std::printf("CRASHED after epoch %d", result.crashed_after);
+        if (!config.checkpoint_path.empty()) {
+          std::printf(" -- resume with --resume=%s",
+                      config.checkpoint_path.c_str());
+        }
+        std::printf("\n");
+      }
+      if (!flags.get_string("report-out").empty()) {
+        write_service_report_json_file(flags.get_string("report-out"),
+                                       result);
+        std::printf("service report written to %s\n",
+                    flags.get_string("report-out").c_str());
+      }
+      outputs.write_outputs(std::cout);
+      return 0;
+    }
 
     std::vector<RecurringPipeline> fleet = make_recurring_fleet(
         workload, config.warmup_days, config.epochs, config.seed);

@@ -80,6 +80,49 @@ ToolObservability apply_output_flags(const FlagParser& flags,
   return out;
 }
 
+void add_outage_flags(FlagParser& flags) {
+  flags.add_string_list("outage",
+                        "injected whole-rack outage as epoch:rack "
+                        "(repeatable)");
+  flags.add_int("outage-epoch", -1,
+                "legacy alias for --outage; epoch with an injected "
+                "whole-rack outage; -1 = none");
+  flags.add_int("outage-rack", 0, "rack taken down by --outage-epoch");
+}
+
+namespace {
+
+// Parses one --outage value of the form "epoch:rack".
+RackOutage parse_outage(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  require(colon != std::string::npos && colon > 0 &&
+              colon + 1 < text.size(),
+          "--outage expects epoch:rack, got '" + text + "'");
+  std::size_t used = 0;
+  RackOutage outage;
+  outage.epoch = std::stoi(text.substr(0, colon), &used);
+  require(used == colon, "--outage: bad epoch in '" + text + "'");
+  const std::string rack_text = text.substr(colon + 1);
+  outage.rack = std::stoi(rack_text, &used);
+  require(used == rack_text.size(), "--outage: bad rack in '" + text + "'");
+  return outage;
+}
+
+}  // namespace
+
+std::vector<RackOutage> outages_from_flags(const FlagParser& flags) {
+  std::vector<RackOutage> outages;
+  for (const std::string& token : flags.get_string_list("outage")) {
+    outages.push_back(parse_outage(token));
+  }
+  if (flags.get_int("outage-epoch") >= 0) {
+    outages.push_back(
+        RackOutage{static_cast<int>(flags.get_int("outage-epoch")),
+                   static_cast<int>(flags.get_int("outage-rack"))});
+  }
+  return outages;
+}
+
 void add_cluster_flags(FlagParser& flags) {
   flags.add_int("racks", 7, "number of racks");
   flags.add_int("machines-per-rack", 30, "machines per rack");

@@ -6,8 +6,10 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/topology.h"
+#include "ctrl/control_loop.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/flags.h"
@@ -59,6 +61,16 @@ void add_output_flags(FlagParser& flags, const OutputFlagSet& set = {});
 // paths. Must run before planning or simulating, like apply_threads_flag.
 ToolObservability apply_output_flags(const FlagParser& flags,
                                      const OutputFlagSet& set = {});
+
+// Registers the rack-outage flag block: --outage epoch:rack (repeatable,
+// canonical) plus the legacy --outage-epoch / --outage-rack aliases kept
+// for old scripts.
+void add_outage_flags(FlagParser& flags);
+
+// Parses the registered outage flags into one schedule: every --outage
+// token in order, then the legacy alias pair if set. Throws
+// std::invalid_argument on malformed tokens.
+std::vector<RackOutage> outages_from_flags(const FlagParser& flags);
 
 // Registers --racks / --machines-per-rack / --slots-per-machine /
 // --nic-gbps / --oversubscription / --background with testbed defaults.
