@@ -27,6 +27,7 @@
 #include "bench_common.h"
 #include "ctrl/control_loop.h"
 #include "ctrl/service.h"
+#include "plan/backend.h"
 
 using namespace corral;
 
@@ -65,19 +66,53 @@ double min_of(int runs, Fn fn) {
 // planned single-threaded (the serial provisioning search is the regression
 // target; pool speedup is a separate axis). Sized to run long enough that
 // the 15% tolerance is well clear of timer and scheduler noise.
-double planner_workload() {
+ClusterConfig planner_cluster() {
   ClusterConfig cluster;
   cluster.racks = 40;
   cluster.machines_per_rack = 40;
   cluster.slots_per_machine = 8;
   cluster.nic_bandwidth = 2.5 * kGbps;
   cluster.oversubscription = 5.0;
+  return cluster;
+}
+
+double planner_workload() {
+  const ClusterConfig cluster = planner_cluster();
   Rng rng(5);
   const auto jobs = bench::w3(rng, 150);
   exec::ThreadPool pool(1);
   PlannerConfig config;
   config.pool = &pool;
   return min_of(3, [&] { (void)plan_offline(jobs, cluster, config); });
+}
+
+// The alternative planner backends (src/plan/backend.h) on the same 150-job
+// instance: dagpack's troublesome-subgraph packing and lpround's per-job LP
+// bisection + rounding. Response functions are built outside the timed
+// region — the backend search is the regression target, the latency model
+// has its own coverage through planner_norm.
+double backend_workload(PlannerBackendKind kind) {
+  const ClusterConfig cluster = planner_cluster();
+  Rng rng(5);
+  const auto jobs = bench::w3(rng, 150);
+  const LatencyModelParams params = LatencyModelParams::from_cluster(cluster);
+  const auto functions =
+      build_response_functions(jobs, cluster.racks, params);
+  exec::ThreadPool pool(1);
+  PlannerConfig config;
+  config.pool = &pool;
+  config.backend = kind;
+  plan::PlannerRequest request;
+  request.jobs = functions;
+  request.specs = jobs;
+  request.num_racks = cluster.racks;
+  request.config = &config;
+  const plan::PlannerBackend& backend = plan::planner_backend(kind);
+  // The backend searches are milliseconds on this instance; repeat inside
+  // the timed region so the 15% tolerance is well clear of timer noise.
+  return min_of(3, [&] {
+    for (int repeat = 0; repeat < 10; ++repeat) (void)backend.plan(request);
+  });
 }
 
 // The ctrl-loop smoke configuration: recurring epochs of predict -> plan ->
@@ -152,9 +187,13 @@ int main(int argc, char** argv) {
 
   const double calib = std::min(calibration_run(), calibration_run());
   const double planner_s = planner_workload();
+  const double dagpack_s = backend_workload(PlannerBackendKind::kDagPack);
+  const double lpround_s = backend_workload(PlannerBackendKind::kLpRound);
   const double ctrl_s = ctrl_workload();
   const double multitenant_s = multitenant_workload();
   const double planner_norm = planner_s / calib;
+  const double dagpack_norm = dagpack_s / calib;
+  const double lpround_norm = lpround_s / calib;
   const double ctrl_norm = ctrl_s / calib;
   const double multitenant_norm = multitenant_s / calib;
 
@@ -162,6 +201,10 @@ int main(int argc, char** argv) {
   std::printf("%-22s %12.3f %12s\n", "calibration", calib, "1.000");
   std::printf("%-22s %12.3f %12.3f\n", "planner (fig05 smoke)", planner_s,
               planner_norm);
+  std::printf("%-22s %12.3f %12.3f\n", "dagpack backend", dagpack_s,
+              dagpack_norm);
+  std::printf("%-22s %12.3f %12.3f\n", "lpround backend", lpround_s,
+              lpround_norm);
   std::printf("%-22s %12.3f %12.3f\n", "ctrl loop (smoke)", ctrl_s,
               ctrl_norm);
   std::printf("%-22s %12.3f %12.3f\n", "multitenant (4x2)", multitenant_s,
@@ -171,9 +214,13 @@ int main(int argc, char** argv) {
   series << "{\n  \"bench\": \"perf_gate\",\n"
          << "  \"calibration_s\": " << calib << ",\n"
          << "  \"planner_s\": " << planner_s << ",\n"
+         << "  \"dagpack_s\": " << dagpack_s << ",\n"
+         << "  \"lpround_s\": " << lpround_s << ",\n"
          << "  \"ctrl_s\": " << ctrl_s << ",\n"
          << "  \"multitenant_s\": " << multitenant_s << ",\n"
          << "  \"planner_norm\": " << planner_norm << ",\n"
+         << "  \"dagpack_norm\": " << dagpack_norm << ",\n"
+         << "  \"lpround_norm\": " << lpround_norm << ",\n"
          << "  \"ctrl_norm\": " << ctrl_norm << ",\n"
          << "  \"multitenant_norm\": " << multitenant_norm << "\n}\n";
   std::printf("\nseries written to BENCH_perf_gate.json\n");
@@ -186,6 +233,8 @@ int main(int argc, char** argv) {
     std::ofstream out(baseline_path);
     out << "{\n  \"bench\": \"perf_gate_baseline\",\n"
         << "  \"planner_norm\": " << planner_norm << ",\n"
+        << "  \"dagpack_norm\": " << dagpack_norm << ",\n"
+        << "  \"lpround_norm\": " << lpround_norm << ",\n"
         << "  \"ctrl_norm\": " << ctrl_norm << ",\n"
         << "  \"multitenant_norm\": " << multitenant_norm << "\n}\n";
     std::printf("baseline updated: %s\n", baseline_path.c_str());
@@ -202,9 +251,13 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
   const std::string text = buffer.str();
   double base_planner = 0;
+  double base_dagpack = 0;
+  double base_lpround = 0;
   double base_ctrl = 0;
   double base_multitenant = 0;
   if (!json_number(text, "planner_norm", &base_planner) ||
+      !json_number(text, "dagpack_norm", &base_dagpack) ||
+      !json_number(text, "lpround_norm", &base_lpround) ||
       !json_number(text, "ctrl_norm", &base_ctrl) ||
       !json_number(text, "multitenant_norm", &base_multitenant)) {
     std::printf("FAIL: baseline file unparsable: %s (regenerate with "
@@ -224,6 +277,8 @@ int main(int argc, char** argv) {
   };
   std::printf("\ngate (tolerance %.0f%%):\n", (kTolerance - 1.0) * 100);
   gate("planner_norm", planner_norm, base_planner);
+  gate("dagpack_norm", dagpack_norm, base_dagpack);
+  gate("lpround_norm", lpround_norm, base_lpround);
   gate("ctrl_norm", ctrl_norm, base_ctrl);
   gate("multitenant_norm", multitenant_norm, base_multitenant);
   if (!ok) {

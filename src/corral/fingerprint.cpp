@@ -110,6 +110,9 @@ std::uint64_t planner_fingerprint(const PlannerConfig& config) {
                                        : 1));
   f.mix(static_cast<std::uint64_t>(config.widest_job_first ? 1 : 0));
   f.mix(static_cast<std::uint64_t>(config.explore_full_range ? 1 : 0));
+  // Backend id: switching --planner must miss the plan cache (the cached
+  // plan was produced by a different algorithm).
+  f.mix(static_cast<std::uint64_t>(config.backend));
   return f.value();
 }
 

@@ -34,8 +34,21 @@ class Tracer;
 
 enum class Objective { kMakespan, kAverageCompletionTime };
 
+// Which planning algorithm produces the provisioning plan (src/plan,
+// docs/planners.md). The enum lives here rather than in src/plan so the
+// plan-cache fingerprint (corral/fingerprint.h) and the control plane can
+// name a backend without depending on the backend library.
+enum class PlannerBackendKind { kCorral = 0, kDagPack = 1, kLpRound = 2 };
+
 struct PlannerConfig {
   Objective objective = Objective::kMakespan;
+
+  // Planning algorithm. plan_offline/plan_rolling below always run the
+  // Corral §4.2 heuristic regardless of this field; callers that want
+  // backend dispatch go through plan::planner_backend(config.backend)
+  // (src/plan/backend.h). The field lives here so it folds into
+  // planner_fingerprint() and the control plane's plan-cache key.
+  PlannerBackendKind backend = PlannerBackendKind::kCorral;
 
   // Ablations of §4.2 design choices (see DESIGN.md):
   // Sort equal-width jobs by processing time only (plain LPT) when false.

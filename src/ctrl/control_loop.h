@@ -84,6 +84,13 @@ struct ControlLoopConfig {
   ClusterConfig cluster;
   Objective objective = Objective::kMakespan;
 
+  // Planning algorithm for every replan (src/plan/backend.h). Folded into
+  // the plan-cache planner fingerprint, so runs keyed under one backend
+  // never reuse plans produced by another; also mixed into the checkpoint
+  // config fingerprint, so a resume with a different backend is rejected.
+  // The multi-tenant service can override it per tenant (ServiceTenant).
+  PlannerBackendKind planner_backend = PlannerBackendKind::kCorral;
+
   // Virtual days to drive. Day d of the loop is calendar day
   // warmup_days + d, so weekday/weekend seasonality advances epoch by epoch.
   int epochs = 10;

@@ -130,6 +130,10 @@ std::uint64_t control_service_fingerprint(
   for (const ServiceTenant& tenant : tenants) {
     f.mix(tenant.name);
     f.mix(static_cast<std::uint64_t>(tenant.priority));
+    // The backend the tenant actually plans with: a resume that reassigns
+    // per-tenant backends must be rejected like any other config change.
+    f.mix(static_cast<std::uint64_t>(
+        tenant.backend.value_or(config.loop.planner_backend)));
     f.mix(control_loop_fingerprint(config.loop, tenant.pipelines));
   }
   return f.value();
@@ -166,7 +170,8 @@ ServiceResult run_control_service(std::vector<ServiceTenant> tenants,
         /*sink_base=*/static_cast<int>(t) * sink_stride,
         /*label_prefix=*/
         count == 1 ? std::string()
-                   : "t" + std::to_string(t) + "/");
+                   : "t" + std::to_string(t) + "/",
+        tenants[t].backend);
   }
 
   int start_epoch = 0;

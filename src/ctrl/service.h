@@ -35,6 +35,7 @@
 #define CORRAL_CTRL_SERVICE_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -47,6 +48,11 @@ namespace corral {
 struct ServiceTenant {
   std::string name;
   int priority = 1;  // fair-share weight for the arbiter, >= 1
+  // Planner backend for this tenant's replans (src/plan/backend.h);
+  // defaults to the shared config's loop.planner_backend. Mixed into the
+  // service checkpoint fingerprint, so a resume with reassigned backends
+  // is rejected.
+  std::optional<PlannerBackendKind> backend;
   std::vector<RecurringPipeline> pipelines;
 };
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "corral/fingerprint.h"
+#include "plan/backend.h"
 #include "util/check.h"
 
 namespace corral {
@@ -73,7 +74,8 @@ const JobInstance& timeline_instance(const RecurringPipeline& pipeline,
 TenantLoop::TenantLoop(std::vector<RecurringPipeline> pipelines,
                        const ControlLoopConfig& config, std::uint64_t seed,
                        std::uint64_t chaos_seed, int sink_base,
-                       std::string label_prefix)
+                       std::string label_prefix,
+                       std::optional<PlannerBackendKind> backend)
     : config_(config),
       pipelines_(std::move(pipelines)),
       seed_(seed),
@@ -87,6 +89,7 @@ TenantLoop::TenantLoop(std::vector<RecurringPipeline> pipelines,
       rf_cache_(config.size_quantum),
       planning_inputs_(pipelines_.size(), std::array<Bytes, 2>{0.0, 0.0}) {
   planner_config_.objective = config_.objective;
+  planner_config_.backend = backend.value_or(config_.planner_backend);
   planner_config_.pool = config_.pool;
   planner_config_.tracer = config_.tracer;
   planner_sig_ = planner_fingerprint(planner_config_);
@@ -317,8 +320,17 @@ EpochReport TenantLoop::run_epoch(int epoch,
       // memo.
       const std::vector<ResponseFunction> functions =
           rf_cache_.get_all(planning, report.planning_racks, params_);
-      plan =
-          plan_offline(functions, report.planning_racks, planner_config_);
+      // Backend dispatch (src/plan): kCorral runs the §4.2 search exactly
+      // as before; the planning specs ride along so DAG-aware backends can
+      // inspect stage structure.
+      plan::PlannerRequest plan_request;
+      plan_request.jobs = functions;
+      plan_request.specs = planning;
+      plan_request.num_racks = report.planning_racks;
+      plan_request.config = &planner_config_;
+      plan = plan::planner_backend(planner_config_.backend)
+                 .plan(plan_request)
+                 .plan;
       for (PlannedJob& job : plan.jobs) {
         for (int& r : job.racks) {
           r = planner_view[static_cast<std::size_t>(r)];

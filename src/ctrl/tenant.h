@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -64,11 +65,14 @@ class TenantLoop {
   // base seed (epoch simulations derive substreams of it); `chaos_seed` 0
   // derives the chaos-schedule seed from `seed`. `sink_base` and
   // `label_prefix` place the tenant's trace sinks and labels; (0, "") is
-  // bit-compatible with the pre-service single-tenant loop.
+  // bit-compatible with the pre-service single-tenant loop. `backend`
+  // overrides config.planner_backend for this tenant (the multi-tenant
+  // service's per-tenant planner choice); nullopt inherits the config's.
   TenantLoop(std::vector<RecurringPipeline> pipelines,
              const ControlLoopConfig& config, std::uint64_t seed,
              std::uint64_t chaos_seed, int sink_base,
-             std::string label_prefix);
+             std::string label_prefix,
+             std::optional<PlannerBackendKind> backend = std::nullopt);
 
   // Restores per-tenant state from a checkpoint section. Must run before
   // bind_trace and any run_epoch. Throws std::invalid_argument when the

@@ -221,10 +221,12 @@ LpSolution LpProblem::solve(int max_iterations) const {
     const LpStatus phase1 = run_phase(m + 1, total);
     if (phase1 != LpStatus::kOptimal) {
       solution.status = phase1;
+      solution.iterations = iterations;
       return solution;
     }
     if (tab.at(m + 1, rhs_col) < -1e-6) {
       solution.status = LpStatus::kInfeasible;
+      solution.iterations = iterations;
       return solution;
     }
     // Drive any artificial variable still in the basis out of it (it must
@@ -248,6 +250,7 @@ LpSolution LpProblem::solve(int max_iterations) const {
   // Phase 2: exclude artificial columns from pricing.
   const LpStatus phase2 = run_phase(m, n + num_slack);
   solution.status = phase2;
+  solution.iterations = iterations;
   if (phase2 != LpStatus::kOptimal) return solution;
 
   solution.x.assign(n, 0.0);

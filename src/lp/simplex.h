@@ -21,6 +21,10 @@ struct LpSolution {
   LpStatus status = LpStatus::kIterationLimit;
   double objective = 0.0;
   std::vector<double> x;  // one value per declared variable
+  // Pivots performed across both phases. Deterministic for a given problem,
+  // so callers (LpRoundBackend) can use it as a width-independent cost
+  // measure the way the planner counts candidate evaluations.
+  int iterations = 0;
 
   bool optimal() const { return status == LpStatus::kOptimal; }
 };

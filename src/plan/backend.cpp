@@ -1,0 +1,54 @@
+#include "plan/backend.h"
+
+#include "util/check.h"
+
+namespace corral::plan {
+
+std::string_view CorralBackend::name() const { return "corral"; }
+
+ProvisionPlan CorralBackend::plan(const PlannerRequest& request) const {
+  require(request.config != nullptr, "CorralBackend: config is required");
+  ProvisionPlan result;
+  result.backend = PlannerBackendKind::kCorral;
+  result.plan =
+      plan_offline(request.jobs, request.num_racks, *request.config);
+  return result;
+}
+
+const PlannerBackend& planner_backend(PlannerBackendKind kind) {
+  static const CorralBackend corral;
+  static const DagPackBackend dagpack;
+  static const LpRoundBackend lpround;
+  switch (kind) {
+    case PlannerBackendKind::kCorral:
+      return corral;
+    case PlannerBackendKind::kDagPack:
+      return dagpack;
+    case PlannerBackendKind::kLpRound:
+      return lpround;
+  }
+  require(false, "planner_backend: unknown backend kind");
+  return corral;  // unreachable
+}
+
+std::string_view to_string(PlannerBackendKind kind) {
+  return planner_backend(kind).name();
+}
+
+bool parse_planner_backend(std::string_view name, PlannerBackendKind* out) {
+  for (const PlannerBackendKind kind :
+       {PlannerBackendKind::kCorral, PlannerBackendKind::kDagPack,
+        PlannerBackendKind::kLpRound}) {
+    if (name == planner_backend(kind).name()) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> planner_backend_names() {
+  return {"corral", "dagpack", "lpround"};
+}
+
+}  // namespace corral::plan

@@ -65,6 +65,21 @@ void FlagParser::add_string_list(const std::string& name, std::string help) {
   add_flag(name, Type::kStringList, "", std::move(help));
 }
 
+void FlagParser::add_choice(const std::string& name,
+                            std::vector<std::string> choices,
+                            std::string default_value, std::string help) {
+  require(!choices.empty(), "FlagParser: choice flags need at least one value");
+  bool default_valid = false;
+  for (const std::string& choice : choices) {
+    require(!choice.empty(), "FlagParser: empty string in choice list");
+    if (choice == default_value) default_valid = true;
+  }
+  require(default_valid,
+          "FlagParser: choice default must be one of the choices");
+  add_flag(name, Type::kChoice, std::move(default_value), std::move(help));
+  flags_.at(name).choices = std::move(choices);
+}
+
 bool FlagParser::set_value(Flag& flag, const std::string& text) {
   switch (flag.type) {
     case Type::kString:
@@ -93,6 +108,14 @@ bool FlagParser::set_value(Flag& flag, const std::string& text) {
       if (text == "false" || text == "0") {
         flag.value = "false";
         return true;
+      }
+      return false;
+    case Type::kChoice:
+      for (const std::string& choice : flag.choices) {
+        if (text == choice) {
+          flag.value = text;
+          return true;
+        }
       }
       return false;
   }
@@ -140,7 +163,13 @@ bool FlagParser::parse(int argc, const char* const* argv, std::ostream& out) {
       }
     }
     if (!set_value(flag, value)) {
-      out << "invalid value for --" << arg << ": " << value << "\n";
+      out << "invalid value for --" << arg << ": " << value;
+      if (flag.type == Type::kChoice) {
+        out << " (valid values:";
+        for (const std::string& choice : flag.choices) out << " " << choice;
+        out << ")";
+      }
+      out << "\n";
       print_usage(out);
       return false;
     }
@@ -184,6 +213,10 @@ std::vector<std::string> FlagParser::get_string_list(
   return flag_of(name, Type::kStringList).values;
 }
 
+std::string FlagParser::get_choice(const std::string& name) const {
+  return flag_of(name, Type::kChoice).value;
+}
+
 bool FlagParser::provided(const std::string& name) const {
   const auto it = flags_.find(name);
   require(it != flags_.end(), "FlagParser: unknown flag");
@@ -193,8 +226,15 @@ bool FlagParser::provided(const std::string& name) const {
 void FlagParser::print_usage(std::ostream& out) const {
   out << description_ << "\n\nusage: " << program_name_ << " [flags]\n";
   for (const auto& [name, flag] : flags_) {
-    out << "  --" << name << " (default: " << flag.value << ")\n      "
-        << flag.help << "\n";
+    out << "  --" << name << " (default: " << flag.value << ")";
+    if (flag.type == Type::kChoice) {
+      out << " [";
+      for (std::size_t i = 0; i < flag.choices.size(); ++i) {
+        out << (i == 0 ? "" : "|") << flag.choices[i];
+      }
+      out << "]";
+    }
+    out << "\n      " << flag.help << "\n";
   }
 }
 

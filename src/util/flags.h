@@ -31,6 +31,11 @@ class FlagParser {
   // A repeatable string flag: every occurrence appends one value (defaults
   // to the empty list). Retrieve with get_string_list.
   void add_string_list(const std::string& name, std::string help);
+  // A string flag restricted to a fixed value set. `default_value` must be
+  // one of `choices`; a value outside the set fails parse() with a message
+  // listing the valid choices. Retrieve with get_choice.
+  void add_choice(const std::string& name, std::vector<std::string> choices,
+                  std::string default_value, std::string help);
 
   // Parses argv. Returns false (after printing usage to `out`) when --help
   // was requested or arguments are malformed: unknown flag, missing value,
@@ -44,6 +49,7 @@ class FlagParser {
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
   std::vector<std::string> get_string_list(const std::string& name) const;
+  std::string get_choice(const std::string& name) const;
 
   // True when the user supplied the flag explicitly.
   bool provided(const std::string& name) const;
@@ -51,12 +57,13 @@ class FlagParser {
   void print_usage(std::ostream& out) const;
 
  private:
-  enum class Type { kString, kInt, kDouble, kBool, kStringList };
+  enum class Type { kString, kInt, kDouble, kBool, kStringList, kChoice };
   struct Flag {
     Type type;
     std::string help;
     std::string value;  // canonical textual form
     std::vector<std::string> values;  // kStringList: one entry per occurrence
+    std::vector<std::string> choices;  // kChoice: the valid value set
     bool provided = false;
   };
 

@@ -165,5 +165,88 @@ TEST(Flags, StringListRequiresValue) {
   EXPECT_FALSE(flags.parse(2, argv, out));
 }
 
+FlagParser make_choice_parser() {
+  FlagParser flags("x");
+  flags.add_choice("planner", {"corral", "dagpack", "lpround"}, "corral",
+                   "backend");
+  return flags;
+}
+
+TEST(Flags, ChoiceAcceptsEveryListedValue) {
+  for (const char* value : {"corral", "dagpack", "lpround"}) {
+    FlagParser flags = make_choice_parser();
+    const std::string arg = std::string("--planner=") + value;
+    std::vector<const char*> args{arg.c_str()};
+    ASSERT_TRUE(run(flags, args)) << value;
+    EXPECT_EQ(flags.get_choice("planner"), value);
+  }
+}
+
+TEST(Flags, ChoiceDefaultAppliesWithoutArguments) {
+  FlagParser flags = make_choice_parser();
+  ASSERT_TRUE(run(flags, {}));
+  EXPECT_EQ(flags.get_choice("planner"), "corral");
+  EXPECT_FALSE(flags.provided("planner"));
+}
+
+TEST(Flags, ChoiceRejectionListsValidValues) {
+  FlagParser flags = make_choice_parser();
+  std::string output;
+  EXPECT_FALSE(run(flags, {"--planner=greedy"}, &output));
+  EXPECT_NE(output.find("invalid value for --planner"), std::string::npos);
+  EXPECT_NE(output.find("valid values: corral dagpack lpround"),
+            std::string::npos);
+}
+
+TEST(Flags, ChoiceIsCaseSensitiveAndRejectsPrefixes) {
+  {
+    FlagParser flags = make_choice_parser();
+    EXPECT_FALSE(run(flags, {"--planner=Corral"}));
+  }
+  {
+    FlagParser flags = make_choice_parser();
+    EXPECT_FALSE(run(flags, {"--planner=corr"}));
+  }
+  {
+    FlagParser flags = make_choice_parser();
+    EXPECT_FALSE(run(flags, {"--planner="}));
+  }
+}
+
+TEST(Flags, ChoiceUsageListsValues) {
+  FlagParser flags = make_choice_parser();
+  std::string output;
+  EXPECT_FALSE(run(flags, {"--help"}, &output));
+  EXPECT_NE(output.find("[corral|dagpack|lpround]"), std::string::npos);
+}
+
+TEST(Flags, ChoiceRegistrationRules) {
+  {
+    FlagParser flags("x");
+    // The default must be one of the choices.
+    EXPECT_THROW(flags.add_choice("mode", {"a", "b"}, "c", "bad default"),
+                 std::invalid_argument);
+  }
+  {
+    FlagParser flags("x");
+    EXPECT_THROW(flags.add_choice("mode", {}, "", "no choices"),
+                 std::invalid_argument);
+  }
+  {
+    FlagParser flags("x");
+    EXPECT_THROW(flags.add_choice("mode", {"a", ""}, "a", "empty choice"),
+                 std::invalid_argument);
+  }
+}
+
+TEST(Flags, ChoiceAccessorTypeChecking) {
+  FlagParser flags = make_choice_parser();
+  flags.add_string("name", "d", "s");
+  ASSERT_TRUE(run(flags, {}));
+  EXPECT_THROW(flags.get_string("planner"), std::invalid_argument);
+  EXPECT_THROW(flags.get_choice("name"), std::invalid_argument);
+  EXPECT_THROW(flags.get_choice("missing"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace corral

@@ -156,5 +156,138 @@ TEST(Simplex, MatchesFractionalKnapsackClosedForm) {
   }
 }
 
+TEST(Simplex, ReportsIterationCount) {
+  LpProblem lp(2);
+  lp.maximize({3, 5});
+  lp.add_constraint({1, 0}, Relation::kLessEqual, 4);
+  lp.add_constraint({0, 2}, Relation::kLessEqual, 12);
+  lp.add_constraint({3, 2}, Relation::kLessEqual, 18);
+  const LpSolution solution = lp.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_GT(solution.iterations, 0);
+
+  // Infeasible problems report the pivots spent discovering infeasibility.
+  LpProblem bad(1);
+  bad.minimize({1});
+  bad.add_constraint({1}, Relation::kLessEqual, 1);
+  bad.add_constraint({1}, Relation::kGreaterEqual, 2);
+  const LpSolution infeasible = bad.solve();
+  EXPECT_EQ(infeasible.status, LpStatus::kInfeasible);
+  EXPECT_GT(infeasible.iterations, 0);
+}
+
+TEST(Simplex, TiedPivotsResolveDeterministically) {
+  // max x + y s.t. x + y <= 1: every point on the facet is optimal and the
+  // entering-column choice is tied. Two identical solves must agree on the
+  // vertex AND the pivot count (the deterministic-cost contract the plan
+  // cache and LpRoundBackend rely on).
+  const auto solve_once = [] {
+    LpProblem lp(2);
+    lp.maximize({1, 1});
+    lp.add_constraint({1, 1}, Relation::kLessEqual, 1);
+    lp.add_constraint({1, 0}, Relation::kLessEqual, 1);
+    lp.add_constraint({0, 1}, Relation::kLessEqual, 1);
+    return lp.solve();
+  };
+  const LpSolution a = solve_once();
+  const LpSolution b = solve_once();
+  ASSERT_TRUE(a.optimal());
+  EXPECT_NEAR(a.objective, 1.0, 1e-9);
+  EXPECT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_EQ(a.x[i], b.x[i]) << "var " << i;
+  }
+  // A tied ratio test at a degenerate vertex must still terminate (Bland's
+  // rule kicks in after the Dantzig phase) and land on the same answer.
+  const LpSolution c = solve_once();
+  EXPECT_EQ(c.iterations, a.iterations);
+}
+
+// Property test: any solution the simplex declares optimal must actually be
+// primal-feasible — x >= 0 and every constraint satisfied within tolerance.
+// Instances are random covering/packing mixes that always have a bounded
+// optimum: maximize c.x with x_i <= 1 boxes plus random <= and >= rows.
+TEST(Simplex, RandomizedOptimaArePrimalFeasible) {
+  Rng rng(2015);
+  int optima = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = rng.uniform_int(1, 6);
+    const int extra = rng.uniform_int(0, 4);
+    LpProblem lp(n);
+    std::vector<double> objective(static_cast<std::size_t>(n));
+    for (double& c : objective) c = rng.uniform(0.1, 10.0);
+    lp.maximize(objective);
+
+    struct Stored {
+      std::vector<double> row;
+      Relation relation = Relation::kLessEqual;
+      double rhs = 0;
+    };
+    std::vector<Stored> constraints;
+    for (int i = 0; i < n; ++i) {
+      Stored box;
+      box.row.assign(static_cast<std::size_t>(n), 0.0);
+      box.row[static_cast<std::size_t>(i)] = 1.0;
+      box.rhs = 1.0;
+      constraints.push_back(box);
+    }
+    for (int k = 0; k < extra; ++k) {
+      Stored stored;
+      stored.row.resize(static_cast<std::size_t>(n));
+      double row_sum = 0;
+      for (double& a : stored.row) {
+        a = rng.uniform(0.0, 5.0);
+        row_sum += a;
+      }
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        stored.relation = Relation::kLessEqual;
+        stored.rhs = rng.uniform(0.5, 10.0);
+      } else {
+        // Keep >= rows satisfiable inside the unit box.
+        stored.relation = Relation::kGreaterEqual;
+        stored.rhs = rng.uniform(0.0, 0.5) * row_sum;
+      }
+      constraints.push_back(stored);
+    }
+    for (const Stored& stored : constraints) {
+      lp.add_constraint(stored.row, stored.relation, stored.rhs);
+    }
+
+    const LpSolution solution = lp.solve();
+    if (!solution.optimal()) continue;  // infeasible mixes are fine to skip
+    ++optima;
+    ASSERT_EQ(solution.x.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      EXPECT_GE(solution.x[static_cast<std::size_t>(i)], -1e-7)
+          << "trial " << trial << " var " << i;
+    }
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      double lhs = 0;
+      for (int i = 0; i < n; ++i) {
+        lhs += constraints[c].row[static_cast<std::size_t>(i)] *
+               solution.x[static_cast<std::size_t>(i)];
+      }
+      switch (constraints[c].relation) {
+        case Relation::kLessEqual:
+          EXPECT_LE(lhs, constraints[c].rhs + 1e-6)
+              << "trial " << trial << " constraint " << c;
+          break;
+        case Relation::kGreaterEqual:
+          EXPECT_GE(lhs, constraints[c].rhs - 1e-6)
+              << "trial " << trial << " constraint " << c;
+          break;
+        case Relation::kEqual:
+          EXPECT_NEAR(lhs, constraints[c].rhs, 1e-6)
+              << "trial " << trial << " constraint " << c;
+          break;
+      }
+    }
+  }
+  // The instance family is built to be mostly feasible; make sure the
+  // property actually ran.
+  EXPECT_GE(optima, 25);
+}
+
 }  // namespace
 }  // namespace corral

@@ -1,0 +1,298 @@
+// The pluggable planner-backend subsystem (src/plan/backend.h):
+//
+//  - CorralBackend is a zero-behavior-change wrapper: its plans are golden
+//    field-exact against a direct plan_offline call on the evaluation
+//    workloads (the Fig 5 W3 grid, the Fig 6 W1 batch, the Fig 10 TPC-H
+//    queries).
+//  - Every backend honors the exec:: determinism contract: byte-identical
+//    plans (exact ==, never EXPECT_NEAR) at pool widths 1, 2 and 8.
+//  - LpRoundBackend's reported bound matches the LP-Batch relaxation and
+//    its rounded plan stays within the 4x certificate.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corral/fingerprint.h"
+#include "corral/latency_model.h"
+#include "corral/lp_bound.h"
+#include "corral/planner.h"
+#include "exec/exec.h"
+#include "plan/backend.h"
+#include "workload/tpch.h"
+#include "workload/workloads.h"
+
+namespace corral {
+namespace {
+
+constexpr int kWidths[] = {1, 2, 8};
+
+ClusterConfig mid_cluster(int racks = 6) {
+  ClusterConfig config;
+  config.racks = racks;
+  config.machines_per_rack = 20;
+  config.slots_per_machine = 8;
+  config.nic_bandwidth = 2.5 * kGbps;
+  config.oversubscription = 5.0;
+  return config;
+}
+
+std::vector<JobSpec> w3_jobs(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  W3Config config;
+  config.num_jobs = count;
+  return make_w3(config, rng);
+}
+
+std::vector<JobSpec> w1_jobs(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  W1Config config;
+  config.num_jobs = count;
+  return make_w1(config, rng);
+}
+
+std::vector<JobSpec> tpch_jobs() {
+  Rng rng(10);
+  return make_tpch(TpchConfig{}, rng, /*first_id=*/0);
+}
+
+void expect_identical_plans(const Plan& a, const Plan& b,
+                            const std::string& label) {
+  EXPECT_EQ(a.predicted_makespan, b.predicted_makespan) << label;
+  EXPECT_EQ(a.predicted_avg_completion, b.predicted_avg_completion) << label;
+  EXPECT_EQ(a.evaluated_candidates, b.evaluated_candidates) << label;
+  ASSERT_EQ(a.jobs.size(), b.jobs.size()) << label;
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].job_index, b.jobs[j].job_index) << label;
+    EXPECT_EQ(a.jobs[j].num_racks, b.jobs[j].num_racks) << label;
+    EXPECT_EQ(a.jobs[j].racks, b.jobs[j].racks) << label;
+    EXPECT_EQ(a.jobs[j].start_time, b.jobs[j].start_time)
+        << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].predicted_latency, b.jobs[j].predicted_latency)
+        << label << " job " << j;
+    EXPECT_EQ(a.jobs[j].priority, b.jobs[j].priority) << label;
+  }
+}
+
+// A plan is structurally valid when every job is placed exactly once on
+// num_racks distinct in-range racks with a unique priority.
+void expect_valid_plan(const Plan& plan, std::size_t num_jobs, int num_racks,
+                       const std::string& label) {
+  ASSERT_EQ(plan.jobs.size(), num_jobs) << label;
+  std::set<int> seen_jobs;
+  std::set<int> seen_priorities;
+  for (const PlannedJob& job : plan.jobs) {
+    EXPECT_TRUE(seen_jobs.insert(job.job_index).second) << label;
+    EXPECT_TRUE(seen_priorities.insert(job.priority).second) << label;
+    EXPECT_GE(job.num_racks, 1) << label;
+    EXPECT_LE(job.num_racks, num_racks) << label;
+    ASSERT_EQ(job.racks.size(), static_cast<std::size_t>(job.num_racks))
+        << label;
+    std::set<int> distinct(job.racks.begin(), job.racks.end());
+    EXPECT_EQ(distinct.size(), job.racks.size()) << label;
+    for (int rack : job.racks) {
+      EXPECT_GE(rack, 0) << label;
+      EXPECT_LT(rack, num_racks) << label;
+    }
+    EXPECT_GE(job.start_time, 0.0) << label;
+    EXPECT_GT(job.predicted_latency, 0.0) << label;
+  }
+  EXPECT_EQ(*seen_priorities.begin(), 0) << label;
+  EXPECT_EQ(*seen_priorities.rbegin(),
+            static_cast<int>(num_jobs) - 1)
+      << label;
+}
+
+plan::PlannerRequest make_request(std::span<const ResponseFunction> functions,
+                                  std::span<const JobSpec> specs,
+                                  int num_racks,
+                                  const PlannerConfig* config) {
+  plan::PlannerRequest request;
+  request.jobs = functions;
+  request.specs = specs;
+  request.num_racks = num_racks;
+  request.config = config;
+  return request;
+}
+
+TEST(PlanBackend, NamesParseAndRoundTrip) {
+  for (PlannerBackendKind kind :
+       {PlannerBackendKind::kCorral, PlannerBackendKind::kDagPack,
+        PlannerBackendKind::kLpRound}) {
+    const std::string name(plan::to_string(kind));
+    PlannerBackendKind parsed = PlannerBackendKind::kCorral;
+    EXPECT_TRUE(plan::parse_planner_backend(name, &parsed)) << name;
+    EXPECT_EQ(parsed, kind) << name;
+    EXPECT_EQ(plan::planner_backend(kind).name(), name);
+  }
+  PlannerBackendKind parsed = PlannerBackendKind::kCorral;
+  EXPECT_FALSE(plan::parse_planner_backend("greedy", &parsed));
+  EXPECT_FALSE(plan::parse_planner_backend("", &parsed));
+  const std::vector<std::string> names = plan::planner_backend_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "corral");
+  EXPECT_EQ(names[1], "dagpack");
+  EXPECT_EQ(names[2], "lpround");
+}
+
+TEST(PlanBackend, FingerprintSeparatesBackends) {
+  PlannerConfig config;
+  std::set<std::uint64_t> fingerprints;
+  for (PlannerBackendKind kind :
+       {PlannerBackendKind::kCorral, PlannerBackendKind::kDagPack,
+        PlannerBackendKind::kLpRound}) {
+    config.backend = kind;
+    fingerprints.insert(planner_fingerprint(config));
+  }
+  // Three distinct backends must key three distinct plan-cache entries.
+  EXPECT_EQ(fingerprints.size(), 3u);
+}
+
+// CorralBackend is a wrapper, not a reimplementation: golden-test it
+// field-exact against plan_offline on each evaluation workload family.
+TEST(PlanBackend, CorralBackendMatchesPlanOfflineGolden) {
+  struct Case {
+    const char* label;
+    std::vector<JobSpec> jobs;
+    int racks;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fig05-w3", w3_jobs(40, 7), 6});
+  cases.push_back({"fig06-w1", w1_jobs(30, 6), 7});
+  cases.push_back({"fig10-tpch", tpch_jobs(), 7});
+
+  for (const Case& test_case : cases) {
+    const ClusterConfig cluster = mid_cluster(test_case.racks);
+    const LatencyModelParams params =
+        LatencyModelParams::from_cluster(cluster);
+    const auto functions =
+        build_response_functions(test_case.jobs, cluster.racks, params);
+    for (Objective objective :
+         {Objective::kMakespan, Objective::kAverageCompletionTime}) {
+      PlannerConfig config;
+      config.objective = objective;
+      const Plan direct = plan_offline(functions, cluster.racks, config);
+      config.backend = PlannerBackendKind::kCorral;
+      const plan::ProvisionPlan provision =
+          plan::planner_backend(PlannerBackendKind::kCorral)
+              .plan(make_request(functions, test_case.jobs, cluster.racks,
+                                 &config));
+      EXPECT_EQ(provision.backend, PlannerBackendKind::kCorral);
+      expect_identical_plans(direct, provision.plan, test_case.label);
+    }
+  }
+}
+
+struct WorkloadCase {
+  const char* label;
+  std::vector<JobSpec> jobs;
+  int racks = 0;
+};
+
+std::vector<WorkloadCase> workload_cases() {
+  std::vector<WorkloadCase> cases;
+  cases.push_back({"w3", w3_jobs(30, 9), 6});
+  cases.push_back({"w1", w1_jobs(24, 6), 7});
+  cases.push_back({"tpch", tpch_jobs(), 7});
+  return cases;
+}
+
+TEST(PlanBackend, DagPackProducesValidPlans) {
+  for (const auto& [label, jobs, racks] : workload_cases()) {
+    const ClusterConfig cluster = mid_cluster(racks);
+    const LatencyModelParams params =
+        LatencyModelParams::from_cluster(cluster);
+    const auto functions =
+        build_response_functions(jobs, cluster.racks, params);
+    PlannerConfig config;
+    config.backend = PlannerBackendKind::kDagPack;
+    const plan::ProvisionPlan provision =
+        plan::planner_backend(PlannerBackendKind::kDagPack)
+            .plan(make_request(functions, jobs, cluster.racks, &config));
+    EXPECT_EQ(provision.backend, PlannerBackendKind::kDagPack);
+    expect_valid_plan(provision.plan, jobs.size(), cluster.racks, label);
+    EXPECT_GT(provision.plan.evaluated_candidates, 0u) << label;
+    EXPECT_GT(provision.plan.predicted_makespan, 0.0) << label;
+  }
+  // The spec-free path (envelope-curvature scoring) must work too.
+  const auto jobs = w3_jobs(20, 11);
+  const ClusterConfig cluster = mid_cluster();
+  const LatencyModelParams params = LatencyModelParams::from_cluster(cluster);
+  const auto functions = build_response_functions(jobs, cluster.racks, params);
+  PlannerConfig config;
+  config.backend = PlannerBackendKind::kDagPack;
+  const plan::ProvisionPlan provision =
+      plan::planner_backend(PlannerBackendKind::kDagPack)
+          .plan(make_request(functions, {}, cluster.racks, &config));
+  expect_valid_plan(provision.plan, jobs.size(), cluster.racks, "no-specs");
+}
+
+TEST(PlanBackend, LpRoundBoundMatchesLpBatchAndCertificateHolds) {
+  for (const auto& [label, jobs, racks] : workload_cases()) {
+    const ClusterConfig cluster = mid_cluster(racks);
+    const LatencyModelParams params =
+        LatencyModelParams::from_cluster(cluster);
+    const auto functions =
+        build_response_functions(jobs, cluster.racks, params);
+    PlannerConfig config;
+    config.backend = PlannerBackendKind::kLpRound;
+    const plan::ProvisionPlan provision =
+        plan::planner_backend(PlannerBackendKind::kLpRound)
+            .plan(make_request(functions, jobs, cluster.racks, &config));
+    EXPECT_EQ(provision.backend, PlannerBackendKind::kLpRound);
+    expect_valid_plan(provision.plan, jobs.size(), cluster.racks, label);
+
+    // The per-job LP bisection computes the same relaxation as the
+    // aggregate LP-Batch bound.
+    const double batch_bound =
+        lp_batch_makespan_bound(functions, cluster.racks);
+    EXPECT_GT(provision.lp_bound, 0.0) << label;
+    EXPECT_NEAR(provision.lp_bound, batch_bound, 0.01 * batch_bound)
+        << label;
+
+    // Rounding certificate: <= 2x from rounding, <= 2x from list
+    // scheduling (src/plan/lpround.cpp).
+    EXPECT_LE(provision.plan.predicted_makespan, 4.0 * provision.lp_bound)
+        << label;
+    // No valid plan can beat the relaxation.
+    EXPECT_GE(provision.plan.predicted_makespan,
+              provision.lp_bound * (1 - 1e-9))
+        << label;
+  }
+}
+
+// TSan runs this suite (the 'Determinism' regex in ci.yml): every backend
+// must produce byte-identical plans at any pool width.
+TEST(PlanBackendDeterminism, AllBackendsByteIdenticalAcrossWidths) {
+  const ClusterConfig cluster = mid_cluster();
+  const auto jobs = w3_jobs(30, 9);
+  const LatencyModelParams params = LatencyModelParams::from_cluster(cluster);
+  const auto functions = build_response_functions(jobs, cluster.racks, params);
+
+  for (PlannerBackendKind kind :
+       {PlannerBackendKind::kCorral, PlannerBackendKind::kDagPack,
+        PlannerBackendKind::kLpRound}) {
+    PlannerConfig config;
+    config.backend = kind;
+    exec::ThreadPool serial(1);
+    config.pool = &serial;
+    const plan::ProvisionPlan reference =
+        plan::planner_backend(kind).plan(
+            make_request(functions, jobs, cluster.racks, &config));
+    for (int width : kWidths) {
+      exec::ThreadPool pool(width);
+      config.pool = &pool;
+      const plan::ProvisionPlan wide =
+          plan::planner_backend(kind).plan(
+              make_request(functions, jobs, cluster.racks, &config));
+      const std::string label = std::string(plan::to_string(kind)) +
+                                " width " + std::to_string(width);
+      EXPECT_EQ(reference.lp_bound, wide.lp_bound) << label;
+      expect_identical_plans(reference.plan, wide.plan, label);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corral

@@ -27,11 +27,14 @@
 //   corral_loop --smoke            # tiny run for CI
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "ctrl/control_loop.h"
 #include "ctrl/report.h"
 #include "ctrl/service.h"
+#include "plan/backend.h"
 #include "tool_common.h"
 #include "util/check.h"
 
@@ -59,6 +62,27 @@ void apply_tenant_priority(const std::string& text,
   require(weight >= 1, "--tenant-priority: weight must be >= 1 in '" +
                            text + "'");
   priorities[static_cast<std::size_t>(tenant)] = weight;
+}
+
+// Parses one --tenant-planner value of the form "tenant:backend".
+void apply_tenant_planner(
+    const std::string& text,
+    std::vector<std::optional<PlannerBackendKind>>& backends) {
+  const std::size_t colon = text.find(':');
+  require(colon != std::string::npos && colon > 0 &&
+              colon + 1 < text.size(),
+          "--tenant-planner expects tenant:backend, got '" + text + "'");
+  std::size_t used = 0;
+  const int tenant = std::stoi(text.substr(0, colon), &used);
+  require(used == colon,
+          "--tenant-planner: bad tenant in '" + text + "'");
+  require(tenant >= 0 && tenant < static_cast<int>(backends.size()),
+          "--tenant-planner: tenant out of range in '" + text + "'");
+  PlannerBackendKind kind = PlannerBackendKind::kCorral;
+  require(plan::parse_planner_backend(text.substr(colon + 1), &kind),
+          "--tenant-planner: unknown backend in '" + text +
+              "' (valid: corral dagpack lpround)");
+  backends[static_cast<std::size_t>(tenant)] = kind;
 }
 
 }  // namespace
@@ -91,6 +115,9 @@ int main(int argc, char** argv) {
   flags.add_string_list("tenant-priority",
                         "fair-share weight override as tenant:weight "
                         "(repeatable; default weight 1)");
+  flags.add_string_list("tenant-planner",
+                        "per-tenant planner backend override as "
+                        "tenant:backend (repeatable; default --planner)");
   flags.add_string("chaos-spec", "",
                    "control-plane fault schedule: kind@epoch and kind=rate "
                    "tokens, comma separated (kinds: spike nan overrun "
@@ -117,7 +144,11 @@ int main(int argc, char** argv) {
   flags.add_string("resume", "",
                    "resume a previously checkpointed run from this file");
   flags.add_int("cache-capacity", 64, "max cached plans (FIFO eviction)");
-  flags.add_string("objective", "makespan", "makespan | avg-completion");
+  flags.add_choice("objective", {"makespan", "avg-completion"}, "makespan",
+                   "planning objective");
+  flags.add_choice("planner", plan::planner_backend_names(), "corral",
+                   "planning backend for cache-miss replans "
+                   "(docs/planners.md)");
   flags.add_int("seed", 2015, "base seed (workload shapes and simulation)");
   flags.add_bool("smoke", false,
                  "tiny run for CI (3 epochs, 5 jobs unless overridden)");
@@ -133,9 +164,11 @@ int main(int argc, char** argv) {
 
     ControlLoopConfig config;
     config.cluster = tools::cluster_from_flags(flags);
-    config.objective = flags.get_string("objective") == "avg-completion"
+    config.objective = flags.get_choice("objective") == "avg-completion"
                            ? Objective::kAverageCompletionTime
                            : Objective::kMakespan;
+    plan::parse_planner_backend(flags.get_choice("planner"),
+                                &config.planner_backend);
     config.epochs = static_cast<int>(flags.get_int("epochs"));
     if (smoke && !flags.provided("epochs")) config.epochs = 3;
     config.warmup_days = static_cast<int>(flags.get_int("warmup-days"));
@@ -180,6 +213,14 @@ int main(int argc, char** argv) {
          flags.get_string_list("tenant-priority")) {
       apply_tenant_priority(token, priorities);
     }
+    std::vector<std::optional<PlannerBackendKind>> tenant_backends(
+        static_cast<std::size_t>(tenants));
+    for (const std::string& token :
+         flags.get_string_list("tenant-planner")) {
+      apply_tenant_planner(token, tenant_backends);
+    }
+    require(tenants > 1 || flags.get_string_list("tenant-planner").empty(),
+            "--tenant-planner requires --tenants > 1 (use --planner)");
 
     if (tenants > 1) {
       ServiceConfig service;
@@ -188,6 +229,9 @@ int main(int argc, char** argv) {
       std::vector<ServiceTenant> fleet = make_service_fleet(
           workload, config.warmup_days, config.epochs, config.seed, tenants,
           priorities);
+      for (std::size_t t = 0; t < fleet.size(); ++t) {
+        fleet[t].backend = tenant_backends[t];
+      }
       const ServiceResult result =
           run_control_service(std::move(fleet), service);
 

@@ -1,14 +1,14 @@
-// corral_plan: run Corral's offline planner over a workload trace and print
-// the schedule {R_j, T_j, p_j} plus predicted metrics and the LP lower
-// bound.
+// corral_plan: run a planner backend over a workload trace and print the
+// schedule {R_j, T_j, p_j} plus predicted metrics and the LP lower bound.
 //
 //   corral_workload_gen --workload=w1 --out=w1.trace
-//   corral_plan --trace=w1.trace --objective=makespan
+//   corral_plan --trace=w1.trace --objective=makespan --planner=lpround
 #include <cstdio>
 #include <iostream>
 
 #include "corral/lp_bound.h"
 #include "corral/planner.h"
+#include "plan/backend.h"
 #include "tool_common.h"
 #include "util/table.h"
 #include "workload/trace_io.h"
@@ -18,10 +18,13 @@ using namespace corral;
 int main(int argc, char** argv) {
   FlagParser flags("corral_plan: offline joint data/compute planning");
   flags.add_string("trace", "", "input corral-trace file (required)");
-  flags.add_string("objective", "makespan",
+  flags.add_choice("objective", {"makespan", "avg-completion"}, "makespan",
                    "makespan (batch) or avg-completion (online)");
+  flags.add_choice("planner", plan::planner_backend_names(), "corral",
+                   "planning backend (docs/planners.md)");
   flags.add_double("replan-period-min", 0,
-                   "rolling-horizon window in minutes; 0 = single shot");
+                   "rolling-horizon window in minutes; 0 = single shot "
+                   "(corral backend only)");
   flags.add_bool("bound", true, "also compute the LP relaxation bound");
   flags.add_int("max-rows", 50, "plan rows to print (0 = all)");
   tools::add_output_flags(flags);
@@ -30,6 +33,21 @@ int main(int argc, char** argv) {
 
   try {
     tools::ToolObservability outputs = tools::apply_output_flags(flags);
+    PlannerConfig config;
+    config.tracer = outputs.tracer_or_null();
+    config.trace_sink = 0;
+    const std::string objective = flags.get_choice("objective");
+    config.objective = objective == "makespan"
+                           ? Objective::kMakespan
+                           : Objective::kAverageCompletionTime;
+    const std::string planner = flags.get_choice("planner");
+    plan::parse_planner_backend(planner, &config.backend);
+    const double period = flags.get_double("replan-period-min") * kMinute;
+    if (period > 0 && config.backend != PlannerBackendKind::kCorral) {
+      std::cerr << "--replan-period-min requires --planner=corral\n";
+      return 2;
+    }
+
     const std::string path = flags.get_string("trace");
     if (path.empty()) {
       std::cerr << "--trace is required\n";
@@ -38,32 +56,36 @@ int main(int argc, char** argv) {
     const auto jobs = read_trace_file(path);
     const ClusterConfig cluster = tools::cluster_from_flags(flags);
 
-    PlannerConfig config;
-    config.tracer = outputs.tracer_or_null();
-    config.trace_sink = 0;
-    const std::string objective = flags.get_string("objective");
-    if (objective == "makespan") {
-      config.objective = Objective::kMakespan;
-    } else if (objective == "avg-completion") {
-      config.objective = Objective::kAverageCompletionTime;
-    } else {
-      std::cerr << "unknown --objective: " << objective << "\n";
-      return 2;
-    }
-
     const LatencyModelParams params =
         LatencyModelParams::from_cluster(cluster);
     const auto functions =
         build_response_functions(jobs, cluster.racks, params);
-    const double period = flags.get_double("replan-period-min") * kMinute;
-    const Plan plan =
-        period > 0 ? plan_rolling(functions, cluster.racks, config, period)
-                   : plan_offline(functions, cluster.racks, config);
 
-    std::printf("planned %zu jobs on %d racks (%s objective)\n", jobs.size(),
-                cluster.racks, objective.c_str());
+    plan::ProvisionPlan provision;
+    if (period > 0) {
+      provision.plan = plan_rolling(functions, cluster.racks, config, period);
+    } else {
+      plan::PlannerRequest request;
+      request.jobs = functions;
+      request.specs = jobs;
+      request.num_racks = cluster.racks;
+      request.config = &config;
+      provision = plan::planner_backend(config.backend).plan(request);
+    }
+    const Plan& plan = provision.plan;
+
+    std::printf("planned %zu jobs on %d racks (%s objective, %s backend)\n",
+                jobs.size(), cluster.racks, objective.c_str(),
+                planner.c_str());
     std::printf("predicted makespan: %.1f s, avg completion: %.1f s\n",
                 plan.predicted_makespan, plan.predicted_avg_completion);
+    std::printf("planning cost: %zu candidate evaluations\n",
+                plan.evaluated_candidates);
+    if (provision.lp_bound > 0) {
+      std::printf("backend LP bound: %.1f s (gap %.1f%%)\n",
+                  provision.lp_bound,
+                  100 * (plan.predicted_makespan / provision.lp_bound - 1));
+    }
     if (flags.get_bool("bound")) {
       if (config.objective == Objective::kMakespan) {
         const double bound =
