@@ -118,7 +118,7 @@ double backend_workload(PlannerBackendKind kind) {
 // The ctrl-loop smoke configuration: recurring epochs of predict -> plan ->
 // simulate -> measure, dominated by the simulator's event loop and the rate
 // allocators.
-double ctrl_workload() {
+double ctrl_workload(NetPolicy net_policy = NetPolicy::kTcp) {
   W1Config workload;
   workload.num_jobs = 20;
   workload.task_scale = 0.25;
@@ -127,6 +127,7 @@ double ctrl_workload() {
   config.epochs = 12;
   config.warmup_days = 14;
   config.outages = {{6, 3}};
+  config.net_policy = net_policy;
   config.pool = &bench::pool();
   return min_of(2, [&] {
     std::vector<RecurringPipeline> fleet = make_recurring_fleet(
@@ -190,11 +191,19 @@ int main(int argc, char** argv) {
   const double dagpack_s = backend_workload(PlannerBackendKind::kDagPack);
   const double lpround_s = backend_workload(PlannerBackendKind::kLpRound);
   const double ctrl_s = ctrl_workload();
+  // The coflow-suite allocators on the same loop: lp-order re-solves its
+  // ordering LP on every coflow-set change; sincronia's BSSI is the cheap
+  // path. Gated separately so an allocator slowdown cannot hide inside
+  // ctrl_norm's tolerance.
+  const double lporder_s = ctrl_workload(NetPolicy::kLpOrder);
+  const double sincronia_s = ctrl_workload(NetPolicy::kSincronia);
   const double multitenant_s = multitenant_workload();
   const double planner_norm = planner_s / calib;
   const double dagpack_norm = dagpack_s / calib;
   const double lpround_norm = lpround_s / calib;
   const double ctrl_norm = ctrl_s / calib;
+  const double lporder_norm = lporder_s / calib;
+  const double sincronia_norm = sincronia_s / calib;
   const double multitenant_norm = multitenant_s / calib;
 
   std::printf("\n%-22s %12s %12s\n", "measurement", "wall (s)", "normalized");
@@ -207,6 +216,10 @@ int main(int argc, char** argv) {
               lpround_norm);
   std::printf("%-22s %12.3f %12.3f\n", "ctrl loop (smoke)", ctrl_s,
               ctrl_norm);
+  std::printf("%-22s %12.3f %12.3f\n", "ctrl loop (lp-order)", lporder_s,
+              lporder_norm);
+  std::printf("%-22s %12.3f %12.3f\n", "ctrl loop (sincronia)", sincronia_s,
+              sincronia_norm);
   std::printf("%-22s %12.3f %12.3f\n", "multitenant (4x2)", multitenant_s,
               multitenant_norm);
 
@@ -217,11 +230,15 @@ int main(int argc, char** argv) {
          << "  \"dagpack_s\": " << dagpack_s << ",\n"
          << "  \"lpround_s\": " << lpround_s << ",\n"
          << "  \"ctrl_s\": " << ctrl_s << ",\n"
+         << "  \"lporder_s\": " << lporder_s << ",\n"
+         << "  \"sincronia_s\": " << sincronia_s << ",\n"
          << "  \"multitenant_s\": " << multitenant_s << ",\n"
          << "  \"planner_norm\": " << planner_norm << ",\n"
          << "  \"dagpack_norm\": " << dagpack_norm << ",\n"
          << "  \"lpround_norm\": " << lpround_norm << ",\n"
          << "  \"ctrl_norm\": " << ctrl_norm << ",\n"
+         << "  \"lporder_norm\": " << lporder_norm << ",\n"
+         << "  \"sincronia_norm\": " << sincronia_norm << ",\n"
          << "  \"multitenant_norm\": " << multitenant_norm << "\n}\n";
   std::printf("\nseries written to BENCH_perf_gate.json\n");
 
@@ -236,6 +253,8 @@ int main(int argc, char** argv) {
         << "  \"dagpack_norm\": " << dagpack_norm << ",\n"
         << "  \"lpround_norm\": " << lpround_norm << ",\n"
         << "  \"ctrl_norm\": " << ctrl_norm << ",\n"
+        << "  \"lporder_norm\": " << lporder_norm << ",\n"
+        << "  \"sincronia_norm\": " << sincronia_norm << ",\n"
         << "  \"multitenant_norm\": " << multitenant_norm << "\n}\n";
     std::printf("baseline updated: %s\n", baseline_path.c_str());
     return 0;
@@ -254,11 +273,15 @@ int main(int argc, char** argv) {
   double base_dagpack = 0;
   double base_lpround = 0;
   double base_ctrl = 0;
+  double base_lporder = 0;
+  double base_sincronia = 0;
   double base_multitenant = 0;
   if (!json_number(text, "planner_norm", &base_planner) ||
       !json_number(text, "dagpack_norm", &base_dagpack) ||
       !json_number(text, "lpround_norm", &base_lpround) ||
       !json_number(text, "ctrl_norm", &base_ctrl) ||
+      !json_number(text, "lporder_norm", &base_lporder) ||
+      !json_number(text, "sincronia_norm", &base_sincronia) ||
       !json_number(text, "multitenant_norm", &base_multitenant)) {
     std::printf("FAIL: baseline file unparsable: %s (regenerate with "
                 "--update)\n",
@@ -280,6 +303,8 @@ int main(int argc, char** argv) {
   gate("dagpack_norm", dagpack_norm, base_dagpack);
   gate("lpround_norm", lpround_norm, base_lpround);
   gate("ctrl_norm", ctrl_norm, base_ctrl);
+  gate("lporder_norm", lporder_norm, base_lporder);
+  gate("sincronia_norm", sincronia_norm, base_sincronia);
   gate("multitenant_norm", multitenant_norm, base_multitenant);
   if (!ok) {
     std::printf("\nFAIL: performance regressed beyond tolerance. If the\n"

@@ -37,6 +37,21 @@ ClusterTopology::ClusterTopology(ClusterConfig config) : config_(config) {
   require(config_.background_core_fraction >= 0.0 &&
               config_.background_core_fraction < 1.0,
           "ClusterTopology: background fraction must be in [0, 1)");
+  for (std::size_t c = 0; c < config_.resource_classes.size(); ++c) {
+    const ResourceClassConfig& cls = config_.resource_classes[c];
+    require(!cls.name.empty(),
+            "ClusterTopology: resource class needs a name");
+    require(cls.units_per_rack >= 1,
+            "ClusterTopology: resource class '" + cls.name +
+                "' must carry >= 1 unit per equipped rack");
+    require(cls.equipped_racks >= -1 && cls.equipped_racks <= config_.racks,
+            "ClusterTopology: resource class '" + cls.name +
+                "' equips more racks than exist");
+    for (std::size_t other = 0; other < c; ++other) {
+      require(config_.resource_classes[other].name != cls.name,
+              "ClusterTopology: duplicate resource class '" + cls.name + "'");
+    }
+  }
   up_.assign(static_cast<std::size_t>(machines()), true);
   healthy_per_rack_.assign(static_cast<std::size_t>(racks()),
                            config_.machines_per_rack);

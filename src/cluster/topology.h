@@ -11,12 +11,31 @@
 #ifndef CORRAL_CLUSTER_TOPOLOGY_H_
 #define CORRAL_CLUSTER_TOPOLOGY_H_
 
+#include <string>
 #include <vector>
 
 #include "util/check.h"
 #include "util/units.h"
 
 namespace corral {
+
+// A named per-rack resource (GPUs, FPGAs, local NVMe, ...) for the
+// Shafiee–Ghaderi placement constraints. The first `equipped_racks` racks
+// carry `units_per_rack` units each; the rest carry none. -1 equips every
+// rack. Capacities gate rack *eligibility* for jobs requesting the class
+// (jobs time-share an assigned rack, so a rack serves one planned job at a
+// time and eligibility is the binding constraint).
+struct ResourceClassConfig {
+  std::string name;
+  int units_per_rack = 0;
+  int equipped_racks = -1;
+
+  // Units of this class available on rack `rack` of a `racks`-rack cluster.
+  int units_on_rack(int rack, int racks) const {
+    const int equipped = equipped_racks < 0 ? racks : equipped_racks;
+    return rack < equipped ? units_per_rack : 0;
+  }
+};
 
 struct ClusterConfig {
   int racks = 7;
@@ -32,6 +51,10 @@ struct ClusterConfig {
   // "up to 50% of the core bandwidth usage"). Modelled as a capacity
   // reduction on rack up/down links; see DESIGN.md.
   double background_core_fraction = 0.0;
+
+  // Named resource classes for placement constraints (empty by default;
+  // fingerprint-neutral while empty so pre-existing plans stay cached).
+  std::vector<ResourceClassConfig> resource_classes;
 
   int total_machines() const { return racks * machines_per_rack; }
   int total_slots() const { return total_machines() * slots_per_machine; }

@@ -1,0 +1,54 @@
+// The coflow-scheduler suite (docs/coflow.md).
+//
+// Two additional RateAllocator policies beyond the paper's tcp/varys pair,
+// drawn from the algorithm family catalogued by Qiu–Stein–Zhong
+// ("Experimental Analysis of Algorithms for Coflow Scheduling"):
+//
+//  - LpOrderAllocator ("lp-order"): solves the time-indexed ordering LP
+//    relaxation with src/lp/simplex and schedules coflows by ascending LP
+//    completion time. The LP runs only when the set of live coflows
+//    changes; rate assignment between membership changes reuses the cached
+//    order.
+//  - SincroniaAllocator ("sincronia"): the Bottleneck-Select-Scale-Iterate
+//    primal-dual approximation — repeatedly pick the most-bottlenecked
+//    link and schedule the heaviest coflow on it *last*. No LP on the hot
+//    path.
+//
+// Both share the Varys machinery from net/fill.h: MADD rates in the chosen
+// coflow order followed by a work-conserving max-min backfill, with the
+// PR 7 drained-coflow semantics (zero-gamma and starved groups get no MADD
+// rate and ride the backfill). Flows outside any coflow are appended after
+// every real coflow in SEBF order — the suite prioritizes coflows, stray
+// flows ride behind.
+#ifndef CORRAL_COFLOW_COFLOW_H_
+#define CORRAL_COFLOW_COFLOW_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/allocator.h"
+
+namespace corral::coflow {
+
+// Constructs the allocator for a policy. Every NetPolicy value is
+// registered here; the simulator and tools dispatch through this factory.
+std::unique_ptr<RateAllocator> make_allocator(NetPolicy policy);
+
+// Pure ordering functions, exposed for the differential tests: the real
+// coflow keys (flow.coflow >= 0) in the priority order the allocator would
+// use, recomputed from scratch. Flows without a coflow are not listed.
+std::vector<long> lp_order_keys(const std::vector<Flow>& flows,
+                                const LinkSet& links);
+std::vector<long> sincronia_order_keys(const std::vector<Flow>& flows,
+                                       const LinkSet& links);
+
+// Total coflow completion time of serving the given coflows one after
+// another in `order` at full link capacity (the permutation-schedule cost
+// both orderings approximately minimize). Exposed so tests can compare an
+// ordering against the brute-force optimum.
+double permutation_cct(const std::vector<Flow>& flows, const LinkSet& links,
+                       const std::vector<long>& order);
+
+}  // namespace corral::coflow
+
+#endif  // CORRAL_COFLOW_COFLOW_H_

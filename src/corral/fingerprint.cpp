@@ -68,6 +68,15 @@ std::uint64_t job_fingerprint(const JobSpec& job, double size_quantum) {
     f.mix(static_cast<std::uint64_t>(edge.from));
     f.mix(static_cast<std::uint64_t>(edge.to));
   }
+  // Placement constraints change the feasible plans, so they must miss the
+  // cache. Mixed only when present: unconstrained jobs keep their
+  // pre-placement fingerprints (and cached plans) byte-identical.
+  if (job.placement.constrained()) {
+    f.mix(static_cast<std::uint64_t>(job.placement.anti_affinity));
+    f.mix(job.placement.resource_class);
+    f.mix(static_cast<std::uint64_t>(job.placement.resource_units));
+    f.mix(static_cast<std::uint64_t>(job.placement.rack_exclusive ? 1 : 0));
+  }
   return f.value();
 }
 
@@ -88,6 +97,16 @@ std::uint64_t topology_fingerprint(const ClusterConfig& cluster,
   f.mix(cluster.nic_bandwidth);
   f.mix(cluster.oversubscription);
   f.mix(cluster.background_core_fraction);
+  // Resource classes gate placement eligibility; mixed only when declared
+  // so class-free topologies keep their pre-placement fingerprints.
+  if (!cluster.resource_classes.empty()) {
+    f.mix(static_cast<std::uint64_t>(cluster.resource_classes.size()));
+    for (const ResourceClassConfig& cls : cluster.resource_classes) {
+      f.mix(cls.name);
+      f.mix(static_cast<std::uint64_t>(cls.units_per_rack));
+      f.mix(static_cast<std::uint64_t>(cls.equipped_racks));
+    }
+  }
   if (usable_racks.empty()) {
     // Canonical form: every rack healthy.
     f.mix(static_cast<std::uint64_t>(cluster.racks));

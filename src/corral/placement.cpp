@@ -1,0 +1,96 @@
+#include "corral/placement.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+
+namespace corral {
+
+std::vector<JobPlacement> resolve_placements(std::span<const JobSpec> jobs,
+                                             const ClusterConfig& cluster) {
+  std::vector<JobPlacement> placements;
+  placements.reserve(jobs.size());
+  for (const JobSpec& job : jobs) {
+    const PlacementSpec& spec = job.placement;
+    spec.validate();
+    JobPlacement placement;
+    placement.anti_affinity = spec.anti_affinity;
+    placement.rack_exclusive = spec.rack_exclusive;
+    placement.constrained = spec.constrained();
+    placement.eligible.assign(static_cast<std::size_t>(cluster.racks), 1);
+    placement.eligible_count = cluster.racks;
+    if (!spec.resource_class.empty()) {
+      const ResourceClassConfig* cls = nullptr;
+      for (const ResourceClassConfig& candidate : cluster.resource_classes) {
+        if (candidate.name == spec.resource_class) {
+          cls = &candidate;
+          break;
+        }
+      }
+      require(cls != nullptr, "placement: job '" + job.name +
+                                  "' requests unknown resource class '" +
+                                  spec.resource_class + "'");
+      require(spec.resource_units <= cls->units_per_rack,
+              "placement: job '" + job.name + "' requests " +
+                  std::to_string(spec.resource_units) + " units of '" +
+                  spec.resource_class + "' but equipped racks carry " +
+                  std::to_string(cls->units_per_rack));
+      placement.eligible_count = 0;
+      for (int r = 0; r < cluster.racks; ++r) {
+        const bool ok =
+            cls->units_on_rack(r, cluster.racks) >= spec.resource_units;
+        placement.eligible[static_cast<std::size_t>(r)] = ok ? 1 : 0;
+        if (ok) ++placement.eligible_count;
+      }
+      require(placement.eligible_count > 0,
+              "placement: job '" + job.name + "' has no rack equipped with '" +
+                  spec.resource_class + "'");
+    }
+    placements.push_back(std::move(placement));
+  }
+  return placements;
+}
+
+bool any_constrained(std::span<const JobSpec> jobs) {
+  return std::any_of(jobs.begin(), jobs.end(), [](const JobSpec& job) {
+    return job.placement.constrained();
+  });
+}
+
+bool any_constrained(std::span<const JobPlacement> placements) {
+  return std::any_of(
+      placements.begin(), placements.end(),
+      [](const JobPlacement& placement) { return placement.constrained; });
+}
+
+std::vector<JobPlacement> remap_placements(
+    std::span<const JobPlacement> placements, std::span<const JobSpec> jobs,
+    std::span<const int> usable_racks) {
+  require(placements.size() == jobs.size(),
+          "remap_placements: placements/jobs size mismatch");
+  std::vector<JobPlacement> remapped;
+  remapped.reserve(placements.size());
+  for (std::size_t j = 0; j < placements.size(); ++j) {
+    const JobPlacement& physical = placements[j];
+    JobPlacement view = physical;
+    view.eligible.assign(usable_racks.size(), 1);
+    view.eligible_count = static_cast<int>(usable_racks.size());
+    for (std::size_t v = 0; v < usable_racks.size(); ++v) {
+      const auto r = static_cast<std::size_t>(usable_racks[v]);
+      require(r < physical.eligible.size(),
+              "remap_placements: usable rack out of range");
+      if (!physical.eligible[r]) {
+        view.eligible[v] = 0;
+        --view.eligible_count;
+      }
+    }
+    require(!view.constrained || view.eligible_count > 0,
+            "placement: job '" + jobs[j].name +
+                "' has no eligible rack in the planning view");
+    remapped.push_back(std::move(view));
+  }
+  return remapped;
+}
+
+}  // namespace corral

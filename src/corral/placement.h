@@ -1,0 +1,62 @@
+// Placement-constraint resolution (docs/coflow.md "Placement constraints").
+//
+// Jobs carry hard Shafiee–Ghaderi-style constraints (JobSpec::placement):
+// anti-affinity sets, named per-rack resource classes, and rack
+// exclusivity. The planner enforces them in two steps:
+//
+//  1. resolve_placements() turns each job's resource requirement into a
+//     per-rack eligibility mask against the cluster's resource classes,
+//     rejecting malformed or unsatisfiable requests with deterministic
+//     errors before any search runs.
+//  2. The provisioning search and every PlannerBackend treat the masks,
+//     anti-affinity sets and exclusivity as feasibility filters when racks
+//     are assigned (corral/planner.cpp run_prioritization).
+//
+// Resolution is a pure per-job function of (job, cluster) — cross-job
+// interactions (disjointness, exclusivity) bind only at assignment time —
+// so backends may resolve any job subset independently and stay consistent.
+#ifndef CORRAL_CORRAL_PLACEMENT_H_
+#define CORRAL_CORRAL_PLACEMENT_H_
+
+#include <span>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "jobs/job.h"
+
+namespace corral {
+
+// One job's resolved constraint state. `eligible` has one entry per
+// (virtual) rack of the planning cluster.
+struct JobPlacement {
+  std::vector<char> eligible;
+  int eligible_count = 0;
+  int anti_affinity = -1;
+  bool rack_exclusive = false;
+  bool constrained = false;
+};
+
+// Resolves every job against the cluster's resource classes. Throws
+// std::invalid_argument (deterministic message naming the first offending
+// job) when a placement spec is malformed, names an unknown resource class,
+// requests more units than any equipped rack carries, or no rack is
+// eligible.
+std::vector<JobPlacement> resolve_placements(std::span<const JobSpec> jobs,
+                                             const ClusterConfig& cluster);
+
+// True when at least one job carries a real constraint (the planner's
+// constraint-aware paths only engage then).
+bool any_constrained(std::span<const JobSpec> jobs);
+bool any_constrained(std::span<const JobPlacement> placements);
+
+// Restricts resolved placements to the planning view `usable_racks` (sorted
+// physical rack ids): virtual rack v of the view maps to physical rack
+// usable_racks[v]. Used when planning on a degraded or arbitrated
+// subcluster. Throws when a constrained job loses its last eligible rack.
+std::vector<JobPlacement> remap_placements(
+    std::span<const JobPlacement> placements, std::span<const JobSpec> jobs,
+    std::span<const int> usable_racks);
+
+}  // namespace corral
+
+#endif  // CORRAL_CORRAL_PLACEMENT_H_

@@ -22,6 +22,12 @@ struct Scratch {
   std::vector<Seconds> finish;   // F_i per rack
   std::vector<int> rack_order;   // rack indices sorted by F_i
   std::vector<Seconds> sorted_finish;  // F values ascending (evaluation path)
+  // Constrained-pass state (corral/placement.h), rebuilt per pass:
+  std::vector<int> allowed;       // racks still open to the current job
+  std::vector<int> set_ids;       // sorted distinct anti-affinity set ids
+  std::vector<char> set_rack;     // [set][rack]: used by a member of the set
+  std::vector<char> rack_used;    // assigned to any job so far
+  std::vector<char> exclusive_rack;  // claimed by a rack-exclusive job
 };
 
 // Timestamp source for planner trace events: logical step indices by
@@ -58,6 +64,15 @@ std::string rack_list_string(const std::vector<int>& racks) {
 // seeds the per-rack availability F_i, which lets rolling-horizon planning
 // chain windows. Returns {makespan, avg completion}; `final_finish` (when
 // non-null) receives the resulting F_i.
+//
+// When config.placements carries a real constraint, every job's rack pick
+// is filtered first: ineligible racks (resource classes), racks already
+// held by the job's anti-affinity set, racks claimed by a rack-exclusive
+// job, and — for exclusive jobs — racks any other job touched. A pass that
+// cannot seat a job returns infinity in evaluation mode (so the
+// provisioning search rejects the candidate) and throws a deterministic
+// error in plan-building mode. Cross-job state (set membership,
+// exclusivity) binds per pass — for plan_rolling that means per window.
 std::pair<Seconds, Seconds> run_prioritization(
     std::span<const ResponseFunction> jobs, std::span<const int> racks_per_job,
     int num_racks, const PlannerConfig& config, Scratch& scratch, Plan* plan,
@@ -66,6 +81,9 @@ std::pair<Seconds, Seconds> run_prioritization(
     const obs::TraceRecorder* trace = nullptr,
     const PlanClock* clock = nullptr) {
   const std::size_t J = jobs.size();
+  const std::vector<JobPlacement>* placements = config.placements;
+  const bool constrained =
+      placements != nullptr && any_constrained(*placements);
 
   scratch.order.resize(J);
   std::iota(scratch.order.begin(), scratch.order.end(), 0);
@@ -110,7 +128,8 @@ std::pair<Seconds, Seconds> run_prioritization(
   // completion at their sorted position. Value-identical to the plan-building
   // path below (max over the same operand set, same add per job, same job
   // order), just O(log R + shift) instead of a rack-id partial sort.
-  if (plan == nullptr && final_finish == nullptr && trace == nullptr) {
+  if (!constrained && plan == nullptr && final_finish == nullptr &&
+      trace == nullptr) {
     auto& sorted = scratch.sorted_finish;
     if (initial_finish != nullptr) {
       require(initial_finish->size() == static_cast<std::size_t>(num_racks),
@@ -149,6 +168,30 @@ std::pair<Seconds, Seconds> run_prioritization(
   }
   scratch.rack_order.resize(static_cast<std::size_t>(num_racks));
 
+  // Cross-job constraint state for this pass. Anti-affinity set ids are
+  // arbitrary ints; map them onto dense indices of one flattened mask.
+  if (constrained) {
+    scratch.set_ids.clear();
+    for (const JobPlacement& p : *placements) {
+      if (p.anti_affinity >= 0) scratch.set_ids.push_back(p.anti_affinity);
+    }
+    std::sort(scratch.set_ids.begin(), scratch.set_ids.end());
+    scratch.set_ids.erase(
+        std::unique(scratch.set_ids.begin(), scratch.set_ids.end()),
+        scratch.set_ids.end());
+    scratch.set_rack.assign(
+        scratch.set_ids.size() * static_cast<std::size_t>(num_racks), 0);
+    scratch.rack_used.assign(static_cast<std::size_t>(num_racks), 0);
+    scratch.exclusive_rack.assign(static_cast<std::size_t>(num_racks), 0);
+  }
+
+  const auto rack_less = [&](int a, int b) {
+    const Seconds fa = scratch.finish[static_cast<std::size_t>(a)];
+    const Seconds fb = scratch.finish[static_cast<std::size_t>(b)];
+    if (fa != fb) return fa < fb;
+    return a < b;
+  };
+
   Seconds makespan = 0;
   Seconds total_flow = 0;
   int priority = priority_base;
@@ -157,16 +200,54 @@ std::pair<Seconds, Seconds> run_prioritization(
     const int rj = racks_per_job[sj];
     const Seconds latency = scratch.key[sj];
 
-    // Pick the r_j racks that free up earliest.
-    std::iota(scratch.rack_order.begin(), scratch.rack_order.end(), 0);
-    std::partial_sort(
-        scratch.rack_order.begin(), scratch.rack_order.begin() + rj,
-        scratch.rack_order.end(), [&](int a, int b) {
-          const Seconds fa = scratch.finish[static_cast<std::size_t>(a)];
-          const Seconds fb = scratch.finish[static_cast<std::size_t>(b)];
-          if (fa != fb) return fa < fb;
-          return a < b;
-        });
+    // Pick the r_j racks that free up earliest (among the racks the job's
+    // placement constraints leave open, in a constrained pass).
+    const JobPlacement* pl = constrained ? &(*placements)[sj] : nullptr;
+    int set_index = -1;
+    if (pl != nullptr && pl->anti_affinity >= 0) {
+      set_index = static_cast<int>(
+          std::lower_bound(scratch.set_ids.begin(), scratch.set_ids.end(),
+                           pl->anti_affinity) -
+          scratch.set_ids.begin());
+    }
+    if (constrained) {
+      scratch.allowed.clear();
+      for (int r = 0; r < num_racks; ++r) {
+        const auto sr = static_cast<std::size_t>(r);
+        if (!pl->eligible[sr]) continue;
+        if (scratch.exclusive_rack[sr]) continue;
+        if (pl->rack_exclusive && scratch.rack_used[sr]) continue;
+        if (set_index >= 0 &&
+            scratch.set_rack[static_cast<std::size_t>(set_index) *
+                                 static_cast<std::size_t>(num_racks) +
+                             sr]) {
+          continue;
+        }
+        scratch.allowed.push_back(r);
+      }
+      if (static_cast<int>(scratch.allowed.size()) < rj) {
+        // Evaluation mode: the provisioning search treats an unseatable
+        // candidate as infinitely bad. Plan-building mode: the request is
+        // genuinely infeasible — fail with the offending job.
+        if (plan == nullptr) {
+          const Seconds inf = std::numeric_limits<Seconds>::infinity();
+          return {inf, inf};
+        }
+        require(false, "placement: job " + std::to_string(j) + " needs " +
+                           std::to_string(rj) + " racks but only " +
+                           std::to_string(scratch.allowed.size()) +
+                           " remain eligible after placement filters");
+      }
+      std::partial_sort(scratch.allowed.begin(), scratch.allowed.begin() + rj,
+                        scratch.allowed.end(), rack_less);
+      std::copy(scratch.allowed.begin(), scratch.allowed.begin() + rj,
+                scratch.rack_order.begin());
+    } else {
+      std::iota(scratch.rack_order.begin(), scratch.rack_order.end(), 0);
+      std::partial_sort(scratch.rack_order.begin(),
+                        scratch.rack_order.begin() + rj,
+                        scratch.rack_order.end(), rack_less);
+    }
 
     Seconds start = jobs[sj].arrival();
     for (int i = 0; i < rj; ++i) {
@@ -179,6 +260,19 @@ std::pair<Seconds, Seconds> run_prioritization(
     for (int i = 0; i < rj; ++i) {
       scratch.finish[static_cast<std::size_t>(
           scratch.rack_order[static_cast<std::size_t>(i)])] = completion;
+    }
+    if (constrained) {
+      for (int i = 0; i < rj; ++i) {
+        const auto sr = static_cast<std::size_t>(
+            scratch.rack_order[static_cast<std::size_t>(i)]);
+        scratch.rack_used[sr] = 1;
+        if (pl->rack_exclusive) scratch.exclusive_rack[sr] = 1;
+        if (set_index >= 0) {
+          scratch.set_rack[static_cast<std::size_t>(set_index) *
+                               static_cast<std::size_t>(num_racks) +
+                           sr] = 1;
+        }
+      }
     }
     makespan = std::max(makespan, completion);
     total_flow += completion - jobs[sj].arrival();
@@ -196,16 +290,28 @@ std::pair<Seconds, Seconds> run_prioritization(
       // The "why did job j get racks R_j" decision log: one event per
       // scheduling decision, in priority order, from the calling thread.
       if (trace != nullptr && trace->at(obs::TraceLevel::kJobs)) {
+        std::vector<obs::TraceArg> args = {
+            obs::arg("job", static_cast<double>(j)),
+            obs::arg("num_racks", static_cast<double>(rj)),
+            obs::arg("racks", rack_list_string(planned.racks)),
+            obs::arg("start_s", start),
+            obs::arg("latency_s", latency),
+            obs::arg("priority", static_cast<double>(priority))};
+        // Constrained jobs log why the pick was narrowed; unconstrained
+        // assign events stay byte-identical to the pre-placement format.
+        if (pl != nullptr && pl->constrained) {
+          args.push_back(obs::arg("eligible_racks",
+                                  static_cast<double>(pl->eligible_count)));
+          args.push_back(obs::arg("anti_affinity",
+                                  static_cast<double>(pl->anti_affinity)));
+          args.push_back(
+              obs::arg("exclusive", pl->rack_exclusive ? 1.0 : 0.0));
+        }
         trace->instant(
             obs::TraceTrack::kPlanner, "assign", "planner", j,
             clock != nullptr ? clock->at(static_cast<double>(priority))
                              : static_cast<double>(priority),
-            {obs::arg("job", static_cast<double>(j)),
-             obs::arg("num_racks", static_cast<double>(rj)),
-             obs::arg("racks", rack_list_string(planned.racks)),
-             obs::arg("start_s", start),
-             obs::arg("latency_s", latency),
-             obs::arg("priority", static_cast<double>(priority))});
+            std::move(args));
       }
     }
     ++priority;
@@ -215,11 +321,20 @@ std::pair<Seconds, Seconds> run_prioritization(
   return {makespan, avg_flow};
 }
 
-void validate_inputs(std::span<const ResponseFunction> jobs, int num_racks) {
+void validate_inputs(std::span<const ResponseFunction> jobs, int num_racks,
+                     const PlannerConfig& config) {
   require(num_racks >= 1, "plan: num_racks must be >= 1");
   for (const ResponseFunction& f : jobs) {
     require(f.max_racks() >= num_racks,
             "plan: response function does not cover the cluster's racks");
+  }
+  if (config.placements != nullptr) {
+    require(config.placements->size() == jobs.size(),
+            "plan: placements must cover every job");
+    for (const JobPlacement& p : *config.placements) {
+      require(p.eligible.size() == static_cast<std::size_t>(num_racks),
+              "plan: placement eligibility does not cover the racks");
+    }
   }
 }
 
@@ -243,6 +358,16 @@ std::vector<int> widening_chain(std::span<const ResponseFunction> jobs,
   // so the argmax scan below need not re-walk every response function.
   std::vector<Seconds> latency(J);
   for (std::size_t j = 0; j < J; ++j) latency[j] = jobs[j].at(racks[j]);
+  // A job can never grow past the racks its placement leaves eligible —
+  // widening beyond that only produces candidates the prioritization pass
+  // would reject anyway.
+  std::vector<int> width_cap(J, num_racks);
+  if (config.placements != nullptr) {
+    for (std::size_t j = 0; j < J; ++j) {
+      width_cap[j] =
+          std::min(num_racks, (*config.placements)[j].eligible_count);
+    }
+  }
   // Total allocated racks among widened jobs, for the [19]-style stop rule.
   long widened_total = 0;
   while (true) {
@@ -250,7 +375,7 @@ std::vector<int> widening_chain(std::span<const ResponseFunction> jobs,
     int longest = -1;
     Seconds longest_latency = -1;
     for (std::size_t j = 0; j < J; ++j) {
-      if (racks[j] >= num_racks) continue;
+      if (racks[j] >= width_cap[j]) continue;
       if (latency[j] > longest_latency) {
         longest_latency = latency[j];
         longest = static_cast<int>(j);
@@ -378,7 +503,7 @@ exec::ThreadPool& pool_of(const PlannerConfig& config) {
 Plan prioritize(std::span<const ResponseFunction> jobs,
                 std::span<const int> racks_per_job, int num_racks,
                 const PlannerConfig& config) {
-  validate_inputs(jobs, num_racks);
+  validate_inputs(jobs, num_racks, config);
   require(racks_per_job.size() == jobs.size(),
           "prioritize: racks_per_job size mismatch");
   for (int r : racks_per_job) {
@@ -407,7 +532,7 @@ Plan prioritize(std::span<const ResponseFunction> jobs,
 
 Plan plan_offline(std::span<const ResponseFunction> jobs, int num_racks,
                   const PlannerConfig& config) {
-  validate_inputs(jobs, num_racks);
+  validate_inputs(jobs, num_racks, config);
   if (jobs.empty()) return Plan{};
   exec::ThreadPool& pool = pool_of(config);
   ScratchSlots slots(static_cast<std::size_t>(pool.threads()));
@@ -424,6 +549,13 @@ Plan plan_offline(std::span<const JobSpec> jobs, const ClusterConfig& cluster,
   const LatencyModelParams params = LatencyModelParams::from_cluster(cluster);
   const std::vector<ResponseFunction> functions =
       build_response_functions(jobs, cluster.racks, params);
+  if (config.placements == nullptr && any_constrained(jobs)) {
+    const std::vector<JobPlacement> placements =
+        resolve_placements(jobs, cluster);
+    PlannerConfig resolved = config;
+    resolved.placements = &placements;
+    return plan_offline(functions, cluster.racks, resolved);
+  }
   return plan_offline(functions, cluster.racks, config);
 }
 
@@ -448,7 +580,20 @@ Plan plan_offline(std::span<const JobSpec> jobs, const ClusterConfig& cluster,
   const LatencyModelParams params = LatencyModelParams::from_cluster(cluster);
   const std::vector<ResponseFunction> functions =
       build_response_functions(jobs, virtual_racks, params);
-  Plan plan = plan_offline(functions, virtual_racks, config);
+  // Placement constraints resolve against physical racks, then project onto
+  // the planning view so eligibility follows a rack into its virtual id.
+  std::vector<JobPlacement> view_placements;
+  PlannerConfig view_config = config;
+  if (config.placements != nullptr) {
+    view_placements = remap_placements(*config.placements, jobs, usable_racks);
+    view_config.placements = &view_placements;
+  } else if (any_constrained(jobs)) {
+    const std::vector<JobPlacement> physical =
+        resolve_placements(jobs, cluster);
+    view_placements = remap_placements(physical, jobs, usable_racks);
+    view_config.placements = &view_placements;
+  }
+  Plan plan = plan_offline(functions, virtual_racks, view_config);
   for (PlannedJob& job : plan.jobs) {
     for (int& r : job.racks) r = usable_racks[static_cast<std::size_t>(r)];
   }
@@ -457,7 +602,7 @@ Plan plan_offline(std::span<const JobSpec> jobs, const ClusterConfig& cluster,
 
 Plan plan_rolling(std::span<const ResponseFunction> jobs, int num_racks,
                   const PlannerConfig& config, Seconds period) {
-  validate_inputs(jobs, num_racks);
+  validate_inputs(jobs, num_racks, config);
   require(period > 0, "plan_rolling: period must be positive");
   Plan plan;
   plan.jobs.resize(jobs.size());
@@ -491,15 +636,29 @@ Plan plan_rolling(std::span<const ResponseFunction> jobs, int num_racks,
     window.reserve(indices.size());
     for (int j : indices) window.push_back(jobs[static_cast<std::size_t>(j)]);
 
+    // Placements are sliced to the window's jobs; anti-affinity and
+    // exclusivity therefore bind within a window, matching the rolling
+    // model's view that each window plans against fresh rack availability.
+    PlannerConfig window_config = config;
+    std::vector<JobPlacement> window_placements;
+    if (config.placements != nullptr) {
+      window_placements.reserve(indices.size());
+      for (int j : indices) {
+        window_placements.push_back(
+            (*config.placements)[static_cast<std::size_t>(j)]);
+      }
+      window_config.placements = &window_placements;
+    }
+
     const double window_start = clock.at(static_cast<double>(priority_base));
     const std::vector<int> racks =
-        provision(window, num_racks, config, &finish, pool, slots,
+        provision(window, num_racks, window_config, &finish, pool, slots,
                   &plan.evaluated_candidates);
     Plan window_plan;
     window_plan.jobs.resize(window.size());
     const auto [window_makespan, window_avg] = run_prioritization(
-        window, racks, num_racks, config, slots[0], &window_plan, &finish,
-        &finish, priority_base, &trace, &clock);
+        window, racks, num_racks, window_config, slots[0], &window_plan,
+        &finish, &finish, priority_base, &trace, &clock);
     // Window-local assign events above use window-local job ids; the span's
     // "job_indices" arg maps them back to the planner's input order.
     if (trace.at(obs::TraceLevel::kJobs)) {

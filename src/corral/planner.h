@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "corral/latency_model.h"
+#include "corral/placement.h"
 #include "jobs/job.h"
 
 namespace corral {
@@ -71,6 +72,14 @@ struct PlannerConfig {
   // byte-identical at any pool width.
   obs::Tracer* tracer = nullptr;
   int trace_sink = 0;
+
+  // Resolved placement constraints, one per job in the planner's input
+  // order (corral/placement.h), or nullptr when every job is
+  // unconstrained. Not part of planner_fingerprint(): placements derive
+  // from the jobs and the topology, both fingerprinted already. The
+  // spec-taking plan_offline overloads resolve this automatically; callers
+  // of the ResponseFunction overloads set it when constraints apply.
+  const std::vector<JobPlacement>* placements = nullptr;
 };
 
 struct PlannedJob {

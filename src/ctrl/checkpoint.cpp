@@ -541,6 +541,7 @@ std::uint64_t control_loop_fingerprint(
                                        ? 0
                                        : 1));
   f.mix(static_cast<std::uint64_t>(config.planner_backend));
+  f.mix(static_cast<std::uint64_t>(config.net_policy));
   f.mix(static_cast<std::uint64_t>(config.epochs));
   f.mix(static_cast<std::uint64_t>(config.warmup_days));
   f.mix(config.drift_threshold);

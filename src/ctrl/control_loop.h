@@ -91,6 +91,14 @@ struct ControlLoopConfig {
   // The multi-tenant service can override it per tenant (ServiceTenant).
   PlannerBackendKind planner_backend = PlannerBackendKind::kCorral;
 
+  // Network rate-allocation policy each epoch's simulation runs under
+  // (src/coflow, docs/coflow.md). Mixed into the per-tenant planner
+  // signature and the checkpoint config fingerprint exactly like
+  // planner_backend, so runs keyed under one policy never resume or reuse
+  // state from another. The multi-tenant service can override it per tenant
+  // (ServiceTenant::net_policy).
+  NetPolicy net_policy = NetPolicy::kTcp;
+
   // Virtual days to drive. Day d of the loop is calendar day
   // warmup_days + d, so weekday/weekend seasonality advances epoch by epoch.
   int epochs = 10;

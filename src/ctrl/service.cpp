@@ -134,6 +134,9 @@ std::uint64_t control_service_fingerprint(
     // per-tenant backends must be rejected like any other config change.
     f.mix(static_cast<std::uint64_t>(
         tenant.backend.value_or(config.loop.planner_backend)));
+    // Same rule for the net policy the tenant's simulations run under.
+    f.mix(static_cast<std::uint64_t>(
+        tenant.net_policy.value_or(config.loop.net_policy)));
     f.mix(control_loop_fingerprint(config.loop, tenant.pipelines));
   }
   return f.value();
@@ -171,7 +174,7 @@ ServiceResult run_control_service(std::vector<ServiceTenant> tenants,
         /*label_prefix=*/
         count == 1 ? std::string()
                    : "t" + std::to_string(t) + "/",
-        tenants[t].backend);
+        tenants[t].backend, tenants[t].net_policy);
   }
 
   int start_epoch = 0;

@@ -53,6 +53,10 @@ struct ServiceTenant {
   // service checkpoint fingerprint, so a resume with reassigned backends
   // is rejected.
   std::optional<PlannerBackendKind> backend;
+  // Network rate-allocation policy for this tenant's epoch simulations
+  // (src/coflow); defaults to the shared config's loop.net_policy. Mixed
+  // into the service checkpoint fingerprint like `backend`.
+  std::optional<NetPolicy> net_policy;
   std::vector<RecurringPipeline> pipelines;
 };
 

@@ -75,12 +75,14 @@ TenantLoop::TenantLoop(std::vector<RecurringPipeline> pipelines,
                        const ControlLoopConfig& config, std::uint64_t seed,
                        std::uint64_t chaos_seed, int sink_base,
                        std::string label_prefix,
-                       std::optional<PlannerBackendKind> backend)
+                       std::optional<PlannerBackendKind> backend,
+                       std::optional<NetPolicy> net_policy)
     : config_(config),
       pipelines_(std::move(pipelines)),
       seed_(seed),
       sink_base_(sink_base),
       label_prefix_(std::move(label_prefix)),
+      net_policy_(net_policy.value_or(config.net_policy)),
       planner_sig_(0),
       params_(LatencyModelParams::from_cluster(config.cluster)),
       budget_(config.resilience.enabled ? config.resilience.demote_after : 0,
@@ -92,7 +94,14 @@ TenantLoop::TenantLoop(std::vector<RecurringPipeline> pipelines,
   planner_config_.backend = backend.value_or(config_.planner_backend);
   planner_config_.pool = config_.pool;
   planner_config_.tracer = config_.tracer;
-  planner_sig_ = planner_fingerprint(planner_config_);
+  // The net policy shapes the realized measurements every plan is judged
+  // by, so it joins the plan-cache signature exactly like the backend id.
+  {
+    Fingerprint sig;
+    sig.mix(planner_fingerprint(planner_config_));
+    sig.mix(static_cast<std::uint64_t>(net_policy_));
+    planner_sig_ = sig.value();
+  }
   if (!config_.chaos.empty()) {
     const std::uint64_t schedule_seed =
         chaos_seed != 0 ? chaos_seed
@@ -323,6 +332,16 @@ EpochReport TenantLoop::run_epoch(int epoch,
       // Backend dispatch (src/plan): kCorral runs the §4.2 search exactly
       // as before; the planning specs ride along so DAG-aware backends can
       // inspect stage structure.
+      // Placement constraints (corral/placement.h): resolved against the
+      // physical cluster, projected onto the planning view, and handed to
+      // the backend for this plan only.
+      std::vector<JobPlacement> placements;
+      if (any_constrained(std::span<const JobSpec>(planning))) {
+        placements = remap_placements(
+            resolve_placements(planning, config_.cluster), planning,
+            planner_view);
+        planner_config_.placements = &placements;
+      }
       plan::PlannerRequest plan_request;
       plan_request.jobs = functions;
       plan_request.specs = planning;
@@ -331,6 +350,7 @@ EpochReport TenantLoop::run_epoch(int epoch,
       plan = plan::planner_backend(planner_config_.backend)
                  .plan(plan_request)
                  .plan;
+      planner_config_.placements = nullptr;
       for (PlannedJob& job : plan.jobs) {
         for (int& r : job.racks) {
           r = planner_view[static_cast<std::size_t>(r)];
@@ -394,6 +414,7 @@ EpochReport TenantLoop::run_epoch(int epoch,
       batch_case.config.tracer = config_.tracer;
       batch_case.config.trace_sink = sink_base_ + 2 + 2 * epoch;
       batch_case.config.trace_label = batch_case.label + "/sim";
+      batch_case.config.net_policy = net_policy_;
       if (attempt < failing_attempts) {
         // Injected execution failure: this attempt dies partway through
         // the epoch's predicted span.

@@ -68,11 +68,14 @@ class TenantLoop {
   // bit-compatible with the pre-service single-tenant loop. `backend`
   // overrides config.planner_backend for this tenant (the multi-tenant
   // service's per-tenant planner choice); nullopt inherits the config's.
+  // `net_policy` likewise overrides config.net_policy — the rate-allocation
+  // policy this tenant's epoch simulations run under.
   TenantLoop(std::vector<RecurringPipeline> pipelines,
              const ControlLoopConfig& config, std::uint64_t seed,
              std::uint64_t chaos_seed, int sink_base,
              std::string label_prefix,
-             std::optional<PlannerBackendKind> backend = std::nullopt);
+             std::optional<PlannerBackendKind> backend = std::nullopt,
+             std::optional<NetPolicy> net_policy = std::nullopt);
 
   // Restores per-tenant state from a checkpoint section. Must run before
   // bind_trace and any run_epoch. Throws std::invalid_argument when the
@@ -115,6 +118,7 @@ class TenantLoop {
   std::string label_prefix_;
 
   PlannerConfig planner_config_;
+  NetPolicy net_policy_;
   std::uint64_t planner_sig_;
   LatencyModelParams params_;
   ChaosSchedule chaos_schedule_;

@@ -15,6 +15,19 @@ void MapReduceSpec::validate() const {
           "MapReduceSpec: processing rates must be positive");
 }
 
+void PlacementSpec::validate() const {
+  require(anti_affinity >= -1,
+          "PlacementSpec: anti-affinity set id must be >= -1");
+  if (resource_class.empty()) {
+    require(resource_units == 0,
+            "PlacementSpec: resource_units requires a resource class");
+  } else {
+    require(resource_units >= 1,
+            "PlacementSpec: resource class '" + resource_class +
+                "' needs resource_units >= 1");
+  }
+}
+
 JobSpec JobSpec::map_reduce(int id, std::string name, MapReduceSpec stage,
                             Seconds arrival) {
   JobSpec job;
@@ -77,6 +90,7 @@ std::vector<int> JobSpec::source_stages() const {
 void JobSpec::validate() const {
   require(!stages.empty(), "JobSpec: at least one stage required");
   require(arrival >= 0.0, "JobSpec: arrival must be non-negative");
+  placement.validate();
   for (const MapReduceSpec& s : stages) s.validate();
   // Throws on cycles or bad indices.
   (void)topological_order(static_cast<int>(stages.size()), edges);

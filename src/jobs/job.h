@@ -34,6 +34,31 @@ struct MapReduceSpec {
   void validate() const;
 };
 
+// Placement constraints in the Shafiee–Ghaderi packing/placement style
+// (docs/coflow.md "Placement constraints"). All three are hard feasibility
+// filters for the planner's rack assignment; an unconstrained job keeps the
+// defaults and planning is unchanged.
+struct PlacementSpec {
+  // Jobs sharing a non-negative set id must receive pairwise-disjoint rack
+  // sets (availability domains). -1 = no set.
+  int anti_affinity = -1;
+  // Named per-rack resource (e.g. "gpu"): the job may only use racks
+  // equipped with at least `resource_units` units of the class. Empty = no
+  // resource requirement.
+  std::string resource_class;
+  int resource_units = 0;
+  // The job's racks may not be assigned to any other job in the batch.
+  bool rack_exclusive = false;
+
+  bool constrained() const {
+    return anti_affinity >= 0 || !resource_class.empty() || rack_exclusive;
+  }
+
+  // Field-level invariants (set id >= -1, units positive iff a class is
+  // named); throws std::invalid_argument otherwise.
+  void validate() const;
+};
+
 // A job: a DAG of MapReduce stages with an arrival time. A plain MapReduce
 // job is the single-stage special case.
 struct JobSpec {
@@ -46,6 +71,8 @@ struct JobSpec {
   // Recurring (or otherwise predictable) jobs are planned by Corral's
   // offline planner; ad hoc jobs are not (§3.1).
   bool recurring = true;
+  // Hard placement constraints honored by every planner backend.
+  PlacementSpec placement;
 
   static JobSpec map_reduce(int id, std::string name, MapReduceSpec stage,
                             Seconds arrival = 0.0);

@@ -8,6 +8,7 @@
 #define CORRAL_NET_ALLOCATOR_H_
 
 #include <array>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -15,6 +16,28 @@
 #include "obs/trace.h"
 
 namespace corral {
+
+// The registered rate-allocation policies. `tcp` and `varys` are the paper's
+// two network schedulers; `lp-order` and `sincronia` are the coflow-suite
+// additions implemented in src/coflow (Qiu–Stein–Zhong LP ordering and a
+// Sincronia-style bottleneck approximation). The numeric values are mixed
+// into control-loop and service fingerprints, so they are part of the
+// checkpoint format: append, never renumber.
+enum class NetPolicy {
+  kTcp = 0,
+  kVarys = 1,
+  kLpOrder = 2,
+  kSincronia = 3,
+};
+
+// Flag-facing spelling of a policy ("tcp", "varys", "lp-order",
+// "sincronia") and its inverse. parse_net_policy returns false on an
+// unknown spelling and leaves *policy untouched.
+std::string_view to_string(NetPolicy policy);
+bool parse_net_policy(std::string_view text, NetPolicy* policy);
+
+// The valid flag spellings, in enum order (for FlagParser::add_choice).
+const std::vector<std::string>& net_policy_names();
 
 struct FlowPath {
   std::array<int, 4> links{};

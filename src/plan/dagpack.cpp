@@ -20,6 +20,12 @@
 //     rack availability the troublesome plan left behind and keeping the
 //     earliest completion (ties: narrowest width, then lowest rack ids).
 //
+// Placement constraints (corral/placement.h) thread through both steps:
+// the packed search sees the troublesome subset's placements (resolution
+// is per-job, so slicing is sound), and the residual greedy filters each
+// job's candidate racks by eligibility, anti-affinity and exclusivity —
+// including the racks the packed plan already claimed.
+//
 // The search in step 2 runs on the configured pool (byte-identical at any
 // width, like plan_offline); steps 1 and 3 are serial scans, so the whole
 // plan is deterministic at any --threads value.
@@ -133,13 +139,69 @@ ProvisionPlan DagPackBackend::plan(const PlannerRequest& request) const {
     }
   }
 
-  // Step 2: the full two-phase search over the troublesome subset.
+  // Step 2: the full two-phase search over the troublesome subset. When
+  // placement constraints apply, the subset's placements are sliced out for
+  // the packed search (resolution is per-job, so the slice stays valid).
+  const std::vector<JobPlacement>* placements = config.placements;
+  const bool constrained =
+      placements != nullptr && any_constrained(*placements);
+  if (placements != nullptr) {
+    require(placements->size() == J,
+            "DagPackBackend: placements must cover every job");
+  }
   std::vector<ResponseFunction> trouble;
   trouble.reserve(trouble_idx.size());
   for (int j : trouble_idx) {
     trouble.push_back(request.jobs[static_cast<std::size_t>(j)]);
   }
-  const Plan packed = plan_offline(trouble, R, config);
+  PlannerConfig trouble_config = config;
+  std::vector<JobPlacement> trouble_placements;
+  if (placements != nullptr) {
+    trouble_placements.reserve(trouble_idx.size());
+    for (int j : trouble_idx) {
+      trouble_placements.push_back((*placements)[static_cast<std::size_t>(j)]);
+    }
+    trouble_config.placements = &trouble_placements;
+  }
+  const Plan packed = plan_offline(trouble, R, trouble_config);
+
+  // Cross-job constraint state the packed plan leaves behind, rebuilt from
+  // its rack assignments so the residual greedy honors it.
+  std::vector<int> set_ids;
+  std::vector<char> set_rack;
+  std::vector<char> rack_used;
+  std::vector<char> exclusive_rack;
+  const auto set_index_of = [&](const JobPlacement& pl) {
+    if (pl.anti_affinity < 0) return -1;
+    return static_cast<int>(
+        std::lower_bound(set_ids.begin(), set_ids.end(), pl.anti_affinity) -
+        set_ids.begin());
+  };
+  if (constrained) {
+    for (const JobPlacement& p : *placements) {
+      if (p.anti_affinity >= 0) set_ids.push_back(p.anti_affinity);
+    }
+    std::sort(set_ids.begin(), set_ids.end());
+    set_ids.erase(std::unique(set_ids.begin(), set_ids.end()), set_ids.end());
+    set_rack.assign(set_ids.size() * static_cast<std::size_t>(R), 0);
+    rack_used.assign(static_cast<std::size_t>(R), 0);
+    exclusive_rack.assign(static_cast<std::size_t>(R), 0);
+  }
+  const auto claim_racks = [&](const std::vector<int>& racks, int job) {
+    if (!constrained) return;
+    const JobPlacement& pl = (*placements)[static_cast<std::size_t>(job)];
+    const int set_index = set_index_of(pl);
+    for (int r : racks) {
+      const auto sr = static_cast<std::size_t>(r);
+      rack_used[sr] = 1;
+      if (pl.rack_exclusive) exclusive_rack[sr] = 1;
+      if (set_index >= 0) {
+        set_rack[static_cast<std::size_t>(set_index) *
+                     static_cast<std::size_t>(R) +
+                 sr] = 1;
+      }
+    }
+  };
 
   Plan& plan = result.plan;
   plan.jobs.resize(J);
@@ -154,6 +216,7 @@ ProvisionPlan DagPackBackend::plan(const PlannerRequest& request) const {
       finish[static_cast<std::size_t>(r)] = std::max(
           finish[static_cast<std::size_t>(r)], planned.predicted_completion());
     }
+    claim_racks(planned.racks, trouble_idx[i]);
     makespan = std::max(makespan, planned.predicted_completion());
     total_flow += planned.predicted_completion() -
                   trouble[i].arrival();
@@ -178,11 +241,43 @@ ProvisionPlan DagPackBackend::plan(const PlannerRequest& request) const {
   for (int j : residual_idx) {
     const auto sj = static_cast<std::size_t>(j);
     const ResponseFunction& job = request.jobs[sj];
-    sorted_finish = finish;
+    // Candidate racks: everything, or — under constraints — the racks the
+    // job's eligibility mask, its anti-affinity set's prior picks and the
+    // exclusivity claims leave open.
+    rack_order.clear();
+    if (constrained) {
+      const JobPlacement& pl = (*placements)[sj];
+      const int set_index = set_index_of(pl);
+      for (int r = 0; r < R; ++r) {
+        const auto sr = static_cast<std::size_t>(r);
+        if (!pl.eligible[sr]) continue;
+        if (exclusive_rack[sr]) continue;
+        if (pl.rack_exclusive && rack_used[sr]) continue;
+        if (set_index >= 0 &&
+            set_rack[static_cast<std::size_t>(set_index) *
+                         static_cast<std::size_t>(R) +
+                     sr]) {
+          continue;
+        }
+        rack_order.push_back(r);
+      }
+      require(!rack_order.empty(),
+              "placement: job " + std::to_string(j) +
+                  " needs 1 racks but only 0 remain eligible after "
+                  "placement filters");
+    } else {
+      rack_order.resize(static_cast<std::size_t>(R));
+      std::iota(rack_order.begin(), rack_order.end(), 0);
+    }
+    const int max_r = static_cast<int>(rack_order.size());
+    sorted_finish.clear();
+    for (int r : rack_order) {
+      sorted_finish.push_back(finish[static_cast<std::size_t>(r)]);
+    }
     std::sort(sorted_finish.begin(), sorted_finish.end());
     int best_r = 1;
     Seconds best_completion = 0;
-    for (int r = 1; r <= R; ++r) {
+    for (int r = 1; r <= max_r; ++r) {
       const Seconds start = std::max(
           job.arrival(), sorted_finish[static_cast<std::size_t>(r) - 1]);
       const Seconds completion = start + job.at(r);
@@ -199,10 +294,10 @@ ProvisionPlan DagPackBackend::plan(const PlannerRequest& request) const {
       }
       step += 1.0;
     }
-    plan.evaluated_candidates += static_cast<std::size_t>(R);
+    plan.evaluated_candidates += static_cast<std::size_t>(max_r);
 
-    // Take the best_r racks that free up earliest (ties by rack id).
-    std::iota(rack_order.begin(), rack_order.end(), 0);
+    // Take the best_r candidate racks that free up earliest (ties by rack
+    // id).
     std::partial_sort(rack_order.begin(), rack_order.begin() + best_r,
                       rack_order.end(), [&](int a, int b) {
                         const Seconds fa =
@@ -223,6 +318,7 @@ ProvisionPlan DagPackBackend::plan(const PlannerRequest& request) const {
     for (int r : planned.racks) {
       finish[static_cast<std::size_t>(r)] = best_completion;
     }
+    claim_racks(planned.racks, j);
     makespan = std::max(makespan, best_completion);
     total_flow += best_completion - job.arrival();
     if (trace.at(obs::TraceLevel::kJobs)) {

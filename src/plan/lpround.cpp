@@ -173,16 +173,26 @@ ProvisionPlan LpRoundBackend::plan(const PlannerRequest& request) const {
   result.lp_bound = bound;
 
   // Final fractional solution at T*, rounded by largest fractional share
-  // (ties toward the smallest width).
+  // (ties toward the smallest width). Placement constraints cap the
+  // rounding at each job's eligible rack count; the prioritize() call below
+  // then enforces rack-level feasibility through config.placements.
   auto [feasible, total_work, finals] = sweep(bound);
   ensure(feasible, "LpRoundBackend: final LP sweep infeasible at the bound");
   (void)total_work;
+  if (config.placements != nullptr) {
+    require(config.placements->size() == J,
+            "LpRoundBackend: placements must cover every job");
+  }
   std::vector<int> racks_per_job(J, 1);
   for (std::size_t j = 0; j < J; ++j) {
     const std::vector<double>& x = finals[j].x;
+    int max_r = R;
+    if (config.placements != nullptr) {
+      max_r = std::min(R, (*config.placements)[j].eligible_count);
+    }
     int best_r = 1;
     double best_share = -1.0;
-    for (int r = 1; r <= R; ++r) {
+    for (int r = 1; r <= max_r; ++r) {
       const double share = x[static_cast<std::size_t>(r) - 1];
       if (share > best_share + 1e-12) {
         best_share = share;

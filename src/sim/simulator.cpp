@@ -9,6 +9,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "coflow/coflow.h"
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -190,10 +191,10 @@ class Simulator {
         topology_(config.cluster),
         dfs_(&topology_, config.dfs),
         network_(config.cluster,
-                 config.use_varys
-                     ? std::unique_ptr<RateAllocator>(
-                           std::make_unique<VarysAllocator>())
-                     : std::make_unique<MaxMinFairAllocator>()),
+                 coflow::make_allocator(
+                     config.net_policy == NetPolicy::kTcp && config.use_varys
+                         ? NetPolicy::kVarys
+                         : config.net_policy)),
         policy_(policy),
         rng_(config.seed) {
     trace_ = obs::TraceRecorder(config_.tracer, config_.trace_sink,

@@ -27,6 +27,7 @@
 
 #include "cluster/topology.h"
 #include "dfs/dfs.h"
+#include "net/allocator.h"
 #include "sim/faults.h"
 #include "sim/metrics.h"
 #include "sim/policy.h"
@@ -67,7 +68,11 @@ class SimulationAborted : public std::runtime_error {
 struct SimConfig {
   ClusterConfig cluster;
   DfsConfig dfs;
-  // Use the Varys-like coflow allocator instead of TCP max-min (§6.6).
+  // Rate-allocation policy for the fabric (§6.6 plus the coflow suite in
+  // src/coflow). Dispatched through coflow::make_allocator.
+  NetPolicy net_policy = NetPolicy::kTcp;
+  // Deprecated compatibility shim for net_policy = kVarys; honored only
+  // while net_policy keeps its default.
   bool use_varys = false;
   // Replicate reduce outputs off-rack (adds write traffic; off by default
   // so the headline benches isolate read/shuffle locality).

@@ -38,6 +38,17 @@ void write_trace(std::ostream& out, std::span<const JobSpec> jobs) {
     for (const DagEdge& edge : job.edges) {
       out << "edge " << edge.from << ' ' << edge.to << "\n";
     }
+    // Placement constraints are written only when present, so traces of
+    // unconstrained workloads stay byte-identical to the v1 seed format.
+    if (job.placement.constrained()) {
+      out << "place " << job.placement.anti_affinity << ' '
+          << (job.placement.rack_exclusive ? 1 : 0) << ' '
+          << job.placement.resource_units << ' '
+          << (job.placement.resource_class.empty()
+                  ? std::string("-")
+                  : sanitize_name(job.placement.resource_class))
+          << "\n";
+    }
   }
 }
 
@@ -93,6 +104,22 @@ std::vector<JobSpec> read_trace(std::istream& in) {
       tokens >> edge.from >> edge.to;
       require(!tokens.fail(), "read_trace: malformed edge line");
       jobs.back().edges.push_back(edge);
+    } else if (directive == "place") {
+      // "place <anti_affinity> <exclusive 0|1> <units> <class|->": hard
+      // placement constraints (docs/coflow.md). PlacementSpec::validate()
+      // (via JobSpec::validate() at end-of-job) rejects inconsistent
+      // combinations with a deterministic message.
+      require(!jobs.empty(), "read_trace: place before any job");
+      PlacementSpec& placement = jobs.back().placement;
+      int exclusive = 0;
+      std::string cls;
+      tokens >> placement.anti_affinity >> exclusive >>
+          placement.resource_units >> cls;
+      require(!tokens.fail(), "read_trace: malformed place line");
+      require(exclusive == 0 || exclusive == 1,
+              "read_trace: place exclusive flag must be 0 or 1");
+      placement.rack_exclusive = exclusive == 1;
+      placement.resource_class = cls == "-" ? std::string() : cls;
     } else {
       require(false, "read_trace: unknown directive");
     }

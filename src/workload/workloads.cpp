@@ -167,6 +167,48 @@ void mark_ad_hoc(std::vector<JobSpec>& jobs) {
   for (JobSpec& job : jobs) job.recurring = false;
 }
 
+std::vector<JobSpec> with_placement_mix(std::vector<JobSpec> jobs,
+                                        const PlacementMixConfig& config) {
+  require(config.fraction_constrained >= 0 &&
+              config.fraction_constrained <= 1.0,
+          "with_placement_mix: fraction_constrained must be in [0,1]");
+  require(config.anti_affinity_sets >= 0,
+          "with_placement_mix: anti_affinity_sets must be >= 0");
+  // Rank by total bytes moved, heaviest first; ties break by index so the
+  // decoration is byte-stable across runs.
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Bytes wa =
+        jobs[a].total_input() + jobs[a].total_shuffle() + jobs[a].total_output();
+    const Bytes wb =
+        jobs[b].total_input() + jobs[b].total_shuffle() + jobs[b].total_output();
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  const std::size_t constrained = static_cast<std::size_t>(
+      std::lround(config.fraction_constrained *
+                  static_cast<double>(jobs.size())));
+  const std::size_t affinity_jobs = std::min(
+      order.size(), 2 * static_cast<std::size_t>(config.anti_affinity_sets));
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    PlacementSpec& placement = jobs[order[rank]].placement;
+    if (rank < constrained && !config.resource_class.empty()) {
+      placement.resource_class = config.resource_class;
+      placement.resource_units = config.resource_units;
+    }
+    if (rank < affinity_jobs) {
+      placement.anti_affinity =
+          static_cast<int>(rank) % config.anti_affinity_sets;
+    }
+    if (rank == 0 && config.exclusive_heaviest) {
+      placement.rack_exclusive = true;
+    }
+    placement.validate();
+  }
+  return jobs;
+}
+
 std::vector<JobSpec> perturb_sizes(const std::vector<JobSpec>& jobs,
                                    double error, Rng& rng) {
   require(error >= 0 && error < 1.0, "perturb_sizes: error must be in [0,1)");

@@ -71,6 +71,28 @@ void assign_uniform_arrivals(std::vector<JobSpec>& jobs, Seconds window,
 // Marks all jobs ad hoc (recurring = false); used by the Fig 11 mix.
 void mark_ad_hoc(std::vector<JobSpec>& jobs);
 
+// Placement-constrained variant of a workload (bench_policy_matrix's
+// "w1-constrained" cells; docs/coflow.md "Placement constraints"). The
+// decoration is a deterministic function of the job sizes, no RNG: the
+// heaviest `fraction_constrained` of the jobs — the ones that shape the
+// network schedule — are pinned to the racks equipped with
+// `resource_class` (which the cluster must declare via
+// ClusterConfig::resource_classes), the top 2 * `anti_affinity_sets` of
+// those additionally split into availability sets demanding pairwise
+// disjoint racks, and the single heaviest job claims rack exclusivity when
+// `exclusive_heaviest` is set. Concentrating the big shuffles on a few
+// shared racks is what makes coflow-policy orderings flip relative to the
+// unconstrained workload.
+struct PlacementMixConfig {
+  double fraction_constrained = 0.4;
+  int anti_affinity_sets = 2;
+  std::string resource_class = "accel";
+  int resource_units = 1;
+  bool exclusive_heaviest = true;
+};
+std::vector<JobSpec> with_placement_mix(std::vector<JobSpec> jobs,
+                                        const PlacementMixConfig& config);
+
 // Latest arrival time across the workload — a lower bound on the simulated
 // horizon, used to size fault timelines (generate_fault_schedule wants an
 // explicit horizon). Returns 0 for an empty workload.

@@ -15,6 +15,7 @@
 #include <random>
 #include <vector>
 
+#include "coflow/coflow.h"
 #include "exec/exec.h"
 #include "net/network.h"
 
@@ -198,6 +199,83 @@ TEST(AllocatorProperty, DrainedFlowsParallelMatchesSerialExactly) {
     ASSERT_EQ(parallel[c].size(), serial[c].size()) << "case " << c;
     for (std::size_t i = 0; i < serial[c].size(); ++i) {
       EXPECT_EQ(parallel[c][i], serial[c][i]) << "case " << c << " rate " << i;
+    }
+  }
+}
+
+TEST(AllocatorEdge, FullyDrainedCoflowYieldsFiniteRatesForEveryPolicy) {
+  // The PR 7 zero-Γ guard, through the factory every tool dispatches on:
+  // no registered policy may emit NaN or overfill when an entire coflow is
+  // drained while a live coflow shares the fabric.
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  for (const std::string& name : net_policy_names()) {
+    NetPolicy policy = NetPolicy::kTcp;
+    parse_net_policy(name, &policy);
+    std::vector<Flow> flows;
+    flows.push_back(make_flow(links, config, 0, 0, 4, 0.0, 1.0, 0));
+    flows.push_back(make_flow(links, config, 1, 1, 5, 0.0, 2.0, 0));
+    flows.push_back(make_flow(links, config, 2, 2, 6, 64.0, 1.0, 1));
+    flows.push_back(make_flow(links, config, 3, 3, 7, 32.0, 1.0, 1));
+    const auto allocator = coflow::make_allocator(policy);
+    allocator->allocate(flows, links);
+    check_rates_sane(flows, links, /*require_progress=*/false);
+    for (const Flow& flow : flows) {
+      if (flow.remaining > 0) {
+        EXPECT_GT(flow.rate, 0.0) << name << " flow " << flow.id;
+      }
+    }
+  }
+}
+
+TEST(AllocatorEdge, ZeroRemainingSingletonsYieldFiniteRatesForEveryPolicy) {
+  // Drained singletons next to a live coflow: the ordering policies place
+  // singletons behind real coflows, and drained ones must stay costless.
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  for (const std::string& name : net_policy_names()) {
+    NetPolicy policy = NetPolicy::kTcp;
+    parse_net_policy(name, &policy);
+    std::vector<Flow> flows;
+    flows.push_back(make_flow(links, config, 0, 0, 4, 0.0, 1.0, -1));
+    flows.push_back(make_flow(links, config, 1, 1, 5, 48.0, 1.0, -1));
+    flows.push_back(make_flow(links, config, 2, 2, 6, 64.0, 1.0, 0));
+    const auto allocator = coflow::make_allocator(policy);
+    allocator->allocate(flows, links);
+    check_rates_sane(flows, links, /*require_progress=*/false);
+  }
+}
+
+TEST(AllocatorProperty, RandomFlowSetsRespectCapacityForEveryPolicy) {
+  // The capacity-safety property quantified over the whole registry:
+  // random live/drained singleton/coflow mixes through every policy the
+  // factory can build — rates finite, non-negative, per-link sums within
+  // capacity. Same generator seed per policy, so all four see identical
+  // instances.
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  for (const std::string& name : net_policy_names()) {
+    NetPolicy policy = NetPolicy::kTcp;
+    parse_net_policy(name, &policy);
+    const auto allocator = coflow::make_allocator(policy);
+    std::mt19937 rng(4242);
+    for (int trial = 0; trial < 120; ++trial) {
+      std::vector<Flow> flows;
+      const int n = 1 + static_cast<int>(rng() % 12);
+      for (int f = 0; f < n; ++f) {
+        const int src = static_cast<int>(rng() % 8);
+        int dst = static_cast<int>(rng() % 8);
+        if (dst == src) dst = (dst + 1) % 8;
+        const Bytes remaining =
+            rng() % 5 == 0 ? 0.0 : 1.0 + static_cast<double>(rng() % 100);
+        const double width = 1.0 + static_cast<double>(rng() % 3);
+        const int coflow =
+            rng() % 2 == 0 ? static_cast<int>(rng() % 3) : -1;
+        flows.push_back(
+            make_flow(links, config, f, src, dst, remaining, width, coflow));
+      }
+      allocator->allocate(flows, links);
+      check_rates_sane(flows, links, /*require_progress=*/false);
     }
   }
 }

@@ -1,0 +1,292 @@
+// The coflow-scheduler suite (src/coflow, docs/coflow.md).
+//
+// Three layers of pinning:
+//  - Differential: on tiny instances (<= 4 coflows, <= 3 loaded links) the
+//    lp-order schedule is compared against the brute-force optimal coflow
+//    permutation; Sincronia's BSSI order must stay within its
+//    approximation factor of the same optimum.
+//  - Goldens: handcrafted instances with a known optimal order, pinned
+//    exactly (SRPT on one shared bottleneck).
+//  - Determinism: simulations under every coflow policy are byte-identical
+//    at pool widths 1, 2 and 8 (exact ==), and the allocators' scratch
+//    state is bit-exact when driven from pool workers. CI runs this suite
+//    under TSan (the 'Coflow' regex in ci.yml).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "coflow/coflow.h"
+#include "corral/planner.h"
+#include "exec/exec.h"
+#include "net/network.h"
+#include "sim/batch.h"
+#include "sim/simulator.h"
+#include "workload/workloads.h"
+
+namespace corral {
+namespace {
+
+constexpr int kWidths[] = {1, 2, 8};
+
+ClusterConfig tiny_cluster() {
+  ClusterConfig config;
+  config.racks = 2;
+  config.machines_per_rack = 4;
+  config.slots_per_machine = 2;
+  config.nic_bandwidth = 8;
+  config.oversubscription = 2.0;
+  return config;
+}
+
+Flow make_flow(const LinkSet& links, const ClusterConfig& config, int id,
+               int src, int dst, Bytes remaining, int coflow) {
+  Flow flow;
+  flow.id = id;
+  flow.total = std::max(remaining, 1.0);
+  flow.remaining = remaining;
+  flow.coflow = coflow;
+  const int src_rack = src / config.machines_per_rack;
+  const int dst_rack = dst / config.machines_per_rack;
+  flow.cross_rack = src_rack != dst_rack;
+  flow.path.add(links.host_up(src));
+  if (flow.cross_rack) {
+    flow.path.add(links.rack_up(src_rack));
+    flow.path.add(links.rack_down(dst_rack));
+  }
+  flow.path.add(links.host_down(dst));
+  return flow;
+}
+
+// Brute-force minimum permutation CCT over all orders of the given keys.
+double optimal_cct(const std::vector<Flow>& flows, const LinkSet& links,
+                   std::vector<long> keys) {
+  std::sort(keys.begin(), keys.end());
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    best = std::min(best, coflow::permutation_cct(flows, links, keys));
+  } while (std::next_permutation(keys.begin(), keys.end()));
+  return best;
+}
+
+std::vector<long> coflow_keys(const std::vector<Flow>& flows) {
+  std::vector<long> keys;
+  for (const Flow& flow : flows) {
+    if (flow.coflow >= 0) keys.push_back(flow.coflow);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+TEST(CoflowOrder, SrptGoldenOnSharedBottleneck) {
+  // Three coflows, one shared destination NIC: the optimal permutation is
+  // shortest-first (SRPT). Both orderings must pin it exactly.
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  std::vector<Flow> flows;
+  flows.push_back(make_flow(links, config, 0, 0, 3, 96.0, 0));
+  flows.push_back(make_flow(links, config, 1, 1, 3, 16.0, 1));
+  flows.push_back(make_flow(links, config, 2, 2, 3, 48.0, 2));
+  const std::vector<long> expected = {1, 2, 0};
+  EXPECT_EQ(coflow::lp_order_keys(flows, links), expected);
+  EXPECT_EQ(coflow::sincronia_order_keys(flows, links), expected);
+}
+
+TEST(CoflowOrder, DrainedCoflowsSortFirstButTakeNoRate) {
+  // A fully drained coflow (Γ == 0) sorts ahead of live coflows in both
+  // orderings — the SEBF tie rule is ascending Γ, and C_k = Γ_k = 0 in the
+  // LP — which is harmless because zero-Γ groups get no MADD rate and only
+  // ride the backfill (PR 7 semantics): the live coflow still saturates.
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  std::vector<Flow> flows;
+  flows.push_back(make_flow(links, config, 0, 0, 3, 0.0, 0));
+  flows.push_back(make_flow(links, config, 1, 1, 3, 32.0, 1));
+  for (const auto& order : {coflow::lp_order_keys(flows, links),
+                            coflow::sincronia_order_keys(flows, links)}) {
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order.front(), 0);
+    EXPECT_EQ(order.back(), 1);
+  }
+  for (NetPolicy policy : {NetPolicy::kLpOrder, NetPolicy::kSincronia}) {
+    std::vector<Flow> rated = flows;
+    coflow::make_allocator(policy)->allocate(rated, links);
+    // The live flow's bottleneck is its destination NIC (capacity 8);
+    // the drained front-runner must not hold any of it back.
+    EXPECT_EQ(rated[1].rate, 8.0) << to_string(policy);
+  }
+}
+
+TEST(CoflowOrder, LpOrderMatchesBruteForceOnTinyInstances) {
+  // Randomized tiny instances: 2-4 coflows whose flows share at most a
+  // handful of NICs. The LP ordering's permutation CCT must match the
+  // brute-force optimum on the vast majority of draws and never exceed
+  // its 2x list-scheduling bound; Sincronia stays within its 4x factor.
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  std::mt19937 rng(7);
+  int lp_exact = 0;
+  const int kTrials = 60;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const int num_coflows = 2 + static_cast<int>(rng() % 3);
+    std::vector<Flow> flows;
+    int id = 0;
+    for (int k = 0; k < num_coflows; ++k) {
+      const int members = 1 + static_cast<int>(rng() % 2);
+      for (int m = 0; m < members; ++m) {
+        // Sources/destinations drawn from 3 machines per side so the
+        // instances stay in the <= 3-loaded-links regime per direction.
+        const int src = static_cast<int>(rng() % 3);
+        const int dst = 4 + static_cast<int>(rng() % 3);
+        const Bytes remaining = 8.0 + static_cast<double>(rng() % 120);
+        flows.push_back(
+            make_flow(links, config, id++, src, dst, remaining, k));
+      }
+    }
+    const double best = optimal_cct(flows, links, coflow_keys(flows));
+    const double lp =
+        coflow::permutation_cct(flows, links,
+                                coflow::lp_order_keys(flows, links));
+    const double bssi = coflow::permutation_cct(
+        flows, links, coflow::sincronia_order_keys(flows, links));
+    ASSERT_GE(lp, best - 1e-9) << "trial " << trial;
+    EXPECT_LE(lp, 2.0 * best + 1e-9) << "trial " << trial;
+    EXPECT_LE(bssi, 4.0 * best + 1e-9) << "trial " << trial;
+    if (lp <= best + 1e-9) ++lp_exact;
+  }
+  // The LP relaxation's order recovers the exact optimum on most tiny
+  // instances — if this drops, the LP constraints regressed.
+  EXPECT_GE(lp_exact, kTrials * 3 / 4);
+}
+
+TEST(CoflowOrder, OrderingsAreDeterministicAcrossRepeats) {
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  std::mt19937 rng(11);
+  std::vector<Flow> flows;
+  for (int f = 0; f < 10; ++f) {
+    flows.push_back(make_flow(links, config, f, static_cast<int>(rng() % 4),
+                              4 + static_cast<int>(rng() % 4),
+                              1.0 + static_cast<double>(rng() % 64), f % 4));
+  }
+  const auto lp = coflow::lp_order_keys(flows, links);
+  const auto bssi = coflow::sincronia_order_keys(flows, links);
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    EXPECT_EQ(coflow::lp_order_keys(flows, links), lp);
+    EXPECT_EQ(coflow::sincronia_order_keys(flows, links), bssi);
+  }
+}
+
+TEST(CoflowProperty, AllocatorScratchIsBitExactFromPoolWorkers) {
+  // The lp-order/sincronia allocators keep per-instance order caches and
+  // shared fill scratch; driving fresh allocators from pool workers must
+  // produce bit-identical rates to the serial reference.
+  const ClusterConfig config = tiny_cluster();
+  const LinkSet links(config);
+  const int kCases = 24;
+  auto drive = [&](int c) {
+    std::vector<Flow> flows;
+    const int n = 2 + c % 6;
+    for (int f = 0; f < n; ++f) {
+      const int src = (c + f) % 8;
+      int dst = (c + 3 * f + 1) % 8;
+      if (dst == src) dst = (dst + 1) % 8;
+      const Bytes remaining =
+          (c + f) % 3 == 0 ? 0.0 : 16.0 + static_cast<double>(8 * f);
+      Flow flow = make_flow(links, config, f, src, dst, remaining,
+                            f % 2 == 0 ? c % 2 : -1);
+      flow.width = 1.0 + f % 2;
+      flows.push_back(flow);
+    }
+    std::vector<double> rates;
+    for (NetPolicy policy : {NetPolicy::kLpOrder, NetPolicy::kSincronia}) {
+      const auto allocator = coflow::make_allocator(policy);
+      allocator->allocate(flows, links);
+      for (const Flow& flow : flows) rates.push_back(flow.rate);
+    }
+    return rates;
+  };
+  std::vector<std::vector<double>> serial(kCases);
+  for (int c = 0; c < kCases; ++c) serial[c] = drive(c);
+  exec::ThreadPool pool(8);
+  const auto parallel = exec::parallel_map(
+      pool, kCases, [&](int, std::size_t c) { return drive(int(c)); });
+  for (int c = 0; c < kCases; ++c) {
+    ASSERT_EQ(parallel[c].size(), serial[c].size()) << "case " << c;
+    for (std::size_t i = 0; i < serial[c].size(); ++i) {
+      EXPECT_EQ(parallel[c][i], serial[c][i]) << "case " << c << " rate " << i;
+    }
+  }
+}
+
+TEST(CoflowDeterminism, SimulationsByteIdenticalAcrossWidthsPerPolicy) {
+  // End-to-end: a planned W1 slice executed under each coflow policy must
+  // produce byte-identical results (exact ==) at pool widths 1, 2 and 8.
+  SimConfig sim;
+  sim.cluster.racks = 4;
+  sim.cluster.machines_per_rack = 8;
+  sim.cluster.slots_per_machine = 4;
+  sim.cluster.nic_bandwidth = 2.5 * kGbps;
+  sim.cluster.oversubscription = 5.0;
+  sim.write_output_replicas = true;
+  sim.seed = 2015;
+
+  Rng rng(12);
+  W1Config wconfig;
+  wconfig.num_jobs = 8;
+  wconfig.task_scale = 0.25;
+  const auto jobs = make_w1(wconfig, rng);
+
+  PlannerConfig planner_config;
+  const Plan plan = plan_offline(jobs, sim.cluster, planner_config);
+  const PlanLookup lookup(jobs, plan);
+  const PlanLookup* lookup_ptr = &lookup;
+
+  std::vector<BatchCase> cases;
+  for (NetPolicy policy : {NetPolicy::kTcp, NetPolicy::kVarys,
+                           NetPolicy::kLpOrder, NetPolicy::kSincronia}) {
+    BatchCase batch_case;
+    batch_case.label = std::string(to_string(policy));
+    batch_case.jobs = jobs;
+    batch_case.config = sim;
+    batch_case.config.net_policy = policy;
+    batch_case.make_policy =
+        [lookup_ptr]() -> std::unique_ptr<SchedulingPolicy> {
+      return std::make_unique<CorralPolicy>(lookup_ptr);
+    };
+    cases.push_back(std::move(batch_case));
+  }
+
+  exec::ThreadPool serial(1);
+  const auto reference = BatchRunner(&serial).run(cases);
+  ASSERT_EQ(reference.size(), cases.size());
+  // The policies genuinely differ on this instance (otherwise the matrix
+  // columns would be vacuous).
+  EXPECT_NE(reference[0].result.makespan, reference[1].result.makespan);
+  for (int width : kWidths) {
+    exec::ThreadPool pool(width);
+    const auto batch = BatchRunner(&pool).run(cases);
+    ASSERT_EQ(batch.size(), reference.size());
+    for (std::size_t c = 0; c < batch.size(); ++c) {
+      EXPECT_EQ(batch[c].result.makespan, reference[c].result.makespan)
+          << "case " << c << " width " << width;
+      EXPECT_EQ(batch[c].result.total_cross_rack_bytes,
+                reference[c].result.total_cross_rack_bytes)
+          << "case " << c << " width " << width;
+      const auto jct = batch[c].result.completion_times();
+      const auto ref_jct = reference[c].result.completion_times();
+      ASSERT_EQ(jct.size(), ref_jct.size());
+      for (std::size_t j = 0; j < jct.size(); ++j) {
+        EXPECT_EQ(jct[j], ref_jct[j])
+            << "case " << c << " width " << width << " job " << j;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corral

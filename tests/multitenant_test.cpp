@@ -135,7 +135,8 @@ struct ServiceArtifacts {
 };
 
 ServiceArtifacts run_service(ServiceConfig config, int tenants, int width,
-                             std::span<const int> priorities = {}) {
+                             std::span<const int> priorities = {},
+                             std::span<const NetPolicy> net_policies = {}) {
   exec::ThreadPool pool(width);
   obs::TracerOptions options;
   options.level = obs::TraceLevel::kTasks;
@@ -145,12 +146,19 @@ ServiceArtifacts run_service(ServiceConfig config, int tenants, int width,
   config.loop.tracer = &tracer;
   config.loop.metrics = &metrics;
 
-  ServiceArtifacts artifacts;
-  artifacts.result = run_control_service(
+  std::vector<ServiceTenant> fleet =
       make_service_fleet(tenant_fleet_config(), config.loop.warmup_days,
                          config.loop.epochs, config.loop.seed, tenants,
-                         priorities),
-      config);
+                         priorities);
+  if (!net_policies.empty()) {
+    // Mixed coflow policies: tenant t executes (and fingerprints) under
+    // net_policies[t % size], like --tenant-net-policy in corral_loop.
+    for (std::size_t t = 0; t < fleet.size(); ++t) {
+      fleet[t].net_policy = net_policies[t % net_policies.size()];
+    }
+  }
+  ServiceArtifacts artifacts;
+  artifacts.result = run_control_service(std::move(fleet), config);
   artifacts.report_json = service_report_json_string(artifacts.result);
   artifacts.trace_json = obs::chrome_trace_string(tracer);
   std::ostringstream metrics_out;
@@ -298,6 +306,93 @@ TEST(MultiTenantDeterminism, KillAndResumeIsByteIdentical) {
   EXPECT_EQ(resumed.report_json, reference.report_json);
   EXPECT_EQ(resumed.trace_json, reference.trace_json);
   EXPECT_EQ(resumed.metrics_json, reference.metrics_json);
+}
+
+// --- mixed per-tenant net policies ---------------------------------------
+
+TEST(MultiTenantDeterminism, MixedNetPoliciesByteIdenticalAcrossShardsAndThreads) {
+  // The 16-tenant determinism contract with every coflow policy in play:
+  // tenants cycle tcp/varys/lp-order/sincronia, and the full artifact set
+  // must stay byte-identical across (shards, threads).
+  constexpr int kTenants = 16;
+  constexpr int kEpochs = 3;
+  const std::vector<NetPolicy> mix = {NetPolicy::kTcp, NetPolicy::kVarys,
+                                      NetPolicy::kLpOrder,
+                                      NetPolicy::kSincronia};
+  const ServiceArtifacts reference =
+      run_service(service_config(kEpochs, /*shards=*/1), kTenants,
+                  /*width=*/1, {}, mix);
+  ASSERT_EQ(reference.result.tenants.size(),
+            static_cast<std::size_t>(kTenants));
+  for (const TenantResult& tenant : reference.result.tenants) {
+    EXPECT_EQ(tenant.loop.epochs_completed, kEpochs) << tenant.name;
+  }
+  // The policy override must actually reach the tenants' simulations: the
+  // same fleet forced all-tcp reports different measurements.
+  const std::vector<NetPolicy> all_tcp = {NetPolicy::kTcp};
+  const ServiceArtifacts tcp_only =
+      run_service(service_config(kEpochs, /*shards=*/1), kTenants,
+                  /*width=*/1, {}, all_tcp);
+  EXPECT_NE(reference.report_json, tcp_only.report_json);
+
+  const struct {
+    int shards;
+    int threads;
+  } grid[] = {{2, 2}, {4, 8}};
+  for (const auto& point : grid) {
+    const ServiceArtifacts other =
+        run_service(service_config(kEpochs, point.shards), kTenants,
+                    point.threads, {}, mix);
+    EXPECT_EQ(other.report_json, reference.report_json)
+        << "shards=" << point.shards << " threads=" << point.threads;
+    EXPECT_EQ(other.trace_json, reference.trace_json)
+        << "shards=" << point.shards << " threads=" << point.threads;
+    EXPECT_EQ(other.metrics_json, reference.metrics_json)
+        << "shards=" << point.shards << " threads=" << point.threads;
+  }
+}
+
+TEST(MultiTenantDeterminism, MixedNetPoliciesKillAndResumeIsByteIdentical) {
+  // Kill/resume under mixed net policies: the per-tenant policy is part of
+  // the checkpoint fingerprint (control_loop_fingerprint mixes it), so the
+  // resume leg reproduces the uncrashed run byte for byte.
+  const std::vector<NetPolicy> mix = {NetPolicy::kVarys, NetPolicy::kLpOrder,
+                                      NetPolicy::kSincronia};
+  ServiceConfig config = service_config(/*epochs=*/4, /*shards=*/2);
+  config.loop.chaos = parse_chaos_spec("crash@1");
+
+  ServiceConfig reference_config = config;
+  reference_config.loop.chaos = ChaosSpec{};
+  const ServiceArtifacts reference =
+      run_service(reference_config, /*tenants=*/3, /*width=*/2, {}, mix);
+
+  const std::string path =
+      ::testing::TempDir() + "multitenant_netpolicy_resume.ckpt";
+  std::remove(path.c_str());
+
+  ServiceConfig crash_leg = config;
+  crash_leg.loop.checkpoint_path = path;
+  const ServiceArtifacts crashed =
+      run_service(crash_leg, /*tenants=*/3, /*width=*/2, {}, mix);
+  ASSERT_EQ(crashed.result.crashed_after, 1);
+
+  ServiceConfig resume_leg = crash_leg;
+  resume_leg.loop.resume_path = path;
+  const ServiceArtifacts resumed =
+      run_service(resume_leg, /*tenants=*/3, /*width=*/8, {}, mix);
+  EXPECT_EQ(resumed.result.crashed_after, -1);
+  EXPECT_EQ(resumed.report_json, reference.report_json);
+  EXPECT_EQ(resumed.trace_json, reference.trace_json);
+  EXPECT_EQ(resumed.metrics_json, reference.metrics_json);
+
+  // A resume under a *different* policy mix must be refused — the service
+  // fingerprint (which mixes each tenant's policy) no longer matches.
+  ServiceConfig mismatched = crash_leg;
+  mismatched.loop.resume_path = path;
+  const std::vector<NetPolicy> other_mix = {NetPolicy::kTcp};
+  EXPECT_THROW(
+      run_service(mismatched, /*tenants=*/3, /*width=*/2, {}, other_mix),
+      std::invalid_argument);
 }
 
 // --- v2 checkpoint format ------------------------------------------------

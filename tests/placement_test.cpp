@@ -1,0 +1,330 @@
+// The placement-constraint subsystem (src/corral/placement.h,
+// docs/coflow.md): spec validation, cluster resource classes, eligibility
+// resolution, the trace 'place' directive, and the planner's hard
+// feasibility filters — each error path pinned to its deterministic
+// message.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "corral/placement.h"
+#include "corral/planner.h"
+#include "workload/trace_io.h"
+#include "workload/workloads.h"
+
+namespace corral {
+namespace {
+
+// EXPECT_THROW with the message pinned.
+template <typename Fn>
+void expect_error(Fn fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected an error containing: " << needle;
+  } catch (const std::exception& error) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "actual: " << error.what();
+  }
+}
+
+JobSpec simple_job(int id, const std::string& name, int maps = 8) {
+  MapReduceSpec stage;
+  stage.name = name + "-s";
+  stage.input_bytes = 4 * kGB;
+  stage.shuffle_bytes = 4 * kGB;
+  stage.output_bytes = 4 * kGB;
+  stage.num_maps = maps;
+  stage.num_reduces = 4;
+  return JobSpec::map_reduce(id, name, stage);
+}
+
+ClusterConfig small_cluster(int racks = 4) {
+  ClusterConfig config;
+  config.racks = racks;
+  config.machines_per_rack = 8;
+  config.slots_per_machine = 4;
+  config.nic_bandwidth = 2.5 * kGbps;
+  config.oversubscription = 2.0;
+  return config;
+}
+
+TEST(PlacementSpecValidation, RejectsMalformedSpecs) {
+  PlacementSpec spec;
+  spec.anti_affinity = -2;
+  expect_error([&] { spec.validate(); },
+               "PlacementSpec: anti-affinity set id must be >= -1");
+
+  spec = PlacementSpec{};
+  spec.resource_units = 2;  // units without a class
+  expect_error([&] { spec.validate(); },
+               "PlacementSpec: resource_units requires a resource class");
+
+  spec = PlacementSpec{};
+  spec.resource_class = "gpu";  // class without units
+  expect_error([&] { spec.validate(); },
+               "PlacementSpec: resource class 'gpu' needs resource_units >= 1");
+
+  spec.resource_units = 1;
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_TRUE(spec.constrained());
+  EXPECT_FALSE(PlacementSpec{}.constrained());
+}
+
+TEST(PlacementSpecValidation, ClusterRejectsBadResourceClasses) {
+  ClusterConfig config = small_cluster();
+  config.resource_classes.push_back({"", 1, -1});
+  expect_error([&] { ClusterTopology t(config); },
+               "ClusterTopology: resource class needs a name");
+
+  config.resource_classes = {{"gpu", 0, -1}};
+  expect_error([&] { ClusterTopology t(config); },
+               "resource class 'gpu' must carry >= 1 unit per equipped rack");
+
+  config.resource_classes = {{"gpu", 2, 9}};
+  expect_error([&] { ClusterTopology t(config); },
+               "resource class 'gpu' equips more racks than exist");
+
+  config.resource_classes = {{"gpu", 2, 2}, {"gpu", 4, -1}};
+  expect_error([&] { ClusterTopology t(config); },
+               "ClusterTopology: duplicate resource class 'gpu'");
+
+  config.resource_classes = {{"gpu", 2, 2}, {"fpga", 1, -1}};
+  EXPECT_NO_THROW(ClusterTopology t(config));
+}
+
+TEST(PlacementResolution, BuildsEligibilityFromResourceClasses) {
+  ClusterConfig cluster = small_cluster(4);
+  cluster.resource_classes = {{"gpu", 4, 2}};
+  std::vector<JobSpec> jobs = {simple_job(0, "free"), simple_job(1, "gpu")};
+  jobs[1].placement.resource_class = "gpu";
+  jobs[1].placement.resource_units = 2;
+
+  const auto placements = resolve_placements(jobs, cluster);
+  ASSERT_EQ(placements.size(), 2u);
+  EXPECT_FALSE(placements[0].constrained);
+  EXPECT_EQ(placements[0].eligible_count, 4);
+  EXPECT_TRUE(placements[1].constrained);
+  EXPECT_EQ(placements[1].eligible_count, 2);
+  EXPECT_EQ(placements[1].eligible,
+            (std::vector<char>{1, 1, 0, 0}));
+  EXPECT_TRUE(any_constrained(std::span<const JobSpec>(jobs)));
+  EXPECT_TRUE(any_constrained(std::span<const JobPlacement>(placements)));
+}
+
+TEST(PlacementResolution, RejectsUnknownAndOverCapacityClasses) {
+  const ClusterConfig plain = small_cluster();
+  std::vector<JobSpec> jobs = {simple_job(0, "ml-train")};
+  jobs[0].placement.resource_class = "gpu";
+  jobs[0].placement.resource_units = 1;
+  expect_error([&] { resolve_placements(jobs, plain); },
+               "placement: job 'ml-train' requests unknown resource class "
+               "'gpu'");
+
+  ClusterConfig equipped = small_cluster();
+  equipped.resource_classes = {{"gpu", 2, 2}};
+  jobs[0].placement.resource_units = 3;
+  expect_error([&] { resolve_placements(jobs, equipped); },
+               "placement: job 'ml-train' requests 3 units of 'gpu' but "
+               "equipped racks carry 2");
+
+  // equipped_racks == 0 is a declared-but-absent class: no eligible rack.
+  equipped.resource_classes = {{"gpu", 2, 0}};
+  jobs[0].placement.resource_units = 1;
+  expect_error([&] { resolve_placements(jobs, equipped); },
+               "placement: job 'ml-train' has no rack equipped with 'gpu'");
+}
+
+TEST(PlacementResolution, RemapRejectsViewsWithoutEligibleRacks) {
+  ClusterConfig cluster = small_cluster(4);
+  cluster.resource_classes = {{"gpu", 2, 2}};
+  std::vector<JobSpec> jobs = {simple_job(0, "gpu")};
+  jobs[0].placement.resource_class = "gpu";
+  jobs[0].placement.resource_units = 1;
+  const auto placements = resolve_placements(jobs, cluster);
+
+  // Racks 2,3 only: the gpu job (eligible on 0,1) loses every rack.
+  const std::vector<int> degraded = {2, 3};
+  expect_error(
+      [&] { remap_placements(placements, jobs, degraded); },
+      "no eligible rack");
+
+  const std::vector<int> fine = {1, 2, 3};
+  const auto remapped = remap_placements(placements, jobs, fine);
+  ASSERT_EQ(remapped.size(), 1u);
+  EXPECT_EQ(remapped[0].eligible_count, 1);
+  EXPECT_EQ(remapped[0].eligible, (std::vector<char>{1, 0, 0}));
+}
+
+TEST(PlacementTrace, RoundTripsConstraintsAndStaysV1ForUnconstrained) {
+  std::vector<JobSpec> jobs = {simple_job(0, "plain"),
+                               simple_job(1, "pinned"),
+                               simple_job(2, "exclusive")};
+  jobs[1].placement.anti_affinity = 3;
+  jobs[1].placement.resource_class = "gpu";
+  jobs[1].placement.resource_units = 2;
+  jobs[2].placement.rack_exclusive = true;
+
+  std::ostringstream out;
+  write_trace(out, jobs);
+  const std::string text = out.str();
+  // The unconstrained job writes no 'place' line (v1 byte-compat).
+  EXPECT_EQ(text.find("place"), text.find("place 3 0 2 gpu"));
+  EXPECT_NE(text.find("place 3 0 2 gpu"), std::string::npos);
+  EXPECT_NE(text.find("place -1 1 0 -"), std::string::npos);
+
+  std::istringstream in(text);
+  const auto round = read_trace(in);
+  ASSERT_EQ(round.size(), 3u);
+  EXPECT_FALSE(round[0].placement.constrained());
+  EXPECT_EQ(round[1].placement.anti_affinity, 3);
+  EXPECT_EQ(round[1].placement.resource_class, "gpu");
+  EXPECT_EQ(round[1].placement.resource_units, 2);
+  EXPECT_FALSE(round[1].placement.rack_exclusive);
+  EXPECT_TRUE(round[2].placement.rack_exclusive);
+  EXPECT_TRUE(round[2].placement.resource_class.empty());
+}
+
+TEST(PlacementTrace, RejectsMalformedPlaceLines) {
+  const std::string header = "corral-trace v1\n";
+  const std::string job =
+      "job 0 0 1 1 a\nstage 8 8 8 2 1 4 4 s\n";
+
+  expect_error(
+      [&] {
+        std::istringstream in(header + "place 0 0 0 -\n" + job);
+        read_trace(in);
+      },
+      "read_trace: place before any job");
+
+  expect_error(
+      [&] {
+        std::istringstream in(header + job + "place 0 zero\n");
+        read_trace(in);
+      },
+      "read_trace: malformed place line");
+
+  expect_error(
+      [&] {
+        std::istringstream in(header + job + "place 0 2 0 -\n");
+        read_trace(in);
+      },
+      "read_trace: place exclusive flag must be 0 or 1");
+
+  // A malformed combination parses but fails the end-of-job validate().
+  expect_error(
+      [&] {
+        std::istringstream in(header + job + "place -1 0 3 -\n");
+        read_trace(in);
+      },
+      "PlacementSpec: resource_units requires a resource class");
+}
+
+TEST(PlacementPlanner, EnforcesEligibilityAntiAffinityAndExclusivity) {
+  ClusterConfig cluster = small_cluster(5);
+  cluster.resource_classes = {{"gpu", 2, 3}};
+  std::vector<JobSpec> jobs;
+  for (int j = 0; j < 5; ++j) {
+    jobs.push_back(simple_job(j, "job-" + std::to_string(j), 16));
+  }
+  jobs[0].placement.resource_class = "gpu";
+  jobs[0].placement.resource_units = 1;
+  jobs[1].placement.anti_affinity = 7;
+  jobs[2].placement.anti_affinity = 7;
+  jobs[3].placement.rack_exclusive = true;
+
+  PlannerConfig config;
+  const Plan plan = plan_offline(jobs, cluster, config);
+  ASSERT_EQ(plan.jobs.size(), jobs.size());
+
+  std::vector<std::vector<int>> racks_of(jobs.size());
+  for (const PlannedJob& planned : plan.jobs) {
+    racks_of[static_cast<std::size_t>(planned.job_index)] = planned.racks;
+  }
+  // Resource class: job 0 only on the 3 equipped racks.
+  for (int r : racks_of[0]) EXPECT_LT(r, 3) << "gpu job off-class rack";
+  // Anti-affinity: jobs 1 and 2 on disjoint rack sets.
+  for (int a : racks_of[1]) {
+    for (int b : racks_of[2]) EXPECT_NE(a, b) << "anti-affinity violated";
+  }
+  // Exclusivity: job 3's racks appear in no other job's set.
+  for (int r : racks_of[3]) {
+    for (std::size_t j = 0; j < racks_of.size(); ++j) {
+      if (j == 3) continue;
+      for (int other : racks_of[j]) {
+        EXPECT_NE(other, r) << "exclusive rack shared with job " << j;
+      }
+    }
+  }
+}
+
+TEST(PlacementPlanner, InfeasibleConstraintsFailWithDeterministicMessage) {
+  // Three jobs in one anti-affinity set on a two-rack cluster: no
+  // assignment seats the third job, at any provisioning width.
+  const ClusterConfig cluster = small_cluster(2);
+  std::vector<JobSpec> jobs = {simple_job(0, "a"), simple_job(1, "b"),
+                               simple_job(2, "c")};
+  for (auto& job : jobs) job.placement.anti_affinity = 0;
+
+  PlannerConfig config;
+  expect_error([&] { plan_offline(jobs, cluster, config); },
+               "remain eligible after placement filters");
+}
+
+TEST(PlacementPlanner, UnconstrainedPlanMatchesPlacementFreeBaseline) {
+  // A placements vector with no constrained entry must not change the plan
+  // (the unconstrained fast path stays byte-identical).
+  const ClusterConfig cluster = small_cluster(4);
+  Rng rng(3);
+  W1Config wconfig;
+  wconfig.num_jobs = 12;
+  wconfig.task_scale = 0.25;
+  const auto jobs = make_w1(wconfig, rng);
+
+  PlannerConfig config;
+  const Plan baseline = plan_offline(jobs, cluster, config);
+
+  const auto placements = resolve_placements(jobs, cluster);
+  PlannerConfig with_placements = config;
+  with_placements.placements = &placements;
+  const Plan constrained = plan_offline(jobs, cluster, with_placements);
+
+  ASSERT_EQ(baseline.jobs.size(), constrained.jobs.size());
+  EXPECT_EQ(baseline.predicted_makespan, constrained.predicted_makespan);
+  for (std::size_t j = 0; j < baseline.jobs.size(); ++j) {
+    EXPECT_EQ(baseline.jobs[j].racks, constrained.jobs[j].racks) << j;
+    EXPECT_EQ(baseline.jobs[j].start_time, constrained.jobs[j].start_time);
+  }
+}
+
+TEST(PlacementPlanner, ConstrainedWorkloadMixIsFeasibleEndToEnd) {
+  // with_placement_mix on a W1 slice plans cleanly on an equipped cluster
+  // and every decorated job lands within its eligibility mask.
+  ClusterConfig cluster = small_cluster(5);
+  cluster.resource_classes = {{"accel", 4, 3}};
+  Rng rng(6);
+  W1Config wconfig;
+  wconfig.num_jobs = 10;
+  wconfig.task_scale = 0.25;
+  PlacementMixConfig mix;
+  const auto jobs = with_placement_mix(make_w1(wconfig, rng), mix);
+  ASSERT_TRUE(any_constrained(std::span<const JobSpec>(jobs)));
+
+  const auto placements = resolve_placements(jobs, cluster);
+  PlannerConfig config;
+  const Plan plan = plan_offline(jobs, cluster, config);
+  for (const PlannedJob& planned : plan.jobs) {
+    const auto& placement =
+        placements[static_cast<std::size_t>(planned.job_index)];
+    for (int r : planned.racks) {
+      EXPECT_TRUE(placement.eligible[static_cast<std::size_t>(r)])
+          << "job " << planned.job_index << " rack " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corral

@@ -34,6 +34,7 @@
 #include "ctrl/control_loop.h"
 #include "ctrl/report.h"
 #include "ctrl/service.h"
+#include "net/allocator.h"
 #include "plan/backend.h"
 #include "tool_common.h"
 #include "util/check.h"
@@ -85,6 +86,26 @@ void apply_tenant_planner(
   backends[static_cast<std::size_t>(tenant)] = kind;
 }
 
+// Parses one --tenant-net-policy value of the form "tenant:policy".
+void apply_tenant_net_policy(const std::string& text,
+                             std::vector<std::optional<NetPolicy>>& policies) {
+  const std::size_t colon = text.find(':');
+  require(colon != std::string::npos && colon > 0 &&
+              colon + 1 < text.size(),
+          "--tenant-net-policy expects tenant:policy, got '" + text + "'");
+  std::size_t used = 0;
+  const int tenant = std::stoi(text.substr(0, colon), &used);
+  require(used == colon,
+          "--tenant-net-policy: bad tenant in '" + text + "'");
+  require(tenant >= 0 && tenant < static_cast<int>(policies.size()),
+          "--tenant-net-policy: tenant out of range in '" + text + "'");
+  NetPolicy policy = NetPolicy::kTcp;
+  require(parse_net_policy(text.substr(colon + 1), &policy),
+          "--tenant-net-policy: unknown policy in '" + text +
+              "' (valid: tcp varys lp-order sincronia)");
+  policies[static_cast<std::size_t>(tenant)] = policy;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,6 +139,9 @@ int main(int argc, char** argv) {
   flags.add_string_list("tenant-planner",
                         "per-tenant planner backend override as "
                         "tenant:backend (repeatable; default --planner)");
+  flags.add_string_list("tenant-net-policy",
+                        "per-tenant network policy override as "
+                        "tenant:policy (repeatable; default --net-policy)");
   flags.add_string("chaos-spec", "",
                    "control-plane fault schedule: kind@epoch and kind=rate "
                    "tokens, comma separated (kinds: spike nan overrun "
@@ -149,6 +173,9 @@ int main(int argc, char** argv) {
   flags.add_choice("planner", plan::planner_backend_names(), "corral",
                    "planning backend for cache-miss replans "
                    "(docs/planners.md)");
+  flags.add_choice("net-policy", net_policy_names(), "tcp",
+                   "network rate-allocation policy for every epoch "
+                   "simulation (docs/coflow.md)");
   flags.add_int("seed", 2015, "base seed (workload shapes and simulation)");
   flags.add_bool("smoke", false,
                  "tiny run for CI (3 epochs, 5 jobs unless overridden)");
@@ -169,6 +196,7 @@ int main(int argc, char** argv) {
                            : Objective::kMakespan;
     plan::parse_planner_backend(flags.get_choice("planner"),
                                 &config.planner_backend);
+    parse_net_policy(flags.get_choice("net-policy"), &config.net_policy);
     config.epochs = static_cast<int>(flags.get_int("epochs"));
     if (smoke && !flags.provided("epochs")) config.epochs = 3;
     config.warmup_days = static_cast<int>(flags.get_int("warmup-days"));
@@ -221,6 +249,15 @@ int main(int argc, char** argv) {
     }
     require(tenants > 1 || flags.get_string_list("tenant-planner").empty(),
             "--tenant-planner requires --tenants > 1 (use --planner)");
+    std::vector<std::optional<NetPolicy>> tenant_net_policies(
+        static_cast<std::size_t>(tenants));
+    for (const std::string& token :
+         flags.get_string_list("tenant-net-policy")) {
+      apply_tenant_net_policy(token, tenant_net_policies);
+    }
+    require(
+        tenants > 1 || flags.get_string_list("tenant-net-policy").empty(),
+        "--tenant-net-policy requires --tenants > 1 (use --net-policy)");
 
     if (tenants > 1) {
       ServiceConfig service;
@@ -231,6 +268,7 @@ int main(int argc, char** argv) {
           priorities);
       for (std::size_t t = 0; t < fleet.size(); ++t) {
         fleet[t].backend = tenant_backends[t];
+        fleet[t].net_policy = tenant_net_policies[t];
       }
       const ServiceResult result =
           run_control_service(std::move(fleet), service);

@@ -8,6 +8,7 @@
 
 #include "corral/lp_bound.h"
 #include "corral/planner.h"
+#include "net/allocator.h"
 #include "plan/backend.h"
 #include "tool_common.h"
 #include "util/table.h"
@@ -22,6 +23,9 @@ int main(int argc, char** argv) {
                    "makespan (batch) or avg-completion (online)");
   flags.add_choice("planner", plan::planner_backend_names(), "corral",
                    "planning backend (docs/planners.md)");
+  flags.add_choice("net-policy", net_policy_names(), "tcp",
+                   "network rate-allocation policy the plan will execute "
+                   "under (echoed in the summary; docs/coflow.md)");
   flags.add_double("replan-period-min", 0,
                    "rolling-horizon window in minutes; 0 = single shot "
                    "(corral backend only)");
@@ -42,6 +46,8 @@ int main(int argc, char** argv) {
                            : Objective::kAverageCompletionTime;
     const std::string planner = flags.get_choice("planner");
     plan::parse_planner_backend(planner, &config.backend);
+    NetPolicy net_policy = NetPolicy::kTcp;
+    parse_net_policy(flags.get_choice("net-policy"), &net_policy);
     const double period = flags.get_double("replan-period-min") * kMinute;
     if (period > 0 && config.backend != PlannerBackendKind::kCorral) {
       std::cerr << "--replan-period-min requires --planner=corral\n";
@@ -61,6 +67,15 @@ int main(int argc, char** argv) {
     const auto functions =
         build_response_functions(jobs, cluster.racks, params);
 
+    // Placement constraints: resolve eligibility up front so malformed or
+    // unsatisfiable requests fail with a clear error (and exit 1) before
+    // any search runs, and every backend plans under the filters.
+    std::vector<JobPlacement> placements;
+    if (any_constrained(jobs)) {
+      placements = resolve_placements(jobs, cluster);
+      config.placements = &placements;
+    }
+
     plan::ProvisionPlan provision;
     if (period > 0) {
       provision.plan = plan_rolling(functions, cluster.racks, config, period);
@@ -74,9 +89,11 @@ int main(int argc, char** argv) {
     }
     const Plan& plan = provision.plan;
 
-    std::printf("planned %zu jobs on %d racks (%s objective, %s backend)\n",
-                jobs.size(), cluster.racks, objective.c_str(),
-                planner.c_str());
+    std::printf(
+        "planned %zu jobs on %d racks (%s objective, %s backend, %s net "
+        "policy)\n",
+        jobs.size(), cluster.racks, objective.c_str(), planner.c_str(),
+        std::string(to_string(net_policy)).c_str());
     std::printf("predicted makespan: %.1f s, avg completion: %.1f s\n",
                 plan.predicted_makespan, plan.predicted_avg_completion);
     std::printf("planning cost: %zu candidate evaluations\n",

@@ -132,7 +132,43 @@ void add_cluster_flags(FlagParser& flags) {
                    "rack-to-core oversubscription ratio V");
   flags.add_double("background", 0.5,
                    "fraction of rack uplink consumed by background traffic");
+  flags.add_string_list(
+      "resource-class",
+      "declare a rack resource class as name:units[:racks] — `units` per "
+      "equipped rack, first `racks` racks equipped (default all); "
+      "repeatable (docs/coflow.md)");
 }
+
+namespace {
+
+// Parses one --resource-class value of the form "name:units[:racks]".
+ResourceClassConfig parse_resource_class(const std::string& text) {
+  const std::size_t first = text.find(':');
+  require(first != std::string::npos && first > 0 && first + 1 < text.size(),
+          "--resource-class expects name:units[:racks], got '" + text + "'");
+  ResourceClassConfig cls;
+  cls.name = text.substr(0, first);
+  const std::size_t second = text.find(':', first + 1);
+  const std::string units_text =
+      second == std::string::npos
+          ? text.substr(first + 1)
+          : text.substr(first + 1, second - first - 1);
+  std::size_t used = 0;
+  cls.units_per_rack = std::stoi(units_text, &used);
+  require(used == units_text.size() && !units_text.empty(),
+          "--resource-class: bad units in '" + text + "'");
+  if (second != std::string::npos) {
+    require(second + 1 < text.size(),
+            "--resource-class: bad racks in '" + text + "'");
+    const std::string racks_text = text.substr(second + 1);
+    cls.equipped_racks = std::stoi(racks_text, &used);
+    require(used == racks_text.size(),
+            "--resource-class: bad racks in '" + text + "'");
+  }
+  return cls;
+}
+
+}  // namespace
 
 ClusterConfig cluster_from_flags(const FlagParser& flags) {
   ClusterConfig config;
@@ -144,6 +180,9 @@ ClusterConfig cluster_from_flags(const FlagParser& flags) {
   config.nic_bandwidth = flags.get_double("nic-gbps") * kGbps;
   config.oversubscription = flags.get_double("oversubscription");
   config.background_core_fraction = flags.get_double("background");
+  for (const std::string& token : flags.get_string_list("resource-class")) {
+    config.resource_classes.push_back(parse_resource_class(token));
+  }
   // Constructing a topology validates every field.
   ClusterTopology validate(config);
   (void)validate;
